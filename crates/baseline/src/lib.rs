@@ -1,0 +1,26 @@
+//! Baselines for the Valois reproduction.
+//!
+//! Two families:
+//!
+//! * [`naive`] — the list §2.2 warns about: plain CAS on `next` pointers
+//!   with **no auxiliary nodes**. Its tests reproduce the paper's Fig. 2
+//!   (an insert lost when its predecessor is concurrently deleted) and
+//!   Fig. 3 (one of two adjacent deletions undone) — the two anomalies
+//!   auxiliary nodes exist to prevent.
+//! * [`locked`] — the mutual-exclusion competition from §1: the same
+//!   sorted-list dictionary protected by a spin lock (any of the
+//!   `valois-sync` algorithms), by a blocking [`std::sync::Mutex`], and a
+//!   per-bucket-locked hash table. These are the E1/E2 comparison points.
+//!
+//! All lock-based dictionaries accept a [`locked::CriticalDelay`] injector
+//! that stalls the holder *inside* the critical section — the paper's
+//! "page fault / multitasking preemption" failure mode (experiment E2).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod locked;
+pub mod naive;
+
+pub use locked::{CriticalDelay, LockedBstDict, LockedHashDict, LockedListDict, MutexListDict};
+pub use naive::NaiveList;

@@ -1,0 +1,318 @@
+//! The naive CAS list of §2.2 — deliberately broken, to demonstrate the
+//! two anomalies that motivate auxiliary nodes.
+//!
+//! "At first glance, it may not seem too difficult to implement a
+//! lock-free linked list. … However, when we consider deleting cells from
+//! the list we run into difficulties." (§2.2)
+//!
+//! This list swings `next` pointers of *cells themselves* with CAS. Its
+//! insert and delete both succeed locally, yet their combination corrupts
+//! the list (Fig. 2: a cell inserted after a concurrently-deleted
+//! predecessor vanishes; Fig. 3: of two adjacent deletions one is undone).
+//! The unit tests drive the exact interleavings from the figures through
+//! the step-level API ([`NaiveList::locate`], [`NaiveList::cas_next`]).
+//!
+//! Memory is intentionally never reclaimed (nodes leak until the list is
+//! dropped): without §5's SafeRead/Release there is no safe moment to free
+//! a node — which is itself part of the paper's motivation.
+
+use std::fmt;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A node of the naive list.
+pub struct NaiveNode<T> {
+    value: T,
+    next: AtomicPtr<NaiveNode<T>>,
+}
+
+impl<T> NaiveNode<T> {
+    /// The node's value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for NaiveNode<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NaiveNode").field("value", &self.value).finish()
+    }
+}
+
+/// The §2.2 naive sorted CAS list (no auxiliary nodes — **intentionally
+/// unsound under concurrent insert+delete**; see module docs).
+pub struct NaiveList<T: Ord> {
+    /// Head dummy (simplifies edge cases; analogous to the paper's first
+    /// dummy cell).
+    head: Box<NaiveNode<T>>,
+    /// Every node ever allocated, freed on drop (no safe reclamation
+    /// exists mid-flight — that is the point).
+    graveyard: std::sync::Mutex<Vec<*mut NaiveNode<T>>>,
+}
+
+// SAFETY: nodes are leaked for the list's lifetime; all mutation is CAS.
+unsafe impl<T: Ord + Send + Sync> Send for NaiveList<T> {}
+unsafe impl<T: Ord + Send + Sync> Sync for NaiveList<T> {}
+
+impl<T: Ord + Default> NaiveList<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self {
+            head: Box::new(NaiveNode {
+                value: T::default(),
+                next: AtomicPtr::new(std::ptr::null_mut()),
+            }),
+            graveyard: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T: Ord + Default> Default for NaiveList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord> NaiveList<T> {
+    fn alloc(&self, value: T) -> *mut NaiveNode<T> {
+        let p = Box::into_raw(Box::new(NaiveNode {
+            value,
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }));
+        self.graveyard.lock().unwrap().push(p);
+        p
+    }
+
+    /// Finds the position for `value`: returns `(prev, cur)` where `prev`
+    /// is the last node with value < `value` and `cur` is `prev`'s
+    /// successor (null at the tail). Step-level API for the anomaly tests.
+    pub fn locate(&self, value: &T) -> (*mut NaiveNode<T>, *mut NaiveNode<T>) {
+        let mut prev = self.head.as_ref() as *const NaiveNode<T> as *mut NaiveNode<T>;
+        // SAFETY: nodes are never freed while the list lives.
+        unsafe {
+            let mut cur = (*prev).next.load(Ordering::Acquire);
+            while !cur.is_null() && (*cur).value < *value {
+                prev = cur;
+                cur = (*cur).next.load(Ordering::Acquire);
+            }
+            (prev, cur)
+        }
+    }
+
+    /// Raw CAS on a node's next pointer — the only mutation primitive the
+    /// naive design has. Step-level API for the anomaly tests.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be a node of *this* list (head handle or a pointer
+    /// returned by [`NaiveList::locate`]/[`NaiveList::make_node`]); such
+    /// nodes are never freed while the list lives.
+    pub unsafe fn cas_next(
+        &self,
+        node: *mut NaiveNode<T>,
+        old: *mut NaiveNode<T>,
+        new: *mut NaiveNode<T>,
+    ) -> bool {
+        (*node)
+            .next
+            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Reads a node's successor.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`NaiveList::cas_next`].
+    pub unsafe fn next_of(&self, node: *mut NaiveNode<T>) -> *mut NaiveNode<T> {
+        (*node).next.load(Ordering::Acquire)
+    }
+
+    /// Allocates a detached node (not yet linked). Step-level API.
+    pub fn make_node(&self, value: T) -> *mut NaiveNode<T> {
+        self.alloc(value)
+    }
+
+    /// Sorted insert. Returns false if the value is already present.
+    pub fn insert(&self, value: T) -> bool {
+        // SAFETY: nodes are never freed while the list lives.
+        unsafe {
+            let node = self.alloc(value);
+            loop {
+                let (prev, cur) = self.locate(&(*node).value);
+                if !cur.is_null() && (*cur).value == (*node).value {
+                    return false;
+                }
+                (*node).next.store(cur, Ordering::Release);
+                if self.cas_next(prev, cur, node) {
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Delete by value: `CAS(prev.next, cur, cur.next)` — the §2.2 recipe
+    /// whose combination with concurrent neighbours corrupts the list.
+    pub fn remove(&self, value: &T) -> bool {
+        // SAFETY: nodes are never freed while the list lives.
+        unsafe {
+            loop {
+                let (prev, cur) = self.locate(value);
+                if cur.is_null() || (*cur).value != *value {
+                    return false;
+                }
+                let next = (*cur).next.load(Ordering::Acquire);
+                if self.cas_next(prev, cur, next) {
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Whether `value` is currently reachable.
+    pub fn contains(&self, value: &T) -> bool {
+        let (_, cur) = self.locate(value);
+        // SAFETY: nodes are never freed while the list lives.
+        unsafe { !cur.is_null() && (*cur).value == *value }
+    }
+
+    /// Reachable values, front to back.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::new();
+        // SAFETY: nodes are never freed while the list lives.
+        unsafe {
+            let mut cur = self.head.next.load(Ordering::Acquire);
+            while !cur.is_null() {
+                out.push((*cur).value.clone());
+                cur = (*cur).next.load(Ordering::Acquire);
+            }
+        }
+        out
+    }
+
+    /// Head handle for step-level tests.
+    pub fn head_ptr(&self) -> *mut NaiveNode<T> {
+        self.head.as_ref() as *const NaiveNode<T> as *mut NaiveNode<T>
+    }
+}
+
+impl<T: Ord> Drop for NaiveList<T> {
+    fn drop(&mut self) {
+        for p in self.graveyard.lock().unwrap().drain(..) {
+            // SAFETY: exclusive access in drop; every allocation is in the
+            // graveyard exactly once.
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+}
+
+impl<T: Ord + fmt::Debug + Clone> fmt::Debug for NaiveList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NaiveList").field("items", &self.to_vec()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 2: "Deletion of B concurrent with insertion of C."
+    ///
+    /// List A → B → D. Process 1 prepares to insert C after B (has read
+    /// B.next = D). Process 2 deletes B. Process 1's CAS on B.next still
+    /// *succeeds* — but B is unreachable, so C is silently lost.
+    #[test]
+    fn fig2_insert_lost_after_concurrent_delete() {
+        let list: NaiveList<u32> = NaiveList::new();
+        list.insert(1); // A
+        list.insert(2); // B
+        list.insert(4); // D
+
+        // Process 1 prepares the insertion of C=3 after B.
+        let (b, d) = list.locate(&3); // prev = B, cur = D
+        let c = list.make_node(3);
+        unsafe { (*c).next.store(d, Ordering::Release) };
+
+        // Process 2 deletes B: CAS(A.next, B, D).
+        assert!(list.remove(&2));
+        assert!(!list.contains(&2));
+
+        // Process 1 completes its insertion — the CAS SUCCEEDS...
+        assert!(
+            unsafe { list.cas_next(b, d, c) },
+            "the naive CAS cannot detect that B was deleted"
+        );
+        // ...but C is not in the list: the anomaly of Fig. 2.
+        assert!(
+            !list.contains(&3),
+            "Fig. 2 anomaly: the inserted cell must have been lost"
+        );
+        assert_eq!(list.to_vec(), vec![1, 4]);
+    }
+
+    /// Fig. 3: "Concurrent deletion of B and C; second is undone."
+    ///
+    /// List A → B → C → D. Process 1 deletes B (CAS A.next: B→C);
+    /// process 2 deletes C (CAS B.next: C→D). Both CAS succeed, yet C is
+    /// still reachable: its deletion was undone by the other.
+    #[test]
+    fn fig3_adjacent_delete_undone() {
+        let list: NaiveList<u32> = NaiveList::new();
+        for v in [1, 2, 3, 4] {
+            list.insert(v); // A=1, B=2, C=3, D=4
+        }
+        let (a, b) = list.locate(&2);
+        let (b2, c) = list.locate(&3);
+        assert_eq!(b, b2);
+        let d = unsafe { list.next_of(c) };
+
+        // Process 2 starts deleting C but stalls just before its CAS;
+        // process 1 deletes B first.
+        assert!(unsafe { list.cas_next(a, b, c) }, "delete B: CAS(A.next, B, C)");
+        // Process 2 resumes: CAS(B.next, C, D) — still succeeds, because
+        // nothing marks B as deleted.
+        assert!(unsafe { list.cas_next(b, c, d) }, "delete C: CAS(B.next, C, D)");
+
+        // Both deletions "succeeded", yet C is still in the list.
+        assert!(
+            list.contains(&3),
+            "Fig. 3 anomaly: C's deletion must have been undone"
+        );
+        assert_eq!(list.to_vec(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn sequential_operations_work() {
+        // Without adversarial interleavings the naive list is a fine
+        // sorted list — which is exactly why the bug class is insidious.
+        let list: NaiveList<u32> = NaiveList::new();
+        for v in [5, 1, 3, 2, 4] {
+            assert!(list.insert(v));
+        }
+        assert!(!list.insert(3));
+        assert_eq!(list.to_vec(), vec![1, 2, 3, 4, 5]);
+        assert!(list.remove(&3));
+        assert!(!list.remove(&3));
+        assert_eq!(list.to_vec(), vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn disjoint_concurrent_inserts_survive() {
+        // Insert-only workloads do not trigger the anomalies (§2.2 says
+        // insertion alone is "straightforward").
+        let list: NaiveList<u64> = NaiveList::new();
+        std::thread::scope(|s| {
+            let list = &list;
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..250 {
+                        assert!(list.insert(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(list.to_vec().len(), 1000);
+    }
+}

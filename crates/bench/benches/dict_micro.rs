@@ -1,0 +1,92 @@
+//! Single-threaded per-operation costs of every §4 dictionary and the
+//! lock-based baselines: the "constant factor" side of E1/E5/E6.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use valois_baseline::{LockedBstDict, LockedListDict, MutexListDict};
+use valois_dict::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
+
+const PREFILL: u64 = 1_024;
+
+fn prefill<D: Dictionary<u64, u64>>(d: &D) {
+    // Coprime stride = pseudo-shuffled insertion order: an ascending
+    // prefill would degenerate the BST into a spine and skew its numbers.
+    for i in 0..PREFILL {
+        let k = (i * 389) % PREFILL;
+        d.insert(k * 2, k);
+    }
+}
+
+fn bench_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dict_find_hit");
+    macro_rules! case {
+        ($name:expr, $dict:expr) => {{
+            let d = $dict;
+            prefill(&d);
+            let mut k = 0u64;
+            group.bench_function(BenchmarkId::from_parameter($name), |b| {
+                b.iter(|| {
+                    k = (k + 2) % (PREFILL * 2);
+                    black_box(d.find(&k))
+                });
+            });
+        }};
+    }
+    case!("sorted_list", SortedListDict::<u64, u64>::new());
+    case!("hash_256", HashDict::<u64, u64>::with_buckets(256));
+    case!("skiplist", SkipListDict::<u64, u64>::new());
+    case!("bst", BstDict::<u64, u64>::new());
+    case!("locked_list", LockedListDict::<u64, u64>::new());
+    case!("mutex_list", MutexListDict::<u64, u64>::new());
+    case!("locked_btree", LockedBstDict::<u64, u64>::new());
+    group.finish();
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dict_insert_remove_cycle");
+    macro_rules! case {
+        ($name:expr, $dict:expr) => {{
+            let d = $dict;
+            prefill(&d);
+            let mut k = 1u64;
+            group.bench_function(BenchmarkId::from_parameter($name), |b| {
+                b.iter(|| {
+                    k = (k + 2) % (PREFILL * 2);
+                    let key = k | 1; // odd keys: never in the prefill
+                    black_box(d.insert(key, key));
+                    black_box(d.remove(&key))
+                });
+            });
+        }};
+    }
+    case!("sorted_list", SortedListDict::<u64, u64>::new());
+    case!("hash_256", HashDict::<u64, u64>::with_buckets(256));
+    case!("skiplist", SkipListDict::<u64, u64>::new());
+    case!("bst", BstDict::<u64, u64>::new());
+    case!("locked_list", LockedListDict::<u64, u64>::new());
+    case!("locked_btree", LockedBstDict::<u64, u64>::new());
+    group.finish();
+}
+
+fn bench_find_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dict_find_miss");
+    macro_rules! case {
+        ($name:expr, $dict:expr) => {{
+            let d = $dict;
+            prefill(&d);
+            let mut k = 1u64;
+            group.bench_function(BenchmarkId::from_parameter($name), |b| {
+                b.iter(|| {
+                    k = (k + 2) % (PREFILL * 2);
+                    black_box(d.find(&(k | 1)))
+                });
+            });
+        }};
+    }
+    case!("sorted_list", SortedListDict::<u64, u64>::new());
+    case!("skiplist", SkipListDict::<u64, u64>::new());
+    case!("bst", BstDict::<u64, u64>::new());
+    group.finish();
+}
+
+criterion_group!(benches, bench_find, bench_insert_remove, bench_find_miss);
+criterion_main!(benches);

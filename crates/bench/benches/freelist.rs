@@ -1,0 +1,103 @@
+//! §5.2 allocator micro-benchmarks: `Alloc`/`Reclaim` (Figs. 17–18)
+//! against the system allocator, single-threaded and contended.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use valois_core::List;
+use valois_mem::{ArenaConfig, BuddyAllocator};
+
+fn bench_alloc_reclaim_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("freelist");
+    // The list's insert+delete cycle = 2 allocs + 2 reclaims + link work.
+    let list: List<u64> = List::with_config(ArenaConfig::new().initial_capacity(64));
+    group.bench_function("list_insert_delete_cycle", |b| {
+        let mut cur = list.cursor();
+        b.iter(|| {
+            cur.seek_first();
+            cur.insert(7).unwrap();
+            cur.update();
+            black_box(cur.try_delete())
+        });
+    });
+    // System allocator reference: Box a node-sized payload.
+    group.bench_function("box_alloc_free_pair", |b| {
+        b.iter(|| {
+            let a = Box::new([0u8; 64]);
+            let b2 = Box::new([0u8; 64]);
+            black_box((a, b2))
+        });
+    });
+    group.finish();
+}
+
+fn bench_contended_alloc(c: &mut Criterion) {
+    // 4 threads hammering one free list: the lock-free pop/push path.
+    let mut group = c.benchmark_group("freelist_contended");
+    group.sample_size(10);
+    group.bench_function("4_threads_x_10k_cycles", |b| {
+        b.iter(|| {
+            let list: List<u64> = List::with_config(ArenaConfig::new().initial_capacity(256));
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        let mut cur = list.cursor();
+                        for i in 0..10_000u64 {
+                            cur.seek_first();
+                            cur.insert(i).unwrap();
+                            cur.update();
+                            cur.try_delete();
+                        }
+                    });
+                }
+            });
+            black_box(list)
+        });
+    });
+    group.finish();
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    // The §5.2 lock-free buddy system: variable-size alloc/free cycles.
+    let mut group = c.benchmark_group("buddy_system");
+    let buddy = BuddyAllocator::new(16); // 64k units
+    group.bench_function("alloc_free_order0", |b| {
+        b.iter(|| {
+            let blk = buddy.alloc(0).unwrap();
+            buddy.free(black_box(blk));
+        });
+    });
+    group.bench_function("alloc_free_mixed_orders", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 6;
+            let blk = buddy.alloc(i).unwrap();
+            buddy.free(black_box(blk));
+        });
+    });
+    group.bench_function("contended_2t_mixed", |b| {
+        b.iter(|| {
+            let buddy = BuddyAllocator::new(14);
+            std::thread::scope(|s| {
+                for t in 0..2u32 {
+                    let buddy = &buddy;
+                    s.spawn(move || {
+                        for i in 0..2_000u32 {
+                            if let Ok(blk) = buddy.alloc((i + t) % 5) {
+                                buddy.free(blk);
+                            }
+                        }
+                    });
+                }
+            });
+            black_box(buddy.allocated_units())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alloc_reclaim_cycle,
+    bench_contended_alloc,
+    bench_buddy
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the §3 list primitives: cursor traversal, Update,
+//! TryInsert, TryDelete (single-threaded baseline costs).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use valois_core::List;
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_traversal");
+    for &n in &[100u64, 1_000, 10_000] {
+        let list: List<u64> = (0..n).collect();
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("cursor_walk", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                list.for_each(|v| sum += *v);
+                black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_front(c: &mut Criterion) {
+    c.bench_function("list_insert_front", |b| {
+        b.iter_batched(
+            List::<u64>::new,
+            |list| {
+                {
+                    let mut cur = list.cursor();
+                    for i in 0..100 {
+                        cur.insert(i).unwrap();
+                    }
+                }
+                black_box(list)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_delete_front(c: &mut Criterion) {
+    c.bench_function("list_delete_front_100", |b| {
+        b.iter_batched(
+            || (0..100u64).collect::<List<u64>>(),
+            |list| {
+                {
+                    let mut cur = list.cursor();
+                    while !cur.is_at_end() {
+                        cur.try_delete();
+                        cur.update();
+                    }
+                }
+                black_box(list)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_update_valid_cursor(c: &mut Criterion) {
+    let list: List<u64> = (0..64).collect();
+    c.bench_function("cursor_update_when_valid", |b| {
+        let mut cur = list.cursor();
+        b.iter(|| {
+            cur.update();
+            black_box(cur.is_valid())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_traversal,
+    bench_insert_front,
+    bench_delete_front,
+    bench_update_valid_cursor
+);
+criterion_main!(benches);

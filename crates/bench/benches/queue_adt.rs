@@ -1,0 +1,112 @@
+//! Building-block ADT benchmarks: the \[27\] FIFO queue, the stack, and
+//! the priority queue, against `Mutex<VecDeque>`/`Mutex<BinaryHeap>`
+//! references.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Mutex;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use valois_core::adt::{PriorityQueue, Stack};
+use valois_core::queue::FifoQueue;
+
+fn bench_queue_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fifo_queue_enq_deq");
+    let q: FifoQueue<u64> = FifoQueue::new();
+    group.bench_function("lockfree", |b| {
+        b.iter(|| {
+            q.enqueue(7).unwrap();
+            black_box(q.dequeue())
+        });
+    });
+    let m: Mutex<VecDeque<u64>> = Mutex::new(VecDeque::new());
+    group.bench_function("mutex_vecdeque", |b| {
+        b.iter(|| {
+            m.lock().unwrap().push_back(7);
+            black_box(m.lock().unwrap().pop_front())
+        });
+    });
+    group.finish();
+}
+
+fn bench_queue_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fifo_queue_contended_4t");
+    group.sample_size(10);
+    group.bench_function("lockfree", |b| {
+        b.iter(|| {
+            let q: FifoQueue<u64> = FifoQueue::new();
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        for i in 0..5_000u64 {
+                            q.enqueue(i).unwrap();
+                        }
+                    });
+                    s.spawn(|| {
+                        for _ in 0..5_000 {
+                            while q.dequeue().is_none() {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    });
+                }
+            });
+            black_box(q.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_stack_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stack_push_pop");
+    let s: Stack<u64> = Stack::new();
+    group.bench_function("lockfree", |b| {
+        b.iter(|| {
+            s.push(7).unwrap();
+            black_box(s.pop())
+        });
+    });
+    let m: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    group.bench_function("mutex_vec", |b| {
+        b.iter(|| {
+            m.lock().unwrap().push(7);
+            black_box(m.lock().unwrap().pop())
+        });
+    });
+    group.finish();
+}
+
+fn bench_pqueue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_queue_64");
+    let q: PriorityQueue<u64> = PriorityQueue::new();
+    for i in 0..64 {
+        q.insert(i * 2).unwrap();
+    }
+    let mut k = 0u64;
+    group.bench_function("lockfree_sorted_list", |b| {
+        b.iter(|| {
+            k = (k + 17) % 128;
+            q.insert(k | 1).unwrap();
+            black_box(q.pop_min())
+        });
+    });
+    let heap: Mutex<BinaryHeap<std::cmp::Reverse<u64>>> = Mutex::new(
+        (0..64).map(|i| std::cmp::Reverse(i * 2)).collect(),
+    );
+    group.bench_function("mutex_binaryheap", |b| {
+        b.iter(|| {
+            k = (k + 17) % 128;
+            heap.lock().unwrap().push(std::cmp::Reverse(k | 1));
+            black_box(heap.lock().unwrap().pop())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue_cycle,
+    bench_queue_contended,
+    bench_stack_cycle,
+    bench_pqueue
+);
+criterion_main!(benches);

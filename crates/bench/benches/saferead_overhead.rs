@@ -1,0 +1,54 @@
+//! E8 in Criterion form: the per-node cost of the §5 `SafeRead`/`Release`
+//! protocol during traversal ("the most time consuming operation", §6).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use valois_core::List;
+
+fn bench_protected_vs_raw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saferead_overhead");
+    for &n in &[1_000u64, 10_000] {
+        let mut list: List<u64> = (0..n).collect();
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("protected_cursor", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                list.for_each(|v| sum += *v);
+                black_box(sum)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("raw_walk", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                list.for_each_unprotected(|v| sum += *v);
+                black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_counter_cost(c: &mut Criterion) {
+    // The statistics counters are relaxed increments; validate they are
+    // noise next to a CAS (DESIGN.md: "stats_overhead").
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let mut group = c.benchmark_group("stats_overhead");
+    let word = AtomicU64::new(0);
+    let counter = AtomicU64::new(0);
+    group.bench_function("cas_alone", |b| {
+        b.iter(|| {
+            let v = word.load(Ordering::Acquire);
+            let _ = word.compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Acquire);
+        });
+    });
+    group.bench_function("cas_plus_relaxed_counter", |b| {
+        b.iter(|| {
+            let v = word.load(Ordering::Acquire);
+            let _ = word.compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Acquire);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protected_vs_raw, bench_counter_cost);
+criterion_main!(benches);

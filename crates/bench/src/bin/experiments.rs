@@ -1,0 +1,63 @@
+//! CLI for the E1–E8 experiment suite.
+//!
+//! ```text
+//! experiments [e1|e2|...|e8|all] [--quick] [--point-ms N] [--max-threads N]
+//! ```
+//!
+//! Run with `cargo run --release -p valois-bench --bin experiments -- all`.
+
+use std::time::Duration;
+
+use valois_bench::experiments::{self, ExpConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut cfg = ExpConfig::standard();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg.point = Duration::from_millis(60),
+            "--point-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--point-ms needs a number");
+                cfg.point = Duration::from_millis(ms);
+            }
+            "--max-threads" => {
+                i += 1;
+                cfg.max_threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-threads needs a number");
+            }
+            other => which.push(other.to_ascii_lowercase()),
+        }
+        i += 1;
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = (1..=9).map(|n| format!("e{n}")).collect();
+    }
+
+    println!(
+        "Valois PODC'95 reproduction — experiment suite ({} cores, {:?}/point)\n",
+        ExpConfig::cores(),
+        cfg.point
+    );
+    for w in which {
+        match w.as_str() {
+            "e1" => drop(experiments::e1_throughput_vs_threads(&cfg)),
+            "e2" => drop(experiments::e2_delay_injection(&cfg)),
+            "e3" => drop(experiments::e3_retries_vs_threads(&cfg)),
+            "e4" => drop(experiments::e4_hash_buckets(&cfg)),
+            "e5" => drop(experiments::e5_skiplist_vs_list(&cfg)),
+            "e6" => drop(experiments::e6_bst(&cfg)),
+            "e7" => drop(experiments::e7_aux_quiescence(&cfg)),
+            "e8" => drop(experiments::e8_saferead_overhead(&cfg)),
+            "e9" => drop(experiments::e9_multiprogramming(&cfg)),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}

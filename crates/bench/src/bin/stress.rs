@@ -1,0 +1,303 @@
+//! Soak tester: randomized mixed workloads against every structure with
+//! periodic invariant verification. Exits non-zero on any violation.
+//!
+//! ```text
+//! stress [--secs N] [--threads N] [--structure list|sorted|hash|skip|bst|queue|stack|pqueue|all]
+//! ```
+//!
+//! Intended for long unattended runs (`cargo run --release -p valois-bench
+//! --bin stress -- --secs 300`); the CI-sized default is 5 seconds per
+//! structure.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use valois_core::adt::{PriorityQueue, Stack};
+use valois_core::queue::FifoQueue;
+use valois_core::List;
+use valois_dict::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
+
+struct Args {
+    secs: u64,
+    threads: usize,
+    structure: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        secs: 5,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get() * 2)
+            .unwrap_or(4)
+            .clamp(2, 16),
+        structure: "all".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--secs" => {
+                i += 1;
+                args.secs = argv[i].parse().expect("--secs N");
+            }
+            "--threads" => {
+                i += 1;
+                args.threads = argv[i].parse().expect("--threads N");
+            }
+            "--structure" => {
+                i += 1;
+                args.structure = argv[i].to_ascii_lowercase();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Generic dictionary soak: conservation accounting (callers run their
+/// structure-specific invariant checks after this returns).
+fn soak_dict<D: Dictionary<u64, u64>>(name: &str, dict: &D, secs: u64, threads: usize) {
+    let inserted = AtomicU64::new(0);
+    let removed = AtomicU64::new(0);
+    let ops = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let inserted = &inserted;
+        let removed = &removed;
+        let ops = &ops;
+        for t in 0..threads as u64 {
+            s.spawn(move || {
+                let mut x = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = xorshift(&mut x);
+                    let key = r % 512;
+                    match (r >> 16) % 4 {
+                        0 | 1 => {
+                            let _ = dict.contains(&key);
+                        }
+                        2 => {
+                            if dict.insert(key, r) {
+                                inserted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            if dict.remove(&key) {
+                                removed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    ops.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_secs(secs));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let net = inserted.load(Ordering::Relaxed) - removed.load(Ordering::Relaxed);
+    let len = dict.len() as u64;
+    assert_eq!(len, net, "{name}: accounting violated (len {len} vs net {net})");
+    println!(
+        "{name:>12}: {} ops, {} net items, invariants OK",
+        ops.load(Ordering::Relaxed),
+        net
+    );
+}
+
+fn soak_list(secs: u64, threads: usize) {
+    let mut list: List<u64> = List::new();
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let list = &list;
+        let stop = &stop;
+        let ops = &ops;
+        for t in 0..threads as u64 {
+            s.spawn(move || {
+                let mut x = t.wrapping_mul(0x9E37_79B9) | 1;
+                let mut cur = list.cursor();
+                while !stop.load(Ordering::Relaxed) {
+                    match xorshift(&mut x) % 4 {
+                        0 => {
+                            cur.insert(x).unwrap();
+                            cur.update();
+                        }
+                        1 => {
+                            let _ = cur.try_delete();
+                            cur.update();
+                        }
+                        2 => {
+                            if !cur.next() {
+                                cur.seek_first();
+                            }
+                        }
+                        _ => cur.seek_first(),
+                    }
+                    ops.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_secs(secs));
+        stop.store(true, Ordering::Relaxed);
+    });
+    list.check_structure()
+        .unwrap_or_else(|e| panic!("list structure violated: {e}"));
+    let report = list.aux_chain_report();
+    assert_eq!(report.runs_ge2, 0, "aux chain theorem violated");
+    assert_eq!(list.quiescent_collect(), 0, "garbage found at quiescence");
+    println!(
+        "{:>12}: {} ops, {} items, structure+theorem OK",
+        "raw list",
+        ops.load(Ordering::Relaxed),
+        list.len()
+    );
+}
+
+fn soak_queue(secs: u64, threads: usize) {
+    let q: FifoQueue<u64> = FifoQueue::new();
+    let stop = AtomicBool::new(false);
+    let enq = AtomicU64::new(0);
+    let deq = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let q = &q;
+        let stop = &stop;
+        let enq = &enq;
+        let deq = &deq;
+        for t in 0..threads as u64 {
+            s.spawn(move || {
+                let mut x = t.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+                while !stop.load(Ordering::Relaxed) {
+                    if xorshift(&mut x).is_multiple_of(2) {
+                        q.enqueue(x).unwrap();
+                        enq.fetch_add(1, Ordering::Relaxed);
+                    } else if q.dequeue().is_some() {
+                        deq.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_secs(secs));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let net = enq.load(Ordering::Relaxed) - deq.load(Ordering::Relaxed);
+    assert_eq!(q.len() as u64, net, "queue conservation violated");
+    println!(
+        "{:>12}: {} enq / {} deq, {} left, conservation OK",
+        "fifo queue",
+        enq.load(Ordering::Relaxed),
+        deq.load(Ordering::Relaxed),
+        net
+    );
+}
+
+fn soak_stack_pqueue(secs: u64, threads: usize) {
+    let st: Stack<u64> = Stack::new();
+    let pq: PriorityQueue<u64> = PriorityQueue::new();
+    let stop = AtomicBool::new(false);
+    let pushed = AtomicU64::new(0);
+    let popped = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let st = &st;
+        let pq = &pq;
+        let stop = &stop;
+        let pushed = &pushed;
+        let popped = &popped;
+        for t in 0..threads as u64 {
+            s.spawn(move || {
+                let mut x = t.wrapping_mul(0xD134_2543_DE82_EF95) | 1;
+                while !stop.load(Ordering::Relaxed) {
+                    match xorshift(&mut x) % 4 {
+                        0 => {
+                            st.push(x).unwrap();
+                            pushed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        1 => {
+                            if st.pop().is_some() {
+                                popped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        2 => {
+                            pq.insert(x % 1000).unwrap();
+                            pushed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            if pq.pop_min().is_some() {
+                                popped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_secs(secs));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let net = pushed.load(Ordering::Relaxed) - popped.load(Ordering::Relaxed);
+    assert_eq!(
+        (st.len() + pq.len()) as u64,
+        net,
+        "stack+pqueue conservation violated"
+    );
+    let sorted = pq.to_sorted_vec();
+    assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "priority queue order violated"
+    );
+    println!(
+        "{:>12}: {} pushed / {} popped, {} left, order OK",
+        "stack+pq", pushed.load(Ordering::Relaxed), popped.load(Ordering::Relaxed), net
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = Instant::now();
+    println!(
+        "soak: {}s per structure, {} threads, structure={}",
+        args.secs, args.threads, args.structure
+    );
+    let want = |name: &str| args.structure == "all" || args.structure == name;
+
+    if want("list") {
+        soak_list(args.secs, args.threads);
+    }
+    if want("sorted") {
+        let mut d: SortedListDict<u64, u64> = SortedListDict::new();
+        soak_dict("sorted list", &d, args.secs, args.threads);
+        d.check_invariants()
+            .unwrap_or_else(|e| panic!("sorted list invariant violated: {e}"));
+    }
+    if want("hash") {
+        let mut d: HashDict<u64, u64> = HashDict::with_buckets(64);
+        soak_dict("hash", &d, args.secs, args.threads);
+        d.check_invariants()
+            .unwrap_or_else(|e| panic!("hash invariant violated: {e}"));
+    }
+    if want("skip") {
+        let mut d: SkipListDict<u64, u64> = SkipListDict::new();
+        soak_dict("skip list", &d, args.secs, args.threads);
+        d.check_invariants()
+            .unwrap_or_else(|e| panic!("skip list invariant violated: {e}"));
+    }
+    if want("bst") {
+        let mut d: BstDict<u64, u64> = BstDict::new();
+        soak_dict("bst", &d, args.secs, args.threads);
+        d.check_invariants()
+            .unwrap_or_else(|e| panic!("bst invariant violated: {e}"));
+    }
+    if want("queue") {
+        soak_queue(args.secs, args.threads);
+    }
+    if want("stack") || want("pqueue") {
+        soak_stack_pqueue(args.secs, args.threads);
+    }
+    println!("soak complete in {:?} — all invariants held", t0.elapsed());
+}

@@ -1,0 +1,10 @@
+//! Experiment implementations regenerating the paper's performance claims
+//! (DESIGN.md §4). Each `eN` function runs one experiment and returns the
+//! paper-style table it printed; the `experiments` binary is a thin CLI
+//! over these, and the smoke tests call them with tiny budgets.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{ExpConfig, ExperimentReport};

@@ -1,0 +1,431 @@
+//! Cursors: the paper's access abstraction (§2.1) and the §3 algorithms.
+//!
+//! A cursor is three counted pointers into the list (§3):
+//!
+//! * `target` — the cell at the visited position (`Last` dummy = the
+//!   end-of-list position),
+//! * `pre_aux` — an auxiliary node; the cursor is **valid** iff
+//!   `pre_aux^.next == target`,
+//! * `pre_cell` — the nearest preceding normal cell (used by `TryDelete`).
+//!
+//! | Paper figure | Method |
+//! |---|---|
+//! | Fig. 5 `Update`    | [`Cursor::update`] |
+//! | Fig. 6 `First`     | [`Cursor::seek_first`] / [`List::cursor`] |
+//! | Fig. 7 `Next`      | [`Cursor::next`] |
+//! | Fig. 9 `TryInsert` | [`Cursor::try_insert`] |
+//! | Fig. 10 `TryDelete`| [`Cursor::try_delete`] |
+
+use std::fmt;
+
+use valois_mem::AllocError;
+
+/// Race-window widener: under `--features race-amplify`, yields the CPU at
+/// the algorithms' critical interleaving points so stress tests on few
+/// cores explore adversarial schedules. Compiles to nothing otherwise.
+#[inline(always)]
+fn amplify() {
+    #[cfg(feature = "race-amplify")]
+    {
+        use std::cell::Cell;
+        thread_local! {
+            static COIN: Cell<u32> = const { Cell::new(0x9E3779B9) };
+        }
+        // Yield ~1/4 of the time: constant yields would serialize threads
+        // into lockstep and hide races rather than expose them.
+        let flip = COIN.with(|c| {
+            let mut x = c.get();
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            c.set(x);
+            x & 3 == 0
+        });
+        if flip {
+            std::thread::yield_now();
+        }
+    }
+}
+
+use crate::list::{List, PreparedInsert};
+use crate::node::Node;
+
+/// A cursor visiting one position of a [`List`] (§2.1).
+///
+/// Cursors are cheap to clone (three count increments) and release their
+/// protected nodes on drop. A cursor whose vicinity was changed by another
+/// process becomes *invalid*; every operation revalidates via
+/// [`Cursor::update`] exactly where the paper's algorithms do, and the
+/// `try_*` operations report `false` so callers can re-examine the list
+/// before retrying (the paper's non-blocking retry discipline).
+///
+/// # Example
+///
+/// ```
+/// use valois_core::List;
+///
+/// let list: List<u32> = (0..3).collect();
+/// let mut cur = list.cursor();
+/// assert_eq!(cur.get(), Some(&0));
+/// assert!(cur.next());
+/// assert_eq!(cur.get(), Some(&1));
+/// assert!(cur.try_delete());
+/// cur.update();
+/// assert_eq!(cur.get(), Some(&2));
+/// ```
+pub struct Cursor<'a, T: Send + Sync> {
+    list: &'a List<T>,
+    target: *mut Node<T>,
+    pre_aux: *mut Node<T>,
+    pre_cell: *mut Node<T>,
+}
+
+// SAFETY: a cursor is three counted references plus a shared list handle;
+// counted references are not thread-bound (the §5 protocol is fully
+// shared-memory), so moving a cursor to another thread is sound. Shared
+// (&Cursor) access is read-only (`get`, `is_at_end`, `is_valid`), so Sync
+// is sound as well.
+unsafe impl<T: Send + Sync> Send for Cursor<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for Cursor<'_, T> {}
+
+impl<'a, T: Send + Sync> Cursor<'a, T> {
+    /// Fig. 6 `First`: a cursor visiting the first item (or the end
+    /// position of an empty list).
+    pub(crate) fn at_first(list: &'a List<T>) -> Self {
+        let mut cursor = Self {
+            list,
+            target: std::ptr::null_mut(),
+            pre_aux: std::ptr::null_mut(),
+            pre_cell: std::ptr::null_mut(),
+        };
+        cursor.seek_first_inner();
+        cursor
+    }
+
+    fn seek_first_inner(&mut self) {
+        let arena = self.list.arena();
+        // SAFETY: the roots are counted links; `pre_cell` is held while its
+        // `next` is read (Fig. 6 lines 1-2).
+        unsafe {
+            self.pre_cell = arena.safe_read(self.list.first_root());
+            self.pre_aux = arena.safe_read(&(*self.pre_cell).next);
+        }
+        self.target = std::ptr::null_mut(); // Fig. 6 line 3
+        self.update(); // Fig. 6 line 4
+    }
+
+    /// Re-positions this cursor at the first item (Fig. 6 on an existing
+    /// cursor).
+    pub fn seek_first(&mut self) {
+        let arena = self.list.arena();
+        // SAFETY: all three fields hold counted references (or null).
+        unsafe {
+            arena.release(self.pre_cell);
+            arena.release(self.pre_aux);
+            arena.release(self.target);
+        }
+        self.seek_first_inner();
+    }
+
+    /// Fig. 5 `Update`: makes the cursor valid again after concurrent
+    /// structural changes, skipping (and opportunistically unlinking)
+    /// auxiliary-node chains.
+    pub fn update(&mut self) {
+        self.list.bump(|c| &c.updates);
+        let arena = self.list.arena();
+        // SAFETY: `pre_aux`/`pre_cell` hold counted references; every
+        // pointer read below is a counted link of a held node.
+        unsafe {
+            // Fig. 5 line 1: already valid?
+            if (*self.pre_aux).next.read() == self.target {
+                return;
+            }
+            // Fig. 5 lines 3-5.
+            let mut p = self.pre_aux; // take over the cursor's count on it
+            amplify();
+            let mut n = arena.safe_read(&(*p).next);
+            arena.release(self.target);
+            // Fig. 5 lines 6-10: skip auxiliary nodes (dummies and cells
+            // are "normal"), unlinking one of each adjacent pair.
+            while !n.is_null() && (*n).is_aux() {
+                self.list.bump(|c| &c.aux_skipped);
+                // Fig. 5 line 7: CSW(pre_cell^.next, p, n). Failure just
+                // means someone else already cleaned up or moved on.
+                if arena.swing(&(*self.pre_cell).next, p, n) {
+                    self.list.bump(|c| &c.aux_unlinked);
+                }
+                arena.release(p);
+                p = n;
+                n = arena.safe_read(&(*p).next);
+            }
+            debug_assert!(!n.is_null(), "aux nodes always have a successor");
+            // Fig. 5 lines 11-12.
+            self.pre_aux = p;
+            self.target = n;
+        }
+    }
+
+    /// Fig. 7 `Next`: advances to the next position. Returns `false` when
+    /// already at the end-of-list position.
+    ///
+    /// (Named after the paper's operation; a cursor is not an `Iterator` —
+    /// use [`List::iter`](crate::List::iter) for iteration.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> bool {
+        // Fig. 7 lines 1-2.
+        if self.target == self.list.last_ptr() {
+            return false;
+        }
+        let arena = self.list.arena();
+        // SAFETY: `target` is held; duplicating its count (the paper's
+        // SafeRead of a private cursor field, lines 3-6) and reading its
+        // `next` are protected.
+        unsafe {
+            arena.release(self.pre_cell);
+            arena.incr_ref(self.target);
+            self.pre_cell = self.target;
+            arena.release(self.pre_aux);
+            self.pre_aux = arena.safe_read(&(*self.target).next);
+        }
+        self.update(); // Fig. 7 line 7
+        self.list.bump(|c| &c.next_steps);
+        true
+    }
+
+    /// Whether the cursor is at the end-of-list position (visiting no
+    /// item).
+    pub fn is_at_end(&self) -> bool {
+        self.target == self.list.last_ptr()
+    }
+
+    /// Whether the cursor is currently valid (`pre_aux^.next == target`).
+    /// Purely informational — operations revalidate internally.
+    pub fn is_valid(&self) -> bool {
+        // SAFETY: `pre_aux` is held.
+        unsafe { (*self.pre_aux).next.read() == self.target }
+    }
+
+    /// The item at the cursor's position, or `None` at the end position.
+    ///
+    /// *Cell persistence* (§2.2): if the visited cell was deleted by
+    /// another process, the cursor still reads its value until repositioned.
+    pub fn get(&self) -> Option<&T> {
+        if self.target.is_null() || self.is_at_end() {
+            return None;
+        }
+        // SAFETY: `target` is held (counted), so the value cannot be
+        // dropped; only Cell nodes carry values.
+        unsafe {
+            if (*self.target).kind() == crate::node::NodeKind::Cell {
+                Some((*self.target).value())
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Fig. 9 `TryInsert`: attempts to insert the prepared cell (and its
+    /// auxiliary node) immediately **before** the cursor's position.
+    ///
+    /// On success the pair is consumed and `Ok(())` returned; the cursor is
+    /// left invalid (call [`Cursor::update`] — it will then visit the new
+    /// cell). On failure — the cursor was invalidated by a concurrent
+    /// operation — the pair is handed back for a retry after the caller
+    /// re-examines the list (Fig. 12's pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prepared` was prepared by a different list.
+    pub fn try_insert(
+        &mut self,
+        prepared: PreparedInsert<'a, T>,
+    ) -> Result<(), PreparedInsert<'a, T>> {
+        assert!(
+            std::ptr::eq(self.list, prepared.list),
+            "PreparedInsert used with a cursor of a different list"
+        );
+        self.list.bump(|c| &c.insert_attempts);
+        let arena = self.list.arena();
+        let q = prepared.cell;
+        let a = prepared.aux;
+        // SAFETY: q/a are exclusively owned (unpublished); `target` and
+        // `pre_aux` are held counted references.
+        unsafe {
+            // Fig. 9 lines 1-2. store_link installs a count on the new
+            // target and releases the previous one, so counts stay exact
+            // across retries.
+            arena.store_link(&(*q).next, a);
+            arena.store_link(&(*a).next, self.target);
+            // Fig. 9 line 3: CSW(pre_aux^.next, target, q).
+            amplify();
+            if arena.swing(&(*self.pre_aux).next, self.target, q) {
+                self.list.bump(|c| &c.insert_successes);
+                prepared.consume();
+                Ok(())
+            } else {
+                Err(prepared)
+            }
+        }
+    }
+
+    /// Convenience retry loop around [`Cursor::try_insert`]: prepares the
+    /// pair once and retries with [`Cursor::update`] until the insertion
+    /// lands (cannot livelock: a failure means some other operation
+    /// succeeded — the non-blocking progress argument).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when the node pool is exhausted and capped.
+    pub fn insert(&mut self, value: T) -> Result<(), AllocError> {
+        let mut prepared = self.list.prepare_insert(value)?;
+        loop {
+            match self.try_insert(prepared) {
+                Ok(()) => return Ok(()),
+                Err(back) => {
+                    prepared = back;
+                    self.update();
+                }
+            }
+        }
+    }
+
+    /// Fig. 10 `TryDelete`: attempts to delete the cell the cursor is
+    /// visiting.
+    ///
+    /// Returns `false` if the cursor is at the end position or was
+    /// invalidated by a concurrent operation (caller should
+    /// [`Cursor::update`] and re-examine, as Fig. 13 does). On success the
+    /// cursor still *visits the deleted cell* — its value stays readable
+    /// (cell persistence) — until the next `update`/`next` repositions it.
+    pub fn try_delete(&mut self) -> bool {
+        if self.is_at_end() {
+            return false;
+        }
+        self.list.bump(|c| &c.delete_attempts);
+        let arena = self.list.arena();
+        // SAFETY: every dereference below is of a node we hold a counted
+        // reference on; links are counted links of this arena.
+        unsafe {
+            // Fig. 10 lines 1-2. The paper reads target^.next plainly; we
+            // SafeRead so the subsequent swing holds a count on `n`
+            // (required for the count-transfer protocol).
+            let d = self.target;
+            let n = arena.safe_read(&(*d).next);
+            debug_assert!(!n.is_null(), "cells always have a successor");
+            amplify();
+            // Fig. 10 line 3: the deletion CAS — unlink d.
+            if !arena.swing(&(*self.pre_aux).next, d, n) {
+                // Fig. 10 lines 4-5.
+                arena.release(n);
+                return false;
+            }
+            self.list.bump(|c| &c.delete_successes);
+            amplify();
+            // Fig. 10 line 6: record the back link. We won the deletion
+            // CAS, so we are the unique writer of d's back_link.
+            debug_assert!((*d).back_link.read().is_null());
+            arena.incr_ref(self.pre_cell);
+            (*d).back_link.write(self.pre_cell);
+            // Fig. 10 lines 7-11: walk back links to the nearest cell that
+            // has not itself been deleted.
+            let mut p = self.pre_cell;
+            arena.incr_ref(p);
+            while !(*p).back_link.read().is_null() {
+                let q = arena.safe_read(&(*p).back_link);
+                if q.is_null() {
+                    break; // back_links are never cleared while p is held
+                }
+                self.list.bump(|c| &c.backlink_hops);
+                arena.release(p);
+                p = q;
+            }
+            // Fig. 10 line 12.
+            let mut s = arena.safe_read(&(*p).next);
+            // Fig. 10 lines 13-16: advance n to the end of the auxiliary
+            // chain (until the node after n is a normal cell).
+            let mut n = n;
+            loop {
+                let nn = arena.safe_read(&(*n).next);
+                debug_assert!(!nn.is_null());
+                let chain_continues = !(*nn).is_normal_cell();
+                if !chain_continues {
+                    arena.release(nn);
+                    break;
+                }
+                arena.release(n);
+                n = nn;
+            }
+            // Fig. 10 lines 17-21: swing p^.next over the whole chain,
+            // giving up if p gets deleted or the chain gets extended
+            // (another deleter has taken over the cleanup obligation).
+            loop {
+                amplify();
+                if arena.swing(&(*p).next, s, n) {
+                    break;
+                }
+                self.list.bump(|c| &c.chain_cleanup_retries);
+                arena.release(s);
+                s = arena.safe_read(&(*p).next);
+                if !(*p).back_link.read().is_null() {
+                    break; // p itself was deleted
+                }
+                let nn = arena.safe_read(&(*n).next);
+                let extended = !(*nn).is_normal_cell();
+                arena.release(nn);
+                if extended {
+                    break; // chain extended: successor deleter cleans up
+                }
+            }
+            // Fig. 10 lines 22-24.
+            arena.release(p);
+            arena.release(s);
+            arena.release(n);
+            true
+        }
+    }
+
+    /// The list this cursor traverses.
+    pub fn list(&self) -> &'a List<T> {
+        self.list
+    }
+}
+
+impl<T: Send + Sync> Clone for Cursor<'_, T> {
+    fn clone(&self) -> Self {
+        let arena = self.list.arena();
+        // SAFETY: we hold counted references on all three; duplicating a
+        // held reference is incr_ref's contract.
+        unsafe {
+            arena.incr_ref(self.target);
+            arena.incr_ref(self.pre_aux);
+            arena.incr_ref(self.pre_cell);
+        }
+        Self {
+            list: self.list,
+            target: self.target,
+            pre_aux: self.pre_aux,
+            pre_cell: self.pre_cell,
+        }
+    }
+}
+
+impl<T: Send + Sync> Drop for Cursor<'_, T> {
+    fn drop(&mut self) {
+        let arena = self.list.arena();
+        // SAFETY: the cursor's fields are counted references (or null).
+        unsafe {
+            arena.release(self.target);
+            arena.release(self.pre_aux);
+            arena.release(self.pre_cell);
+        }
+    }
+}
+
+impl<T: Send + Sync> fmt::Debug for Cursor<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cursor")
+            .field("at_end", &self.is_at_end())
+            .field("valid", &self.is_valid())
+            .finish()
+    }
+}

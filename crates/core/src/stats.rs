@@ -1,0 +1,159 @@
+//! List-level operation statistics (experiments E3 and E7).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters owned by a [`List`](crate::List).
+#[derive(Default)]
+pub(crate) struct ListCounters {
+    pub(crate) updates: AtomicU64,
+    pub(crate) aux_unlinked: AtomicU64,
+    pub(crate) aux_skipped: AtomicU64,
+    pub(crate) next_steps: AtomicU64,
+    pub(crate) insert_attempts: AtomicU64,
+    pub(crate) insert_successes: AtomicU64,
+    pub(crate) delete_attempts: AtomicU64,
+    pub(crate) delete_successes: AtomicU64,
+    pub(crate) backlink_hops: AtomicU64,
+    pub(crate) chain_cleanup_retries: AtomicU64,
+}
+
+impl ListCounters {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ListStats {
+        ListStats {
+            updates: self.updates.load(Ordering::Relaxed),
+            aux_unlinked: self.aux_unlinked.load(Ordering::Relaxed),
+            aux_skipped: self.aux_skipped.load(Ordering::Relaxed),
+            next_steps: self.next_steps.load(Ordering::Relaxed),
+            insert_attempts: self.insert_attempts.load(Ordering::Relaxed),
+            insert_successes: self.insert_successes.load(Ordering::Relaxed),
+            delete_attempts: self.delete_attempts.load(Ordering::Relaxed),
+            delete_successes: self.delete_successes.load(Ordering::Relaxed),
+            backlink_hops: self.backlink_hops.load(Ordering::Relaxed),
+            chain_cleanup_retries: self.chain_cleanup_retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for ListCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// Point-in-time snapshot of a list's operation counters.
+///
+/// The "extra work" quantities of the §4.1 amortized analysis are directly
+/// observable here: failed `TryInsert`/`TryDelete` attempts
+/// ([`ListStats::insert_retries`], [`ListStats::delete_retries`]) and
+/// auxiliary-node traversal overhead ([`ListStats::aux_skipped`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ListStats {
+    /// Cursor `Update` calls (Fig. 5).
+    pub updates: u64,
+    /// Adjacent auxiliary nodes removed by `Update` line 7.
+    pub aux_unlinked: u64,
+    /// Auxiliary nodes stepped over during `Update`.
+    pub aux_skipped: u64,
+    /// Successful `Next` steps (Fig. 7).
+    pub next_steps: u64,
+    /// `TryInsert` attempts (Fig. 9).
+    pub insert_attempts: u64,
+    /// `TryInsert` successes.
+    pub insert_successes: u64,
+    /// `TryDelete` attempts (Fig. 10).
+    pub delete_attempts: u64,
+    /// `TryDelete` successes.
+    pub delete_successes: u64,
+    /// Back-link hops performed during `TryDelete` recovery (Fig. 10
+    /// lines 8–11).
+    pub backlink_hops: u64,
+    /// CAS retries in `TryDelete`'s auxiliary-chain cleanup loop
+    /// (Fig. 10 lines 17–21).
+    pub chain_cleanup_retries: u64,
+}
+
+impl ListStats {
+    /// Failed `TryInsert` attempts (the §4.1 retry count).
+    pub fn insert_retries(&self) -> u64 {
+        self.insert_attempts.saturating_sub(self.insert_successes)
+    }
+
+    /// Failed `TryDelete` attempts.
+    pub fn delete_retries(&self) -> u64 {
+        self.delete_attempts.saturating_sub(self.delete_successes)
+    }
+
+    /// Component-wise difference (`self - earlier`), saturating at zero.
+    pub fn since(&self, earlier: &ListStats) -> ListStats {
+        ListStats {
+            updates: self.updates.saturating_sub(earlier.updates),
+            aux_unlinked: self.aux_unlinked.saturating_sub(earlier.aux_unlinked),
+            aux_skipped: self.aux_skipped.saturating_sub(earlier.aux_skipped),
+            next_steps: self.next_steps.saturating_sub(earlier.next_steps),
+            insert_attempts: self.insert_attempts.saturating_sub(earlier.insert_attempts),
+            insert_successes: self
+                .insert_successes
+                .saturating_sub(earlier.insert_successes),
+            delete_attempts: self.delete_attempts.saturating_sub(earlier.delete_attempts),
+            delete_successes: self
+                .delete_successes
+                .saturating_sub(earlier.delete_successes),
+            backlink_hops: self.backlink_hops.saturating_sub(earlier.backlink_hops),
+            chain_cleanup_retries: self
+                .chain_cleanup_retries
+                .saturating_sub(earlier.chain_cleanup_retries),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retries_are_attempts_minus_successes() {
+        let s = ListStats {
+            insert_attempts: 10,
+            insert_successes: 7,
+            delete_attempts: 5,
+            delete_successes: 5,
+            ..ListStats::default()
+        };
+        assert_eq!(s.insert_retries(), 3);
+        assert_eq!(s.delete_retries(), 0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = ListStats {
+            updates: 10,
+            aux_skipped: 4,
+            ..ListStats::default()
+        };
+        let b = ListStats {
+            updates: 6,
+            aux_skipped: 4,
+            ..ListStats::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.updates, 4);
+        assert_eq!(d.aux_skipped, 0);
+    }
+
+    #[test]
+    fn counters_snapshot() {
+        let c = ListCounters::default();
+        ListCounters::bump(&c.updates);
+        ListCounters::bump(&c.insert_attempts);
+        ListCounters::bump(&c.insert_successes);
+        let s = c.snapshot();
+        assert_eq!(s.updates, 1);
+        assert_eq!(s.insert_retries(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! The hash-table dictionary (paper §4.1).
+//!
+//! "A straightforward extension of this implementation uses a hash table.
+//! In this case, if we assume that the hash function evenly distributes the
+//! operations across the lists, then we would expect the extra work done to
+//! be O(1)." — each bucket is an independent [`SortedListDict`], so
+//! contention (and the §4.1 retry cost) is divided by the bucket count;
+//! experiment E4 sweeps bucket counts to show exactly this.
+
+use std::fmt;
+use std::hash::{BuildHasher, Hash, RandomState};
+
+use valois_core::ArenaConfig;
+
+use crate::sorted_list::SortedListDict;
+use crate::traits::Dictionary;
+
+/// A non-blocking hash table: fixed buckets of sorted lock-free lists
+/// (paper §4.1).
+///
+/// The bucket array is immutable after construction (the paper's design has
+/// no resizing); pick `buckets` ≈ the expected item count for O(1)
+/// operations.
+///
+/// # Example
+///
+/// ```
+/// use valois_dict::{Dictionary, HashDict};
+///
+/// let d: HashDict<String, u32> = HashDict::with_buckets(64);
+/// d.insert("a".into(), 1);
+/// assert_eq!(d.find(&"a".to_string()), Some(1));
+/// ```
+pub struct HashDict<K: Send + Sync, V: Send + Sync, S: BuildHasher = RandomState> {
+    buckets: Box<[SortedListDict<K, V>]>,
+    hasher: S,
+}
+
+impl<K, V> HashDict<K, V>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Send + Sync,
+{
+    /// Creates a table with a default bucket count (256).
+    pub fn new() -> Self {
+        Self::with_buckets(256)
+    }
+
+    /// Creates a table with `buckets` buckets (each with a small
+    /// grow-on-demand arena).
+    pub fn with_buckets(buckets: usize) -> Self {
+        Self::with_buckets_and_hasher(buckets, RandomState::new())
+    }
+}
+
+impl<K, V, S> HashDict<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Send + Sync,
+    S: BuildHasher + Send + Sync,
+{
+    /// Creates a table with `buckets` buckets and a custom hasher (e.g. a
+    /// deterministic one for reproducible experiments).
+    pub fn with_buckets_and_hasher(buckets: usize, hasher: S) -> Self {
+        let buckets = buckets.max(1);
+        // Per-bucket pools start tiny; they double on demand.
+        let config = ArenaConfig::new().initial_capacity(16);
+        Self {
+            buckets: (0..buckets)
+                .map(|_| SortedListDict::with_config(config))
+                .collect(),
+            hasher,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket(&self, key: &K) -> &SortedListDict<K, V> {
+        let idx = (self.hasher.hash_one(key) as usize) % self.buckets.len();
+        &self.buckets[idx]
+    }
+
+    /// Runs `f` on the value stored under `key`, without cloning.
+    pub fn with_value<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.bucket(key).with_value(key, f)
+    }
+
+    /// All keys currently present, in no particular order (bucket by
+    /// bucket; each bucket's keys are sorted internally).
+    pub fn keys_unordered(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::new();
+        for b in self.buckets.iter() {
+            out.extend(b.keys());
+        }
+        out
+    }
+
+    /// Items in the largest bucket (distribution diagnostic for E4).
+    pub fn max_bucket_len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).max().unwrap_or(0)
+    }
+
+    /// Aggregated list-operation retries across buckets (E4's "extra
+    /// work" measure).
+    pub fn total_retries(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|b| {
+                let s = b.list_stats();
+                s.insert_retries() + s.delete_retries()
+            })
+            .sum()
+    }
+
+    /// Structural invariants of every bucket (testing hook).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    pub fn check_invariants(&mut self) -> Result<(), String>
+    where
+        K: Clone,
+    {
+        for (i, b) in self.buckets.iter_mut().enumerate() {
+            b.check_invariants()
+                .map_err(|e| format!("bucket {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl<K, V> Default for HashDict<K, V>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Send + Sync,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S> Dictionary<K, V> for HashDict<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Send + Sync,
+    S: BuildHasher + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        self.bucket(&key).insert(key, value)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        self.bucket(key).remove(key)
+    }
+
+    fn find(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.bucket(key).find(key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.bucket(key).contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+}
+
+impl<K, V, S> fmt::Debug for HashDict<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Send + Sync,
+    S: BuildHasher + Send + Sync,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HashDict")
+            .field("buckets", &self.buckets.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_roundtrip() {
+        let d: HashDict<u64, u64> = HashDict::with_buckets(8);
+        for k in 0..100 {
+            assert!(d.insert(k, k * 2));
+        }
+        for k in 0..100 {
+            assert_eq!(d.find(&k), Some(k * 2));
+        }
+        assert_eq!(d.len(), 100);
+        for k in (0..100).step_by(2) {
+            assert!(d.remove(&k));
+        }
+        assert_eq!(d.len(), 50);
+        assert!(!d.contains(&0));
+        assert!(d.contains(&1));
+    }
+
+    #[test]
+    fn duplicate_rejected_across_buckets() {
+        let d: HashDict<u64, &str> = HashDict::with_buckets(4);
+        assert!(d.insert(9, "a"));
+        assert!(!d.insert(9, "b"));
+        assert_eq!(d.find(&9), Some("a"));
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_sorted_list() {
+        let mut d: HashDict<u64, u64> = HashDict::with_buckets(1);
+        for k in [3, 1, 2] {
+            d.insert(k, k);
+        }
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.max_bucket_len(), 3);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bucket_count_minimum_is_one() {
+        let d: HashDict<u64, u64> = HashDict::with_buckets(0);
+        assert_eq!(d.bucket_count(), 1);
+        d.insert(1, 1);
+        assert_eq!(d.find(&1), Some(1));
+    }
+
+    #[test]
+    fn keys_unordered_returns_everything() {
+        let d: HashDict<u64, ()> = HashDict::with_buckets(8);
+        for k in 0..100 {
+            d.insert(k, ());
+        }
+        let mut keys = d.keys_unordered();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distribution_is_reasonable() {
+        let mut d: HashDict<u64, ()> = HashDict::with_buckets(16);
+        for k in 0..1600 {
+            d.insert(k, ());
+        }
+        // With 100 expected per bucket, no bucket should be pathological.
+        assert!(d.max_bucket_len() < 400, "max {} too skewed", d.max_bucket_len());
+        d.check_invariants().unwrap();
+    }
+}

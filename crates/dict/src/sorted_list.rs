@@ -1,0 +1,422 @@
+//! The sorted-list dictionary (paper §4.1, Figs. 11–13).
+//!
+//! Items are kept sorted by key in a single Valois list, which makes key
+//! uniqueness checkable during the positioning scan: `FindFrom` (Fig. 11)
+//! stops at the first cell with key ≥ k, leaving the cursor exactly where a
+//! new cell must be inserted. The §4.1 amortized analysis (each completed
+//! operation forces at most p−1 retries on others; total work O(n²) for n
+//! operations by p processes) is measurable through
+//! [`SortedListDict::list_stats`] — experiment E3.
+
+use std::fmt;
+
+use valois_core::{ArenaConfig, Cursor, List, ListStats, MemStats};
+
+use crate::traits::Dictionary;
+
+/// A key–value item stored in a list cell.
+///
+/// The paper's cells carry a `key` field plus application data (§2.1,
+/// §4.1); `Entry` is exactly that pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry<K, V> {
+    /// The unique key.
+    pub key: K,
+    /// The associated value.
+    pub value: V,
+}
+
+/// `FindFrom` (Fig. 11): advances `cursor` until it visits a cell with key
+/// ≥ `key` (or the end position). Returns `true` iff the visited cell's key
+/// equals `key`.
+///
+/// On a `false` return the cursor is positioned so that inserting before it
+/// keeps the list sorted — the positioning contract Fig. 12 relies on.
+pub(crate) fn find_from<K, V, Q>(cursor: &mut Cursor<'_, Entry<K, V>>, key: &Q) -> bool
+where
+    K: Ord + std::borrow::Borrow<Q> + Send + Sync,
+    Q: Ord + ?Sized,
+    V: Send + Sync,
+{
+    // Fig. 11 lines 1-8.
+    while !cursor.is_at_end() {
+        match cursor.get() {
+            Some(entry) => {
+                let k = entry.key.borrow();
+                if k == key {
+                    return true;
+                }
+                if k > key {
+                    return false;
+                }
+                if !cursor.next() {
+                    return false;
+                }
+            }
+            // The visited node is a dummy (transient mid-reposition state);
+            // step forward.
+            None => {
+                if !cursor.next() {
+                    return false;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// A non-blocking dictionary as a single sorted lock-free list
+/// (paper §4.1).
+///
+/// # Example
+///
+/// ```
+/// use valois_dict::{Dictionary, SortedListDict};
+///
+/// let d: SortedListDict<u64, u64> = SortedListDict::new();
+/// for k in [5, 1, 3] {
+///     d.insert(k, k * 10);
+/// }
+/// assert_eq!(d.keys(), vec![1, 3, 5], "kept sorted");
+/// ```
+pub struct SortedListDict<K: Send + Sync, V: Send + Sync> {
+    list: List<Entry<K, V>>,
+}
+
+impl<K, V> SortedListDict<K, V>
+where
+    K: Ord + Send + Sync,
+    V: Send + Sync,
+{
+    /// Creates an empty dictionary with the default arena configuration.
+    pub fn new() -> Self {
+        Self::with_config(ArenaConfig::default())
+    }
+
+    /// Creates an empty dictionary with a specific arena configuration
+    /// (e.g. the paper's fixed-pool model via
+    /// [`ArenaConfig::max_nodes`]).
+    pub fn with_config(config: ArenaConfig) -> Self {
+        Self {
+            list: List::with_config(config),
+        }
+    }
+
+    /// The paper's `Insert` (Fig. 12).
+    fn insert_impl(&self, key: K, value: V) -> bool {
+        let mut cursor = self.list.cursor(); // Fig. 12 line 1
+        // First positioning scan before paying for allocation.
+        if find_from(&mut cursor, &key) {
+            return false; // Fig. 12 lines 6-7
+        }
+        // Fig. 12 lines 2-4: allocate and initialize the new cell + aux.
+        let mut prepared = self
+            .list
+            .prepare_insert(Entry { key, value })
+            .expect("node pool exhausted");
+        loop {
+            // Fig. 12 lines 8-10.
+            match cursor.try_insert(prepared) {
+                Ok(()) => return true,
+                Err(back) => prepared = back,
+            }
+            // Fig. 12 lines 11-12: revalidate, re-check uniqueness, retry.
+            cursor.update();
+            if find_from(&mut cursor, &prepared.value().key) {
+                return false; // concurrent insert won with the same key
+            }
+        }
+    }
+
+    /// The paper's `Delete` (Fig. 13).
+    fn remove_impl(&self, key: &K) -> bool {
+        let mut cursor = self.list.cursor(); // Fig. 13 line 1
+        loop {
+            // Fig. 13 lines 2-4.
+            if !find_from(&mut cursor, key) {
+                return false;
+            }
+            // Fig. 13 lines 5-7.
+            if cursor.try_delete() {
+                return true;
+            }
+            // Fig. 13 lines 8-9.
+            cursor.update();
+        }
+    }
+
+    /// Runs `f` on the value stored under `key`, without cloning.
+    pub fn with_value<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let mut cursor = self.list.cursor();
+        if find_from(&mut cursor, key) {
+            cursor.get().map(|e| f(&e.value))
+        } else {
+            None
+        }
+    }
+
+    /// The keys currently present, in sorted order.
+    pub fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::new();
+        self.list.for_each(|e| out.push(e.key.clone()));
+        out
+    }
+
+    /// Visits every entry with key in `[lo, hi)`, in key order — the range
+    /// query sorted structures exist for. A linearizable traversal in the
+    /// list's sense: each step is atomic, the sequence reflects the list
+    /// as it evolves.
+    pub fn for_each_range(&self, lo: &K, hi: &K, mut f: impl FnMut(&K, &V)) {
+        let mut cursor = self.list.cursor();
+        // Position at the first key >= lo (FindFrom's stop condition).
+        let _ = find_from(&mut cursor, lo);
+        loop {
+            match cursor.get() {
+                Some(entry) if entry.key < *hi => {
+                    if entry.key >= *lo {
+                        f(&entry.key, &entry.value);
+                    }
+                    if !cursor.next() {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Collects the `(key, value)` pairs with key in `[lo, hi)`.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let mut out = Vec::new();
+        self.for_each_range(lo, hi, |k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+
+    /// Operation counters of the underlying list (§4.1 "extra work").
+    pub fn list_stats(&self) -> ListStats {
+        self.list.stats()
+    }
+
+    /// Memory-protocol counters of the underlying arena (§5 traffic).
+    pub fn mem_stats(&self) -> MemStats {
+        self.list.mem_stats()
+    }
+
+    /// Structural invariant check at quiescence (testing hook): list
+    /// well-formed *and* keys strictly sorted.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    pub fn check_invariants(&mut self) -> Result<(), String>
+    where
+        K: Clone,
+    {
+        self.list.check_structure()?;
+        let keys = self.keys();
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("keys not strictly sorted".into());
+        }
+        Ok(())
+    }
+
+    /// Direct read-only access to the underlying list (for experiments
+    /// that inspect auxiliary-node structure, e.g. E7).
+    pub fn as_list(&self) -> &List<Entry<K, V>> {
+        &self.list
+    }
+}
+
+impl<K, V> Default for SortedListDict<K, V>
+where
+    K: Ord + Send + Sync,
+    V: Send + Sync,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> Dictionary<K, V> for SortedListDict<K, V>
+where
+    K: Ord + Send + Sync,
+    V: Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_impl(key, value)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        self.remove_impl(key)
+    }
+
+    fn find(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.with_value(key, V::clone)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        let mut cursor = self.list.cursor();
+        find_from(&mut cursor, key)
+    }
+
+    fn len(&self) -> usize {
+        self.list.len()
+    }
+}
+
+impl<K, V> fmt::Debug for SortedListDict<K, V>
+where
+    K: Ord + Send + Sync,
+    V: Send + Sync,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SortedListDict")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<K, V> FromIterator<(K, V)> for SortedListDict<K, V>
+where
+    K: Ord + Send + Sync,
+    V: Send + Sync,
+{
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let dict = Self::new();
+        for (k, v) in iter {
+            dict.insert(k, v);
+        }
+        dict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_find_remove_roundtrip() {
+        let d: SortedListDict<u32, u32> = SortedListDict::new();
+        assert!(d.insert(1, 10));
+        assert!(d.insert(2, 20));
+        assert_eq!(d.find(&1), Some(10));
+        assert_eq!(d.find(&2), Some(20));
+        assert_eq!(d.find(&3), None);
+        assert!(d.remove(&1));
+        assert!(!d.remove(&1));
+        assert_eq!(d.find(&1), None);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let d: SortedListDict<u32, &str> = SortedListDict::new();
+        assert!(d.insert(7, "first"));
+        assert!(!d.insert(7, "second"));
+        assert_eq!(d.find(&7), Some("first"));
+    }
+
+    #[test]
+    fn keys_stay_sorted_regardless_of_insert_order() {
+        let mut d: SortedListDict<i64, ()> = SortedListDict::new();
+        for k in [5, -3, 9, 0, 2, -7, 1] {
+            d.insert(k, ());
+        }
+        assert_eq!(d.keys(), vec![-7, -3, 0, 1, 2, 5, 9]);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn with_value_avoids_clone() {
+        let d: SortedListDict<u32, Vec<u8>> = SortedListDict::new();
+        d.insert(1, vec![1, 2, 3]);
+        assert_eq!(d.with_value(&1, |v| v.len()), Some(3));
+        assert_eq!(d.with_value(&9, |v| v.len()), None);
+    }
+
+    #[test]
+    fn contains_matches_find() {
+        let d: SortedListDict<u32, u32> = SortedListDict::new();
+        d.insert(4, 44);
+        assert!(d.contains(&4));
+        assert!(!d.contains(&5));
+    }
+
+    #[test]
+    fn from_iterator_dedupes() {
+        let d: SortedListDict<u32, u32> = [(1, 1), (2, 2), (1, 99)].into_iter().collect();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.find(&1), Some(1), "first insert wins");
+    }
+
+    #[test]
+    fn range_queries_respect_bounds() {
+        let d: SortedListDict<u32, u32> = SortedListDict::new();
+        for k in (0..50).step_by(5) {
+            d.insert(k, k * 10);
+        }
+        assert_eq!(
+            d.range(&10, &30),
+            vec![(10, 100), (15, 150), (20, 200), (25, 250)]
+        );
+        assert_eq!(d.range(&0, &1), vec![(0, 0)]);
+        assert_eq!(d.range(&46, &100), Vec::<(u32, u32)>::new());
+        assert_eq!(d.range(&7, &8), Vec::<(u32, u32)>::new(), "gap range");
+        // Degenerate and inverted ranges are empty.
+        assert_eq!(d.range(&10, &10), Vec::<(u32, u32)>::new());
+        assert_eq!(d.range(&30, &10), Vec::<(u32, u32)>::new());
+    }
+
+    #[test]
+    fn range_during_concurrent_churn_is_safe() {
+        let d: SortedListDict<u64, u64> = SortedListDict::new();
+        for k in 0..128 {
+            d.insert(k * 2, k);
+        }
+        std::thread::scope(|s| {
+            let d = &d;
+            s.spawn(move || {
+                for i in 0..2_000u64 {
+                    let k = (i * 7) % 256;
+                    if i % 2 == 0 {
+                        d.insert(k, i);
+                    } else {
+                        d.remove(&k);
+                    }
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..200 {
+                    let mut last = None;
+                    d.for_each_range(&32, &96, |k, _| {
+                        // Keys must appear in order and inside bounds.
+                        assert!((32..96).contains(k));
+                        if let Some(prev) = last {
+                            assert!(*k > prev, "out-of-order range visit");
+                        }
+                        last = Some(*k);
+                    });
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn empty_dict_behaviour() {
+        let d: SortedListDict<u32, u32> = SortedListDict::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert!(!d.remove(&1));
+        assert_eq!(d.find(&1), None);
+    }
+}

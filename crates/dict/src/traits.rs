@@ -1,0 +1,40 @@
+//! The dictionary abstract data type (paper §4): "a collection of items
+//! which are distinguished by distinct keys", with `Find`, `Insert`, and
+//! `Delete`.
+
+/// A concurrent dictionary (paper §4).
+///
+/// Keys are unique; `insert` refuses duplicates rather than overwriting
+/// (the paper keeps items "distinguished by distinct keys" and its `Insert`
+/// returns without effect when the key is present). All operations are
+/// linearizable and, for the lock-free implementations in this crate,
+/// non-blocking.
+///
+/// Implementations may panic on node-pool exhaustion if constructed with a
+/// capped arena; the default configurations grow on demand.
+pub trait Dictionary<K, V>: Send + Sync {
+    /// Inserts `(key, value)` if `key` is absent. Returns `true` on
+    /// insertion, `false` if the key was already present (the value is
+    /// dropped).
+    fn insert(&self, key: K, value: V) -> bool;
+
+    /// Removes the item with `key`. Returns `true` if an item was removed.
+    fn remove(&self, key: &K) -> bool;
+
+    /// Returns a clone of the value stored under `key`, if present.
+    fn find(&self, key: &K) -> Option<V>
+    where
+        V: Clone;
+
+    /// Whether an item with `key` is present.
+    fn contains(&self, key: &K) -> bool;
+
+    /// Number of items. O(n) for the list structures; under concurrency
+    /// the result is a best-effort snapshot.
+    fn len(&self) -> usize;
+
+    /// Whether the dictionary holds no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

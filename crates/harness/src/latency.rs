@@ -1,0 +1,185 @@
+//! Log-scale latency histograms for per-operation timing.
+//!
+//! The convoy effects the paper describes (§1) show up far more clearly in
+//! tail latency than in throughput: a stalled lock holder turns every
+//! waiter's operation into a multi-millisecond outlier. The runner records
+//! into a [`LatencyHistogram`] when asked; experiments report p50/p99/max.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets (covers 1 ns ..= ~18 s).
+const BUCKETS: usize = 64;
+
+/// A concurrent power-of-two-bucket latency histogram.
+///
+/// Recording is one relaxed `fetch_add`; any thread may record while
+/// another reads quantiles (reads are racy snapshots, as all live
+/// monitoring is).
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().max(1) as u64;
+        let bucket = (63 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound of the bucket containing quantile `q` (0.0–1.0),
+    /// i.e. the latency below which ~q of samples fall (within the 2×
+    /// bucket resolution). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(Duration::from_nanos(
+                    1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX),
+                ));
+            }
+        }
+        Some(Duration::from_nanos(u64::MAX))
+    }
+
+    /// Convenience: (p50, p99, p999) upper bounds.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        Some(LatencySummary {
+            p50: self.quantile(0.50)?,
+            p99: self.quantile(0.99)?,
+            p999: self.quantile(0.999)?,
+            samples: self.count(),
+        })
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.summary() {
+            Some(s) => s.fmt(f),
+            None => f.write_str("LatencyHistogram(empty)"),
+        }
+    }
+}
+
+/// Quantile snapshot of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median upper bound.
+    pub p50: Duration,
+    /// 99th percentile upper bound.
+    pub p99: Duration,
+    /// 99.9th percentile upper bound.
+    pub p999: Duration,
+    /// Samples recorded.
+    pub samples: u64,
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50≤{:?} p99≤{:?} p999≤{:?} (n={})",
+            self.p50, self.p99, self.p999, self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_none());
+        assert!(h.summary().is_none());
+    }
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        // 99 fast samples, 1 slow outlier.
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100));
+        }
+        h.record(Duration::from_millis(10));
+        let s = h.summary().unwrap();
+        assert!(s.p50 <= Duration::from_nanos(256), "p50 {:?}", s.p50);
+        assert!(s.p99 <= Duration::from_nanos(256), "p99 {:?}", s.p99);
+        assert!(s.p999 >= Duration::from_millis(8), "p999 {:?}", s.p999);
+        assert_eq!(s.samples, 100);
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1000)); // bucket [512, 1024)
+        assert_eq!(h.quantile(1.0), Some(Duration::from_nanos(1024)));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(10));
+        b.record(Duration::from_nanos(10));
+        b.record(Duration::from_micros(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact_in_count() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..10_000u64 {
+                        h.record(Duration::from_nanos(i + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+    }
+}

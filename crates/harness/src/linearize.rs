@@ -1,0 +1,288 @@
+//! A small exhaustive linearizability checker (Wing & Gong style).
+//!
+//! §2.1 of the paper: "We also require our objects to be linearizable
+//! \[14\]; this implies that operations appear to happen atomically at
+//! some point during their execution." This module records real
+//! concurrent histories (with logical timestamps around each operation)
+//! and searches for a witness: a total order of the operations that (a)
+//! respects real-time precedence and (b) matches sequential dictionary
+//! semantics. Exponential in history size — use with a handful of threads
+//! and a few operations each, which is exactly where linearizability bugs
+//! live.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use valois_dict::Dictionary;
+
+/// One dictionary operation (presence semantics; values are ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `Insert(k)` — succeeds iff `k` was absent.
+    Insert(u64),
+    /// `Delete(k)` — succeeds iff `k` was present.
+    Remove(u64),
+    /// `Find(k)` — "succeeds" iff `k` was present.
+    Find(u64),
+}
+
+/// A completed operation with its observed result and logical interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Recorded {
+    /// Worker thread index.
+    pub thread: usize,
+    /// The operation.
+    pub op: Op,
+    /// Observed boolean outcome.
+    pub result: bool,
+    /// Logical timestamp taken immediately before invocation.
+    pub start: u64,
+    /// Logical timestamp taken immediately after response.
+    pub end: u64,
+}
+
+/// A recorded concurrent history.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// The completed operations, in no particular order.
+    pub ops: Vec<Recorded>,
+}
+
+impl History {
+    /// Executes `plans[i]` on thread `i` against `dict`, recording logical
+    /// start/end stamps for every operation.
+    pub fn record<D: Dictionary<u64, u64>>(dict: &D, plans: &[Vec<Op>]) -> History {
+        let clock = AtomicU64::new(0);
+        let results: Vec<Vec<Recorded>> = std::thread::scope(|s| {
+            let handles: Vec<_> = plans
+                .iter()
+                .enumerate()
+                .map(|(tid, plan)| {
+                    let clock = &clock;
+                    s.spawn(move || {
+                        let mut out = Vec::with_capacity(plan.len());
+                        for &op in plan {
+                            let start = clock.fetch_add(1, Ordering::SeqCst);
+                            let result = match op {
+                                Op::Insert(k) => dict.insert(k, k),
+                                Op::Remove(k) => dict.remove(&k),
+                                Op::Find(k) => dict.contains(&k),
+                            };
+                            let end = clock.fetch_add(1, Ordering::SeqCst);
+                            out.push(Recorded {
+                                thread: tid,
+                                op,
+                                result,
+                                start,
+                                end,
+                            });
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        History {
+            ops: results.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.ops {
+            writeln!(
+                f,
+                "T{} [{:>3},{:>3}] {:?} -> {}",
+                r.thread, r.start, r.end, r.op, r.result
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Searches for a linearization of `history` over an (initially empty)
+/// set-semantics dictionary. Returns `true` iff one exists.
+pub fn check_linearizable(history: &History) -> bool {
+    let n = history.ops.len();
+    assert!(n <= 24, "exhaustive checker is for small histories (≤ 24 ops)");
+    // done-set as a bitmask; model as a BTreeSet rebuilt incrementally.
+    fn step(
+        ops: &[Recorded],
+        done: u32,
+        model: &mut BTreeSet<u64>,
+        memo: &mut std::collections::HashSet<(u32, u64)>,
+    ) -> bool {
+        if done == (1u32 << ops.len()) - 1 {
+            return true;
+        }
+        // Memo key: done-set plus a cheap model fingerprint (the model is a
+        // function of the done-set's successful ops, but hashing it guards
+        // against revisiting equivalent states through different orders).
+        let fp = model.iter().fold(0u64, |h, k| {
+            h.wrapping_mul(0x100000001B3).wrapping_add(*k + 1)
+        });
+        if !memo.insert((done, fp)) {
+            return false;
+        }
+        for (i, r) in ops.iter().enumerate() {
+            if done & (1 << i) != 0 {
+                continue;
+            }
+            // Real-time order: r may linearize now only if every operation
+            // that *finished before r started* is already linearized.
+            if ops.iter().enumerate().any(|(j, q)| {
+                done & (1 << j) == 0 && j != i && q.end < r.start
+            }) {
+                continue;
+            }
+            // Does the result match sequential semantics?
+            let (legal, inserted, removed) = match r.op {
+                Op::Insert(k) => {
+                    let absent = !model.contains(&k);
+                    (r.result == absent, r.result.then_some(k), None)
+                }
+                Op::Remove(k) => {
+                    let present = model.contains(&k);
+                    (r.result == present, None, r.result.then_some(k))
+                }
+                Op::Find(k) => (r.result == model.contains(&k), None, None),
+            };
+            if !legal {
+                continue;
+            }
+            if let Some(k) = inserted {
+                model.insert(k);
+            }
+            if let Some(k) = removed {
+                model.remove(&k);
+            }
+            if step(ops, done | (1 << i), model, memo) {
+                return true;
+            }
+            if let Some(k) = inserted {
+                model.remove(&k);
+            }
+            if let Some(k) = removed {
+                model.insert(k);
+            }
+        }
+        false
+    }
+    let mut model = BTreeSet::new();
+    let mut memo = std::collections::HashSet::new();
+    step(&history.ops, 0, &mut model, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(thread: usize, op: Op, result: bool, start: u64, end: u64) -> Recorded {
+        Recorded {
+            thread,
+            op,
+            result,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = History {
+            ops: vec![
+                rec(0, Op::Insert(1), true, 0, 1),
+                rec(0, Op::Find(1), true, 2, 3),
+                rec(0, Op::Remove(1), true, 4, 5),
+                rec(0, Op::Find(1), false, 6, 7),
+            ],
+        };
+        assert!(check_linearizable(&h));
+    }
+
+    #[test]
+    fn duplicate_insert_wins_once() {
+        // Two overlapping inserts of the same key: linearizable iff
+        // exactly one reports success.
+        let good = History {
+            ops: vec![
+                rec(0, Op::Insert(5), true, 0, 3),
+                rec(1, Op::Insert(5), false, 1, 4),
+            ],
+        };
+        assert!(check_linearizable(&good));
+        let bad = History {
+            ops: vec![
+                rec(0, Op::Insert(5), true, 0, 3),
+                rec(1, Op::Insert(5), true, 1, 4),
+            ],
+        };
+        assert!(!check_linearizable(&bad), "two winners is unserializable");
+    }
+
+    #[test]
+    fn stale_read_after_precedence_is_rejected() {
+        // Insert completes strictly before the find starts, yet the find
+        // misses: not linearizable.
+        let bad = History {
+            ops: vec![
+                rec(0, Op::Insert(9), true, 0, 1),
+                rec(1, Op::Find(9), false, 2, 3),
+            ],
+        };
+        assert!(!check_linearizable(&bad));
+        // If they overlap, the miss is allowed (find linearizes first).
+        let ok = History {
+            ops: vec![
+                rec(0, Op::Insert(9), true, 0, 2),
+                rec(1, Op::Find(9), false, 1, 3),
+            ],
+        };
+        assert!(check_linearizable(&ok));
+    }
+
+    #[test]
+    fn remove_of_absent_key_must_fail() {
+        let bad = History {
+            ops: vec![rec(0, Op::Remove(1), true, 0, 1)],
+        };
+        assert!(!check_linearizable(&bad));
+    }
+
+    #[test]
+    fn recorded_real_history_is_linearizable() {
+        use valois_dict::SortedListDict;
+        // Three threads, overlapping inserts/removes/finds on 3 keys.
+        let dict: SortedListDict<u64, u64> = SortedListDict::new();
+        let plans = vec![
+            vec![Op::Insert(1), Op::Remove(2), Op::Find(3), Op::Insert(2)],
+            vec![Op::Insert(2), Op::Find(1), Op::Remove(1), Op::Find(2)],
+            vec![Op::Insert(3), Op::Remove(3), Op::Insert(1), Op::Find(1)],
+        ];
+        for _ in 0..50 {
+            let d = &dict;
+            let h = History::record(d, &plans);
+            assert!(
+                check_linearizable(&h),
+                "non-linearizable history observed:\n{h}"
+            );
+            // Reset between rounds.
+            for k in 1..=3 {
+                let _ = dict.remove(&k);
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Workload specification: operation mixes and key distributions.
+//!
+//! The experiment suite uses the mixes the literature standardized on:
+//! read-heavy (90/5/5), balanced (50/25/25), and write-only churn
+//! (0/50/50) — all expressible as an [`OpMix`].
+
+use std::fmt;
+
+use rand::distributions::Distribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One dictionary operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `Find` (§4).
+    Find,
+    /// `Insert` (§4).
+    Insert,
+    /// `Delete` (§4).
+    Delete,
+}
+
+/// Percentages of find/insert/delete operations (must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percent of `Find` operations.
+    pub find_pct: u8,
+    /// Percent of `Insert` operations.
+    pub insert_pct: u8,
+    /// Percent of `Delete` operations.
+    pub delete_pct: u8,
+}
+
+impl OpMix {
+    /// A custom mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the percentages sum to 100.
+    pub fn new(find_pct: u8, insert_pct: u8, delete_pct: u8) -> Self {
+        assert_eq!(
+            find_pct as u32 + insert_pct as u32 + delete_pct as u32,
+            100,
+            "operation mix must sum to 100"
+        );
+        Self {
+            find_pct,
+            insert_pct,
+            delete_pct,
+        }
+    }
+
+    /// 90% find / 5% insert / 5% delete.
+    pub fn read_heavy() -> Self {
+        Self::new(90, 5, 5)
+    }
+
+    /// 50% find / 25% insert / 25% delete.
+    pub fn balanced() -> Self {
+        Self::new(50, 25, 25)
+    }
+
+    /// 0% find / 50% insert / 50% delete.
+    pub fn write_only() -> Self {
+        Self::new(0, 50, 50)
+    }
+
+    /// Draws an operation kind.
+    pub fn sample(&self, rng: &mut SmallRng) -> OpKind {
+        let roll: u8 = rng.gen_range(0..100);
+        if roll < self.find_pct {
+            OpKind::Find
+        } else if roll < self.find_pct + self.insert_pct {
+            OpKind::Insert
+        } else {
+            OpKind::Delete
+        }
+    }
+}
+
+impl fmt::Display for OpMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}",
+            self.find_pct, self.insert_pct, self.delete_pct
+        )
+    }
+}
+
+/// Key distribution over `0..range`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the range.
+    Uniform {
+        /// Exclusive upper bound.
+        range: u64,
+    },
+    /// A fraction of operations hit a small hot set (contention model).
+    Hotspot {
+        /// Exclusive upper bound.
+        range: u64,
+        /// Size of the hot set (first `hot` keys).
+        hot: u64,
+        /// Fraction of operations targeting the hot set (0.0–1.0).
+        hot_fraction: f64,
+    },
+    /// Approximate Zipf(θ≈1) over the range via the rejection-inversion
+    /// trick on a small table — heavy head, long tail.
+    Zipf {
+        /// Exclusive upper bound.
+        range: u64,
+    },
+}
+
+impl KeyDist {
+    /// Exclusive upper bound of generated keys.
+    pub fn range(&self) -> u64 {
+        match *self {
+            KeyDist::Uniform { range }
+            | KeyDist::Hotspot { range, .. }
+            | KeyDist::Zipf { range } => range,
+        }
+    }
+}
+
+impl Distribution<u64> for KeyDist {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            KeyDist::Uniform { range } => rng.gen_range(0..range.max(1)),
+            KeyDist::Hotspot {
+                range,
+                hot,
+                hot_fraction,
+            } => {
+                if rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) {
+                    rng.gen_range(0..hot.clamp(1, range))
+                } else {
+                    rng.gen_range(0..range.max(1))
+                }
+            }
+            KeyDist::Zipf { range } => {
+                // Inverse-CDF of a continuous 1/x density on [1, range+1):
+                // heavier head than uniform, cheap to sample.
+                let n = range.max(1) as f64;
+                let u: f64 = rng.gen::<f64>();
+                let x = (n + 1.0).powf(u) - 1.0;
+                (x as u64).min(range.saturating_sub(1))
+            }
+        }
+    }
+}
+
+/// A complete workload description for one run.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Key distribution.
+    pub keys: KeyDist,
+    /// Items inserted (uniformly) before measurement starts.
+    pub prefill: u64,
+    /// RNG seed (each thread derives its own stream).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Balanced mix over a uniform key range, half prefilled.
+    pub fn standard(key_range: u64) -> Self {
+        Self {
+            mix: OpMix::balanced(),
+            keys: KeyDist::Uniform { range: key_range },
+            prefill: key_range / 2,
+            seed: 0x5EED_1995_0CA5_0001,
+        }
+    }
+
+    /// Thread-local RNG for thread `tid`.
+    pub fn rng_for(&self, tid: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed ^ (tid.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sums_enforced() {
+        let m = OpMix::new(50, 25, 25);
+        assert_eq!(m.find_pct, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_mix_panics() {
+        let _ = OpMix::new(50, 25, 30);
+    }
+
+    #[test]
+    fn mix_sampling_matches_percentages() {
+        let m = OpMix::read_heavy();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut finds = 0;
+        for _ in 0..10_000 {
+            if m.sample(&mut rng) == OpKind::Find {
+                finds += 1;
+            }
+        }
+        assert!((8_700..9_300).contains(&finds), "finds={finds}");
+    }
+
+    #[test]
+    fn uniform_keys_in_range() {
+        let d = KeyDist::Uniform { range: 64 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            assert!(d.sample(&mut rng) < 64);
+        }
+    }
+
+    #[test]
+    fn hotspot_skews_towards_hot_set() {
+        let d = KeyDist::Hotspot {
+            range: 1_000,
+            hot: 10,
+            hot_fraction: 0.9,
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hot_hits = (0..10_000).filter(|_| d.sample(&mut rng) < 10).count();
+        assert!(hot_hits > 8_500, "hot_hits={hot_hits}");
+    }
+
+    #[test]
+    fn zipf_head_is_heavy() {
+        let d = KeyDist::Zipf { range: 1_000 };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let head = (0..10_000).filter(|_| d.sample(&mut rng) < 10).count();
+        let uniform_expect = 10_000 / 100; // 1% of range
+        assert!(head > uniform_expect * 5, "head={head}");
+    }
+
+    #[test]
+    fn per_thread_rngs_differ() {
+        let spec = WorkloadSpec::standard(100);
+        let a: u64 = spec.rng_for(0).gen();
+        let b: u64 = spec.rng_for(1).gen();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,784 @@
+//! The type-stable node arena and the §5 protocol operations.
+//!
+//! One [`Arena`] backs one concurrent data structure (or one size class, in
+//! the paper's terms — §5.2 notes "free cells must all be of the same
+//! size"). The arena owns every node for the structure's lifetime:
+//! segments are allocated as the free list runs dry and are only freed when
+//! the arena is dropped. This *type stability* is what makes the protocol's
+//! transient touches of recycled nodes memory-safe (see crate docs).
+//!
+//! | Paper figure | Method |
+//! |---|---|
+//! | Fig. 15 `SafeRead`  | [`Arena::safe_read`] |
+//! | Fig. 16 `Release`   | [`Arena::release`] |
+//! | Fig. 17 `Alloc`     | [`Arena::alloc`] |
+//! | Fig. 18 `Reclaim`   | internal `push_free` (invoked by the claim winner inside `release`) |
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Mutex;
+
+use valois_sync::pad::CachePadded;
+
+use crate::managed::{Link, Managed};
+use crate::stats::{MemStats, StatCounters};
+
+/// Configuration for an [`Arena`].
+///
+/// The paper assumes a preallocated pool of cells; [`ArenaConfig::max_nodes`]
+/// recovers that model (alloc fails when the pool is exhausted), while the
+/// default allows growth by doubling, which is an engineering convenience
+/// outside the paper's model (growth takes a mutex, but only on the cold
+/// path; `Alloc` itself stays lock-free whenever the free list is non-empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaConfig {
+    /// Nodes allocated up front. Default 1024.
+    pub initial_capacity: usize,
+    /// Hard cap on total nodes; `None` (default) grows without bound.
+    pub max_nodes: Option<usize>,
+}
+
+impl ArenaConfig {
+    /// Default configuration (1024 preallocated nodes, unbounded growth).
+    pub fn new() -> Self {
+        Self {
+            initial_capacity: 1024,
+            max_nodes: None,
+        }
+    }
+
+    /// Sets the initial capacity.
+    pub fn initial_capacity(mut self, nodes: usize) -> Self {
+        self.initial_capacity = nodes.max(1);
+        self
+    }
+
+    /// Sets a hard pool limit (the paper's fixed-pool model).
+    pub fn max_nodes(mut self, nodes: usize) -> Self {
+        self.max_nodes = Some(nodes.max(1));
+        self
+    }
+}
+
+impl Default for ArenaConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Allocation failure: the pool hit [`ArenaConfig::max_nodes`] with no free
+/// cells available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError;
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("node pool exhausted")
+    }
+}
+
+impl Error for AllocError {}
+
+/// A type-stable segmented pool of `N` nodes with the §5 reference-counting
+/// protocol.
+///
+/// See the crate-level documentation for the counting invariant. All
+/// pointer-returning methods hand out *counted* references; every such
+/// pointer must eventually be passed to exactly one [`Arena::release`].
+pub struct Arena<N: Managed> {
+    /// Segment storage. Boxed slices never move, so node addresses are
+    /// stable; the mutex is taken only to grow or enumerate.
+    segments: Mutex<Vec<Box<[N]>>>,
+    /// Head of the lock-free free list (a counted root: its current value
+    /// contributes 1 to that node's count).
+    free_head: CachePadded<Link<N>>,
+    /// Grow serialization (kept out of `segments` so enumeration does not
+    /// block growth decisions).
+    grow_lock: Mutex<()>,
+    counters: StatCounters,
+    total_nodes: std::sync::atomic::AtomicUsize,
+    max_nodes: Option<usize>,
+}
+
+impl<N: Managed + Default> Arena<N> {
+    /// Creates an arena with `config`, preallocating the initial segment.
+    pub fn with_config(config: ArenaConfig) -> Self {
+        let arena = Self {
+            segments: Mutex::new(Vec::new()),
+            free_head: CachePadded::new(Link::null()),
+            grow_lock: Mutex::new(()),
+            counters: StatCounters::default(),
+            total_nodes: std::sync::atomic::AtomicUsize::new(0),
+            max_nodes: config.max_nodes,
+        };
+        let initial = match config.max_nodes {
+            Some(max) => config.initial_capacity.min(max),
+            None => config.initial_capacity,
+        };
+        arena.add_segment(initial.max(1));
+        arena
+    }
+
+    /// Creates an arena with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(ArenaConfig::default())
+    }
+
+    /// Allocates one segment of `count` default-constructed nodes and pushes
+    /// them all onto the free list.
+    fn add_segment(&self, count: usize) {
+        let segment: Box<[N]> = (0..count).map(|_| N::default()).collect();
+        for node in segment.iter() {
+            // Fresh nodes are born detached (count 0, claim set); the push
+            // installs the free list's incoming-pointer count.
+            self.push_free(node as *const N as *mut N);
+        }
+        self.total_nodes
+            .fetch_add(count, std::sync::atomic::Ordering::Relaxed);
+        self.segments.lock().unwrap().push(segment);
+        StatCounters::bump(&self.counters.grows);
+    }
+
+    /// Grows the pool if permitted. Returns `false` when at `max_nodes`.
+    fn try_grow(&self) -> bool {
+        let _g = self.grow_lock.lock().unwrap();
+        // Re-check after acquiring: another thread may have grown (or
+        // released nodes) while we waited.
+        if !self.free_head.read().is_null() {
+            return true;
+        }
+        let current = self.total_nodes.load(std::sync::atomic::Ordering::Relaxed);
+        let want = current.max(1); // double
+        let want = match self.max_nodes {
+            Some(max) if current >= max => return false,
+            Some(max) => want.min(max - current),
+            None => want,
+        };
+        self.add_segment(want);
+        true
+    }
+
+    /// The paper's `Alloc` (Fig. 17): pops a free cell, re-initializes it,
+    /// and returns it with one counted reference (the caller's).
+    ///
+    /// Lock-free whenever the free list is non-empty; an empty free list
+    /// triggers a (mutex-guarded) growth attempt unless the pool is capped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when the pool is exhausted and capped.
+    pub fn alloc(&self) -> Result<*mut N, AllocError> {
+        loop {
+            // Fig. 17 line 1: q <- SafeRead(Freelist). The free-list head is
+            // a counted root, so SafeRead's contract holds.
+            let q = unsafe { self.safe_read(&self.free_head) };
+            if q.is_null() {
+                if self.try_grow() {
+                    continue;
+                }
+                return Err(AllocError);
+            }
+            // Our counted reference keeps `q` from being recycled, so its
+            // free link is stable while `q` remains the head.
+            let next = unsafe { (*q).free_link().read() };
+            // Fig. 17 line 4: CSW(Freelist, q, q^.next).
+            if self.free_head.compare_and_swap(q, next) {
+                // Count transfer: the root's count on `q` dies (released
+                // below — we keep our SafeRead count as the allocation
+                // reference); the root now counts `next`, which
+                // simultaneously lost the count held by `q`'s free link
+                // (net zero for `next`).
+                unsafe { self.release(q) };
+                StatCounters::bump(&self.counters.allocs);
+                unsafe {
+                    debug_assert!((*q).header().claim().is_set(), "free node must be claimed");
+                    (*q).reset_for_alloc();
+                    // Fig. 17 line 8: Write(q^.claim, 0) — the single point
+                    // where claim is cleared, while we are sole owner.
+                    (*q).header().claim().clear();
+                }
+                return Ok(q);
+            }
+            // Fig. 17 lines 5-6: lost the race; drop protection and retry.
+            unsafe { self.release(q) };
+            StatCounters::bump(&self.counters.alloc_retries);
+        }
+    }
+}
+
+impl<N: Managed + Default> Default for Arena<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N: Managed> Arena<N> {
+    /// The paper's `SafeRead` (Fig. 15): atomically reads the counted link
+    /// `src` and acquires a counted reference on the target.
+    ///
+    /// Returns null if the link is null. A non-null result must eventually
+    /// be passed to exactly one [`Arena::release`].
+    ///
+    /// # Safety
+    ///
+    /// `src` must be a *counted link of this arena*: a location whose
+    /// non-null values are always addresses of this arena's nodes and whose
+    /// current value always contributes 1 to its target's count (a structure
+    /// root, or a field of a node the caller holds a counted reference on).
+    pub unsafe fn safe_read(&self, src: &Link<N>) -> *mut N {
+        loop {
+            // Fig. 15 line 1: q <- Read(p).
+            let q = src.read();
+            if q.is_null() {
+                return std::ptr::null_mut();
+            }
+            // Fig. 15 line 4: Increment(q^.refct). `q` may be stale — even
+            // recycled — but it is always a valid node of this type-stable
+            // arena, so the increment is memory-safe; the re-read below
+            // rejects stale protections and `release` undoes the count.
+            (*q).header().refct().fetch_increment();
+            // Fig. 15 line 5: still current? Then our count was acquired
+            // while `src` held a (counted) pointer to `q`, so `q` was live.
+            if src.read() == q {
+                StatCounters::bump(&self.counters.safe_reads);
+                return q;
+            }
+            // Fig. 15 lines 7-8.
+            self.release(q);
+            StatCounters::bump(&self.counters.safe_read_retries);
+        }
+    }
+
+    /// Duplicates a counted reference the caller already holds (used when a
+    /// held pointer is copied into a second long-lived location, e.g. a
+    /// cursor field or a fresh node's link).
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold a counted reference on non-null `p` (so it
+    /// cannot be concurrently recycled).
+    pub unsafe fn incr_ref(&self, p: *mut N) {
+        if !p.is_null() {
+            (*p).header().refct().fetch_increment();
+        }
+    }
+
+    /// The paper's `Release` (Fig. 16): gives up one counted reference.
+    /// If the count reaches zero, wins the `claim` arbitration and reclaims
+    /// the node — draining its outgoing counted links (whose targets are
+    /// released in turn, iteratively) and pushing it onto the free list.
+    ///
+    /// Null pointers are ignored (the paper's algorithms release cursor
+    /// fields that may be NULL, e.g. `First` line 3 / `Update` line 5).
+    ///
+    /// # Safety
+    ///
+    /// Non-null `p` must be a counted reference obtained from this arena
+    /// (`safe_read`/`incr_ref`/`alloc` or a drained link), released exactly
+    /// once.
+    pub unsafe fn release(&self, p: *mut N) {
+        if p.is_null() {
+            return;
+        }
+        // The common case releases one node and touches nothing else; the
+        // worklist is only needed when a reclamation cascades through the
+        // dying node's outgoing links (e.g. a chain of deleted cells).
+        let mut worklist: Vec<*mut N> = Vec::new();
+        let mut current = p;
+        loop {
+            StatCounters::bump(&self.counters.releases);
+            // Fig. 16 line 1: c <- Fetch&Add(p^.refct, -1).
+            let prev = (*current).header().refct().fetch_decrement();
+            if prev == 1 {
+                // Count hit zero: Fig. 16 lines 4-7 — claim arbitration.
+                if !(*current).header().claim().test_and_set() {
+                    // We are the unique reclaimer. No process or link
+                    // references remain, so reading/draining fields is
+                    // exclusive.
+                    let links = (*current).drain_links();
+                    for target in links.iter() {
+                        worklist.push(target);
+                    }
+                    StatCounters::bump(&self.counters.reclaims);
+                    self.push_free(current);
+                }
+            }
+            match worklist.pop() {
+                Some(next) => current = next,
+                None => return,
+            }
+        }
+    }
+
+    /// The paper's `Reclaim` (Fig. 18): pushes a claimed, drained node onto
+    /// the free list (Treiber-stack push).
+    fn push_free(&self, p: *mut N) {
+        // The free list's incoming pointer is a counted reference: *add* 1
+        // (never store — a store would erase a concurrent transient
+        // SafeRead increment; see crate docs "corrections").
+        unsafe {
+            (*p).header().refct().fetch_increment();
+        }
+        loop {
+            // Fig. 18 lines 1-3. Plain read (not SafeRead): we never
+            // dereference the old head, so a stale value only costs a CAS
+            // retry, and head-recycling ABA is harmless because re-linking
+            // the *current* head is exactly what push wants.
+            let head = self.free_head.read();
+            unsafe {
+                (*p).free_link().write(head);
+            }
+            if self.free_head.compare_and_swap(head, p) {
+                // Count transfer: root's count on `head` moves to
+                // `p.free_link`; root now counts `p` (the increment above).
+                break;
+            }
+        }
+    }
+
+    /// Counted-link CAS swing with automatic count transfer.
+    ///
+    /// Increments `new`'s count (the prospective link), attempts
+    /// `CAS(loc, old, new)`, and on success releases `old` (the count the
+    /// link held); on failure the increment is undone. Returns the CAS
+    /// outcome, which is the paper's "cursor became invalid" retry signal.
+    ///
+    /// # Safety
+    ///
+    /// `loc` must be a counted link of this arena; the caller must hold
+    /// counted references on non-null `old` and `new` (this is what makes
+    /// the CAS ABA-free: `old` cannot be recycled while protected).
+    pub unsafe fn swing(&self, loc: &Link<N>, old: *mut N, new: *mut N) -> bool {
+        StatCounters::bump(&self.counters.swings);
+        self.incr_ref(new);
+        if loc.compare_and_swap(old, new) {
+            self.release(old);
+            true
+        } else {
+            self.release(new);
+            StatCounters::bump(&self.counters.swing_failures);
+            false
+        }
+    }
+
+    /// Initializing store into a link of an *unpublished* node (fresh from
+    /// [`Arena::alloc`], not yet reachable by other processes): installs
+    /// `new` with a count, releasing whatever the link previously counted
+    /// (non-null only when a retry loop re-targets a prepared node, e.g.
+    /// `TryInsert` rewriting `a^.next` after an invalid cursor).
+    ///
+    /// # Safety
+    ///
+    /// The node owning `loc` must be unpublished (exclusively owned);
+    /// the caller must hold a counted reference on non-null `new`.
+    pub unsafe fn store_link(&self, loc: &Link<N>, new: *mut N) {
+        self.incr_ref(new);
+        let old = loc.swap(new);
+        self.release(old);
+    }
+
+    /// Returns a *detached* node to the free list: count zero and `claim`
+    /// already won by the caller. This is the hook for owners' quiescent
+    /// cycle collection (back-link cycles among simultaneously deleted
+    /// cells are unreachable garbage that plain counting cannot free; see
+    /// DESIGN.md §1 note 3).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive ownership of `p` (won its claim, all
+    /// counted links drained, count zero) and guarantee no concurrent
+    /// protocol activity can reach `p`.
+    pub unsafe fn reclaim_detached(&self, p: *mut N) {
+        debug_assert_eq!((*p).header().refct().read(), 0);
+        debug_assert!((*p).header().claim().is_set());
+        StatCounters::bump(&self.counters.reclaims);
+        self.push_free(p);
+    }
+
+    /// Snapshot of the protocol counters.
+    pub fn stats(&self) -> MemStats {
+        self.counters.snapshot()
+    }
+
+    /// Total nodes owned by the arena (free + live).
+    pub fn capacity(&self) -> usize {
+        self.total_nodes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Nodes currently allocated (checked out and not yet reclaimed).
+    pub fn live_nodes(&self) -> u64 {
+        self.stats().live_nodes()
+    }
+
+    /// Visits the address of every node the arena owns (free or live).
+    ///
+    /// Safe in itself — the callback receives raw addresses and headers may
+    /// be inspected through atomics at any time — but dereferencing payload
+    /// fields requires the caller to guarantee quiescence (e.g. the
+    /// structure's `&mut self` drop/collect paths).
+    pub fn for_each_node(&self, mut f: impl FnMut(*mut N)) {
+        let segments = self.segments.lock().unwrap();
+        for segment in segments.iter() {
+            for node in segment.iter() {
+                f(node as *const N as *mut N);
+            }
+        }
+    }
+}
+
+impl<N: Managed> fmt::Debug for Arena<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Arena")
+            .field("capacity", &self.capacity())
+            .field("live_nodes", &self.live_nodes())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::managed::{NodeHeader, ReclaimedLinks};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Minimal managed node: one value slot and two counted links, mirroring
+    /// the list's cell shape.
+    #[derive(Default)]
+    struct TestNode {
+        header: NodeHeader,
+        next: Link<TestNode>,
+        back: Link<TestNode>,
+        value: AtomicU64,
+    }
+
+    impl Managed for TestNode {
+        fn header(&self) -> &NodeHeader {
+            &self.header
+        }
+
+        fn free_link(&self) -> &Link<Self> {
+            &self.next
+        }
+
+        fn drain_links(&self) -> ReclaimedLinks<Self> {
+            let mut links = ReclaimedLinks::new();
+            links.push(self.next.swap(std::ptr::null_mut()));
+            links.push(self.back.swap(std::ptr::null_mut()));
+            links
+        }
+
+        fn reset_for_alloc(&self) {
+            // next held the free-list link whose count was transferred to
+            // the free-list head at pop: null it without releasing.
+            self.next.write(std::ptr::null_mut());
+            self.back.write(std::ptr::null_mut());
+            self.value.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn small_arena(cap: usize) -> Arena<TestNode> {
+        Arena::with_config(ArenaConfig::new().initial_capacity(cap).max_nodes(cap))
+    }
+
+    #[test]
+    fn alloc_returns_reset_node_with_one_reference() {
+        let arena = small_arena(4);
+        let p = arena.alloc().unwrap();
+        unsafe {
+            assert_eq!((*p).header().refct().read(), 1);
+            assert!(!(*p).header().claim().is_set());
+            assert!((*p).next.read().is_null());
+        }
+        unsafe { arena.release(p) };
+        assert_eq!(arena.live_nodes(), 0);
+    }
+
+    #[test]
+    fn release_reclaims_and_node_is_reusable() {
+        let arena = small_arena(1);
+        let p = arena.alloc().unwrap();
+        unsafe { arena.release(p) };
+        let q = arena.alloc().unwrap();
+        assert_eq!(p, q, "single-node pool must recycle the same node");
+        unsafe { arena.release(q) };
+    }
+
+    #[test]
+    fn exhaustion_reports_alloc_error() {
+        let arena = small_arena(2);
+        let a = arena.alloc().unwrap();
+        let b = arena.alloc().unwrap();
+        assert_eq!(arena.alloc(), Err(AllocError));
+        unsafe {
+            arena.release(a);
+            arena.release(b);
+        }
+        assert!(arena.alloc().is_ok(), "released node must be allocatable");
+    }
+
+    #[test]
+    fn uncapped_arena_grows_by_doubling() {
+        let arena: Arena<TestNode> =
+            Arena::with_config(ArenaConfig::new().initial_capacity(2));
+        let mut held = Vec::new();
+        for _ in 0..10 {
+            held.push(arena.alloc().unwrap());
+        }
+        assert!(arena.capacity() >= 10);
+        assert!(arena.stats().grows >= 2);
+        for p in held {
+            unsafe { arena.release(p) };
+        }
+        assert_eq!(arena.live_nodes(), 0);
+    }
+
+    #[test]
+    fn drained_links_release_targets_transitively() {
+        let arena = small_arena(8);
+        // Build a -> b -> c via counted links, then drop all process refs:
+        // releasing `a` must cascade and reclaim all three.
+        let a = arena.alloc().unwrap();
+        let b = arena.alloc().unwrap();
+        let c = arena.alloc().unwrap();
+        unsafe {
+            (*b).next.write(c); // b's link now counts c: transfer our process ref
+            (*a).next.write(b); // a's link now counts b
+            // (we transferred our alloc references into the links, so no
+            // incr_ref: each node's count is exactly 1, held by its parent.)
+            assert_eq!((*c).header().refct().read(), 1);
+            arena.release(a);
+        }
+        assert_eq!(arena.live_nodes(), 0, "cascade must reclaim a, b, c");
+        // All three must be allocatable again.
+        let mut got = std::collections::HashSet::new();
+        for _ in 0..3 {
+            got.insert(arena.alloc().unwrap() as usize);
+        }
+        assert!(got.contains(&(a as usize)));
+        assert!(got.contains(&(b as usize)));
+        assert!(got.contains(&(c as usize)));
+    }
+
+    #[test]
+    fn safe_read_protects_against_concurrent_unlink() {
+        let arena = Arc::new(small_arena(64));
+        // A root link that one thread repeatedly re-targets while others
+        // safe_read through it; counts must stay exact.
+        let root: Arc<Link<TestNode>> = Arc::new(Link::null());
+        let init = arena.alloc().unwrap();
+        unsafe { arena.store_link(&root, init) };
+        unsafe { arena.release(init) };
+
+        std::thread::scope(|s| {
+            let writer = {
+                let arena = Arc::clone(&arena);
+                let root = Arc::clone(&root);
+                s.spawn(move || {
+                    for i in 0..20_000u64 {
+                        let n = arena.alloc().unwrap();
+                        unsafe {
+                            (*n).value.store(i, Ordering::Relaxed);
+                            // Publish: swing root from whatever it held.
+                            loop {
+                                let old = arena.safe_read(&root);
+                                let ok = arena.swing(&root, old, n);
+                                arena.release(old);
+                                if ok {
+                                    break;
+                                }
+                            }
+                            arena.release(n);
+                        }
+                    }
+                })
+            };
+            for _ in 0..3 {
+                let arena = Arc::clone(&arena);
+                let root = Arc::clone(&root);
+                s.spawn(move || {
+                    for _ in 0..20_000 {
+                        unsafe {
+                            let p = arena.safe_read(&root);
+                            if !p.is_null() {
+                                // Reading the payload of a protected node
+                                // must always be coherent.
+                                let _ = (*p).value.load(Ordering::Relaxed);
+                                arena.release(p);
+                            }
+                        }
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+
+        // Quiesce: drop the root's node.
+        unsafe {
+            let last = arena.safe_read(&root);
+            assert!(arena.swing(&root, last, std::ptr::null_mut()));
+            arena.release(last);
+        }
+        assert_eq!(arena.live_nodes(), 0, "all nodes reclaimed after quiesce");
+        // Every node's count must be exactly the free-list's 1.
+        arena.for_each_node(|p| unsafe {
+            assert_eq!((*p).header().refct().read(), 1);
+            assert!((*p).header().claim().is_set());
+        });
+    }
+
+    #[test]
+    fn concurrent_alloc_release_conserves_nodes() {
+        let arena = Arc::new(small_arena(256));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let arena = Arc::clone(&arena);
+                s.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..10_000usize {
+                        if i % 3 == 2 {
+                            if let Some(p) = held.pop() {
+                                unsafe { arena.release(p) };
+                            }
+                        } else if let Ok(p) = arena.alloc() {
+                            held.push(p);
+                        }
+                        if held.len() > 16 {
+                            for p in held.drain(..) {
+                                unsafe { arena.release(p) };
+                            }
+                        }
+                    }
+                    for p in held {
+                        unsafe { arena.release(p) };
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.live_nodes(), 0);
+        let mut free = 0usize;
+        arena.for_each_node(|p| unsafe {
+            assert_eq!((*p).header().refct().read(), 1, "free node count must be 1");
+            free += 1;
+        });
+        assert_eq!(free, 256);
+    }
+
+    #[test]
+    fn concurrent_growth_is_consistent() {
+        // Many threads alloc-hold-release against a tiny initial segment:
+        // growth must serialize correctly and never duplicate or lose
+        // nodes.
+        let arena: Arc<Arena<TestNode>> =
+            Arc::new(Arena::with_config(ArenaConfig::new().initial_capacity(2)));
+        let seen = std::sync::Mutex::new(std::collections::HashSet::<usize>::new());
+        // Nobody releases until every thread holds its full batch, so the
+        // distinctness check really is over simultaneously-live nodes.
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let arena = Arc::clone(&arena);
+                let seen = &seen;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut held = Vec::new();
+                    for _ in 0..200 {
+                        let p = arena.alloc().expect("uncapped arena grows");
+                        held.push(p);
+                    }
+                    {
+                        let mut set = seen.lock().unwrap();
+                        for &p in &held {
+                            assert!(set.insert(p as usize), "duplicate live node");
+                        }
+                    }
+                    barrier.wait();
+                    for p in held {
+                        unsafe { arena.release(p) };
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            seen.lock().unwrap().len(),
+            800,
+            "every allocation distinct while simultaneously held"
+        );
+        assert!(arena.capacity() >= 800);
+        assert_eq!(arena.live_nodes(), 0);
+    }
+
+    #[test]
+    fn swing_failure_undoes_count() {
+        let arena = small_arena(4);
+        let a = arena.alloc().unwrap();
+        let b = arena.alloc().unwrap();
+        let c = arena.alloc().unwrap();
+        let root: Link<TestNode> = Link::null();
+        unsafe {
+            arena.store_link(&root, a);
+            // CAS expecting `b` must fail and leave counts unchanged.
+            let before = (*c).header().refct().read();
+            assert!(!arena.swing(&root, b, c));
+            assert_eq!((*c).header().refct().read(), before);
+            assert_eq!(root.read(), a);
+            // Clean up: unlink a, release all.
+            assert!(arena.swing(&root, a, std::ptr::null_mut()));
+            arena.release(a);
+            arena.release(b);
+            arena.release(c);
+        }
+        assert_eq!(arena.live_nodes(), 0);
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let arena = small_arena(8);
+        let base = arena.stats();
+        let p = arena.alloc().unwrap();
+        unsafe { arena.release(p) };
+        let d = arena.stats().since(&base);
+        assert_eq!(d.allocs, 1);
+        assert_eq!(d.reclaims, 1);
+        assert!(d.safe_reads >= 1, "alloc uses SafeRead on the free head");
+        assert!(d.releases >= 2, "pop transfer + final release");
+    }
+
+    #[test]
+    fn config_builders_clamp_to_minimums() {
+        let c = ArenaConfig::new().initial_capacity(0).max_nodes(0);
+        assert_eq!(c.initial_capacity, 1);
+        assert_eq!(c.max_nodes, Some(1));
+        assert_eq!(format!("{}", AllocError), "node pool exhausted");
+    }
+
+    #[test]
+    fn for_each_node_visits_exactly_capacity() {
+        let arena = small_arena(17);
+        let mut count = 0;
+        arena.for_each_node(|_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn store_link_replaces_and_releases_old() {
+        let arena = small_arena(4);
+        let a = arena.alloc().unwrap();
+        let b = arena.alloc().unwrap();
+        let fresh = arena.alloc().unwrap();
+        unsafe {
+            // fresh.next := a (counted), then re-target to b: a's count from
+            // the link must drop. store_link itself installs the link count.
+            arena.store_link(&(*fresh).next, a);
+            assert_eq!((*a).header().refct().read(), 2);
+            arena.store_link(&(*fresh).next, b);
+            assert_eq!((*a).header().refct().read(), 1);
+            assert_eq!((*b).header().refct().read(), 2);
+            arena.release(a);
+            arena.release(b);
+            arena.release(fresh); // drains fresh.next -> releases b
+        }
+        assert_eq!(arena.live_nodes(), 0);
+    }
+}

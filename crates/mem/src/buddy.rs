@@ -1,0 +1,509 @@
+//! A lock-free buddy system for variable-sized cells (paper §5.2):
+//! "Much more elaborate schemes are possible; in particular, in \[28\] we
+//! show how to extend these ideas to implement a lock-free buddy system
+//! which provides management of variable-sized cells."
+//!
+//! This module is our concretization of that pointer. The allocator
+//! manages a region of `2^max_order` units as the classic binary buddy
+//! tree; every node of the tree (a possible block: an (order, position)
+//! pair) carries an atomic *state word*, and each order has a lock-free
+//! free list of node ids.
+//!
+//! # The protocol
+//!
+//! * A block becomes available by storing `FREE` into its state and
+//!   pushing its id onto its order's free list (a Treiber stack of ids
+//!   with a version-tagged head — the classic tag trick the paper
+//!   mentions in §5.1, legitimate here because ids are 32-bit so a tag
+//!   fits alongside).
+//! * Taking a block — by `alloc` popping the list **or** by `free`
+//!   claiming the buddy of a freed block for merging — is a single CAS
+//!   `FREE → TAKEN` on the state word. The free list may retain a *stale*
+//!   entry; pops validate with that same CAS and simply discard losers
+//!   (lazy deletion: this is what makes interior removal unnecessary).
+//! * `alloc(order)` pops its order's list, or pops a larger block and
+//!   splits it down, pushing the right halves; `free` merges with the
+//!   buddy whenever the buddy's `FREE → TAKEN` CAS succeeds, walking up
+//!   the tree.
+//!
+//! All operations are lock-free: a stalled thread can leave at most a
+//! bounded number of stale list entries, never block anyone.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Block states. One word per tree node (order × position), so reuse of a
+/// region at a *different* order can never be confused with this node.
+const S_INVALID: u8 = 0; // not currently a block (parent split differently / part of larger block)
+const S_FREE: u8 = 1; // in its order's free list, claimable
+const S_TAKEN: u8 = 2; // exclusively owned (allocated, mid-split, or mid-merge)
+const S_SPLIT: u8 = 3; // split into two children
+
+/// Allocation failure: no block of the requested order can be carved out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuddyExhausted;
+
+impl fmt::Display for BuddyExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("buddy region exhausted for the requested order")
+    }
+}
+
+impl std::error::Error for BuddyExhausted {}
+
+/// A block handle: order and offset (in minimum units) into the region.
+///
+/// Returned by [`BuddyAllocator::alloc`]; must be passed back to
+/// [`BuddyAllocator::free`] exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Block {
+    /// log2 of the block size in minimum units.
+    pub order: u32,
+    /// Offset in minimum units (always a multiple of `1 << order`).
+    pub offset: u32,
+}
+
+impl Block {
+    /// Block size in minimum units.
+    pub fn units(&self) -> u32 {
+        1 << self.order
+    }
+}
+
+/// The lock-free binary buddy allocator (see module docs).
+pub struct BuddyAllocator {
+    max_order: u32,
+    /// State word per tree node, heap-indexed: node 0 is the whole region,
+    /// children of n are 2n+1 / 2n+2.
+    states: Box<[AtomicU8]>,
+    /// Per-order free list head: (tag: u32, node_id+1: u32) packed; 0 in
+    /// the low half means empty.
+    heads: Box<[AtomicU64]>,
+    /// Next-pointers for the free lists (node id + 1; 0 = end).
+    next: Box<[AtomicU32]>,
+    /// In-list entry count per node (0 or 1). A node claimed *out of band*
+    /// (buddy merge) leaves its entry in the list; re-publishing such a
+    /// node must not push a second entry — the stale one re-arms the
+    /// moment the state returns to FREE — or the shared `next` slot would
+    /// be clobbered and the list would lose a suffix.
+    entries: Box<[AtomicU8]>,
+    /// Outstanding allocated units (diagnostics / leak check).
+    allocated_units: AtomicU64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator managing `2^max_order` minimum units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order` > 24 (16M units — the id packing limit).
+    pub fn new(max_order: u32) -> Self {
+        assert!(max_order <= 24, "max_order too large for id packing");
+        let node_count = (1usize << (max_order + 1)) - 1;
+        let allocator = Self {
+            max_order,
+            states: (0..node_count).map(|_| AtomicU8::new(S_INVALID)).collect(),
+            heads: (0..=max_order).map(|_| AtomicU64::new(0)).collect(),
+            next: (0..node_count).map(|_| AtomicU32::new(0)).collect(),
+            entries: (0..node_count).map(|_| AtomicU8::new(0)).collect(),
+            allocated_units: AtomicU64::new(0),
+        };
+        // The whole region starts as one free block.
+        allocator.publish(max_order, 0);
+        allocator
+    }
+
+    /// Total units managed.
+    pub fn capacity_units(&self) -> u64 {
+        1u64 << self.max_order
+    }
+
+    /// Units currently allocated.
+    pub fn allocated_units(&self) -> u64 {
+        self.allocated_units.load(Ordering::Relaxed)
+    }
+
+    // ---- tree geometry -------------------------------------------------
+
+    fn node_order(&self, node: u32) -> u32 {
+        // Depth of `node` in the heap; root (node 0) has the max order.
+        self.max_order - (node + 1).ilog2()
+    }
+
+    fn node_offset(&self, node: u32) -> u32 {
+        let depth = (node + 1).ilog2();
+        let first_at_depth = (1u32 << depth) - 1;
+        (node - first_at_depth) << (self.max_order - depth)
+    }
+
+    fn node_for(&self, block: Block) -> u32 {
+        let depth = self.max_order - block.order;
+        let first_at_depth = (1u32 << depth) - 1;
+        first_at_depth + (block.offset >> block.order)
+    }
+
+    fn buddy_of(node: u32) -> Option<u32> {
+        if node == 0 {
+            return None; // the root has no buddy
+        }
+        Some(if node % 2 == 1 { node + 1 } else { node - 1 })
+    }
+
+    fn parent_of(node: u32) -> u32 {
+        (node - 1) / 2
+    }
+
+    // ---- tagged free-list stacks ----------------------------------------
+
+    /// Makes an exclusively-owned node available: stores FREE, then pushes
+    /// an entry unless a stale one is already in the list (see `entries`).
+    /// Only the node's exclusive owner may call this.
+    fn publish(&self, order: u32, node: u32) {
+        self.states[node as usize].store(S_FREE, Ordering::Release);
+        // FREE must be visible before the entry gate: a stale in-list
+        // entry re-arms against it, so skipping the push is then safe.
+        // The gate itself must be an atomic 0→1 transition — after the
+        // store above, ownership can move on (claim → merge → re-split →
+        // re-publish), making publishes of this node concurrent; exactly
+        // one may push or the shared `next` slot would be clobbered.
+        if self.entries[node as usize].fetch_add(1, Ordering::AcqRel) == 0 {
+            self.push(order, node);
+        } else {
+            self.entries[node as usize].fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    fn push(&self, order: u32, node: u32) {
+        let head = &self.heads[order as usize];
+        loop {
+            let old = head.load(Ordering::Acquire);
+            self.next[node as usize].store(old as u32, Ordering::Relaxed);
+            let tag = (old >> 32).wrapping_add(1);
+            let new = (tag << 32) | u64::from(node + 1);
+            if head
+                .compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Pops a *valid* free block of `order` (discarding stale entries), or
+    /// `None` when the list is empty.
+    fn pop(&self, order: u32) -> Option<u32> {
+        let head = &self.heads[order as usize];
+        loop {
+            let old = head.load(Ordering::Acquire);
+            let id_plus = old as u32;
+            if id_plus == 0 {
+                return None;
+            }
+            let node = id_plus - 1;
+            let next = self.next[node as usize].load(Ordering::Relaxed);
+            let tag = (old >> 32).wrapping_add(1);
+            let new = (tag << 32) | u64::from(next);
+            if head
+                .compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // Entry detached: drop its in-list accounting *before*
+            // validating, so a concurrent publish observing count 0 can
+            // safely push a fresh entry.
+            self.entries[node as usize].fetch_sub(1, Ordering::AcqRel);
+            // Validate (lazy deletion of stale entries: a merge may have
+            // TAKEN this node while its entry remained).
+            if self.states[node as usize]
+                .compare_exchange(S_FREE, S_TAKEN, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(node);
+            }
+            // Stale: drop it and keep popping.
+        }
+    }
+
+    // ---- public operations ----------------------------------------------
+
+    /// Allocates a block of `2^order` units.
+    ///
+    /// # Errors
+    ///
+    /// [`BuddyExhausted`] when no block of that order can be carved out.
+    pub fn alloc(&self, order: u32) -> Result<Block, BuddyExhausted> {
+        if order > self.max_order {
+            return Err(BuddyExhausted);
+        }
+        // Find the smallest order ≥ requested with a free block.
+        let mut found = None;
+        for o in order..=self.max_order {
+            if let Some(node) = self.pop(o) {
+                found = Some((o, node));
+                break;
+            }
+        }
+        let (mut o, mut node) = found.ok_or(BuddyExhausted)?;
+        // Split down to the requested order; we own `node` (TAKEN).
+        while o > order {
+            self.states[node as usize].store(S_SPLIT, Ordering::Release);
+            let left = 2 * node + 1;
+            let right = 2 * node + 2;
+            // Right half becomes free; we keep the left.
+            self.publish(o - 1, right);
+            self.states[left as usize].store(S_TAKEN, Ordering::Release);
+            node = left;
+            o -= 1;
+        }
+        self.allocated_units
+            .fetch_add(1u64 << order, Ordering::Relaxed);
+        Ok(Block {
+            order,
+            offset: self.node_offset(node),
+        })
+    }
+
+    /// Frees a block previously returned by [`BuddyAllocator::alloc`],
+    /// merging with free buddies as far up as possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on double-free or foreign blocks.
+    pub fn free(&self, block: Block) {
+        let mut node = self.node_for(block);
+        debug_assert_eq!(
+            self.states[node as usize].load(Ordering::Acquire),
+            S_TAKEN,
+            "freeing a block that is not allocated"
+        );
+        self.allocated_units
+            .fetch_sub(1u64 << block.order, Ordering::Relaxed);
+        loop {
+            let buddy = match Self::buddy_of(node) {
+                None => {
+                    // Whole region free again.
+                    self.publish(self.max_order, node);
+                    return;
+                }
+                Some(b) => b,
+            };
+            // Try to claim the buddy for merging. Success leaves a stale
+            // list entry behind (lazily discarded by pop).
+            if self.states[buddy as usize]
+                .compare_exchange(S_FREE, S_TAKEN, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Merge: both children invalid, parent becomes ours.
+                let parent = Self::parent_of(node);
+                self.states[node as usize].store(S_INVALID, Ordering::Release);
+                self.states[buddy as usize].store(S_INVALID, Ordering::Release);
+                self.states[parent as usize].store(S_TAKEN, Ordering::Release);
+                node = parent;
+                continue;
+            }
+            // Buddy busy: publish ourselves.
+            self.publish(self.node_order(node), node);
+            return;
+        }
+    }
+
+    /// Largest order currently allocatable (diagnostic; racy by nature).
+    pub fn probe_max_free_order(&self) -> Option<u32> {
+        for o in (0..=self.max_order).rev() {
+            if let Some(node) = self.pop(o) {
+                // Put it right back.
+                self.publish(o, node);
+                return Some(o);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for BuddyAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BuddyAllocator")
+            .field("capacity_units", &self.capacity_units())
+            .field("allocated_units", &self.allocated_units())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn alloc_free_roundtrip_restores_full_region() {
+        let a = BuddyAllocator::new(4); // 16 units
+        let b = a.alloc(2).unwrap(); // 4 units
+        assert_eq!(b.units(), 4);
+        assert_eq!(a.allocated_units(), 4);
+        a.free(b);
+        assert_eq!(a.allocated_units(), 0);
+        // Merging must have reconstructed the maximal block.
+        assert_eq!(a.probe_max_free_order(), Some(4));
+    }
+
+    #[test]
+    fn alloc_all_min_blocks_then_free_all_merges_back() {
+        let a = BuddyAllocator::new(5); // 32 units
+        let blocks: Vec<Block> = (0..32).map(|_| a.alloc(0).unwrap()).collect();
+        // All offsets distinct and in range.
+        let offsets: HashSet<u32> = blocks.iter().map(|b| b.offset).collect();
+        assert_eq!(offsets.len(), 32);
+        assert!(offsets.iter().all(|&o| o < 32));
+        assert!(a.alloc(0).is_err(), "region exhausted");
+        for b in blocks {
+            a.free(b);
+        }
+        assert_eq!(a.allocated_units(), 0);
+        assert_eq!(a.probe_max_free_order(), Some(5), "fully merged");
+    }
+
+    #[test]
+    fn mixed_orders_do_not_overlap() {
+        let a = BuddyAllocator::new(6); // 64 units
+        let mut taken: Vec<(u32, u32)> = Vec::new(); // (start, end)
+        let mut blocks = Vec::new();
+        for order in [3, 0, 2, 1, 0, 4, 0] {
+            if let Ok(b) = a.alloc(order) {
+                let start = b.offset;
+                let end = b.offset + b.units();
+                for &(s, e) in &taken {
+                    assert!(end <= s || start >= e, "overlap: [{start},{end}) vs [{s},{e})");
+                }
+                taken.push((start, end));
+                blocks.push(b);
+            }
+        }
+        for b in blocks {
+            a.free(b);
+        }
+        assert_eq!(a.probe_max_free_order(), Some(6));
+    }
+
+    #[test]
+    fn exhaustion_reports_error() {
+        let a = BuddyAllocator::new(3); // 8 units
+        let b = a.alloc(3).unwrap();
+        assert!(a.alloc(0).is_err());
+        a.free(b);
+        assert!(a.alloc(0).is_ok());
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let a = BuddyAllocator::new(3);
+        assert_eq!(a.alloc(4), Err(BuddyExhausted));
+    }
+
+    #[test]
+    fn exhausted_error_displays() {
+        assert_eq!(
+            format!("{BuddyExhausted}"),
+            "buddy region exhausted for the requested order"
+        );
+    }
+
+    #[test]
+    fn geometry_roundtrip() {
+        let a = BuddyAllocator::new(6);
+        for node in 0..127u32 {
+            let order = a.node_order(node);
+            let offset = a.node_offset(node);
+            assert_eq!(a.node_for(Block { order, offset }), node);
+            assert_eq!(offset % (1 << order), 0, "aligned");
+        }
+    }
+
+    #[test]
+    fn buddies_pair_correctly() {
+        assert_eq!(BuddyAllocator::buddy_of(0), None);
+        assert_eq!(BuddyAllocator::buddy_of(1), Some(2));
+        assert_eq!(BuddyAllocator::buddy_of(2), Some(1));
+        assert_eq!(BuddyAllocator::buddy_of(9), Some(10));
+        assert_eq!(BuddyAllocator::parent_of(9), 4);
+        assert_eq!(BuddyAllocator::parent_of(10), 4);
+    }
+
+    #[test]
+    fn concurrent_alloc_free_never_overlaps() {
+        let a = BuddyAllocator::new(10); // 1024 units
+        // Each thread marks the units of every block it holds in a shared
+        // bitmap with fetch_or; any double-set bit is an overlap.
+        let bitmap: Vec<AtomicU64> = (0..16).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            let a = &a;
+            let bitmap = &bitmap;
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    let mut rng = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                    let mut held: Vec<Block> = Vec::new();
+                    for _ in 0..2_000 {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        if rng & 1 == 0 || held.is_empty() {
+                            let order = (rng >> 8) % 4;
+                            if let Ok(b) = a.alloc(order as u32) {
+                                // Mark bits; assert none were set.
+                                for u in b.offset..b.offset + b.units() {
+                                    let w = (u / 64) as usize;
+                                    let bit = 1u64 << (u % 64);
+                                    let prev = bitmap[w].fetch_or(bit, Ordering::AcqRel);
+                                    assert_eq!(prev & bit, 0, "unit {u} double-allocated");
+                                }
+                                held.push(b);
+                            }
+                        } else {
+                            let idx = ((rng >> 16) as usize) % held.len();
+                            let b = held.swap_remove(idx);
+                            for u in b.offset..b.offset + b.units() {
+                                let w = (u / 64) as usize;
+                                let bit = 1u64 << (u % 64);
+                                bitmap[w].fetch_and(!bit, Ordering::AcqRel);
+                            }
+                            a.free(b);
+                        }
+                    }
+                    for b in held {
+                        for u in b.offset..b.offset + b.units() {
+                            let w = (u / 64) as usize;
+                            bitmap[w].fetch_and(!(1u64 << (u % 64)), Ordering::AcqRel);
+                        }
+                        a.free(b);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.allocated_units(), 0);
+        assert!(bitmap.iter().all(|w| w.load(Ordering::Relaxed) == 0));
+        assert_eq!(
+            a.probe_max_free_order(),
+            Some(10),
+            "everything merged back after concurrent churn"
+        );
+    }
+
+    #[test]
+    fn fragmentation_then_recovery() {
+        let a = BuddyAllocator::new(8); // 256 units
+        // Allocate alternating unit blocks to fragment maximally.
+        let blocks: Vec<Block> = (0..256).map(|_| a.alloc(0).unwrap()).collect();
+        // Free every even-offset block: max free order must be 0 (all
+        // buddies of free blocks are still allocated).
+        for b in blocks.iter().filter(|b| b.offset.is_multiple_of(2)) {
+            a.free(*b);
+        }
+        assert_eq!(a.probe_max_free_order(), Some(0), "fully fragmented");
+        assert!(a.alloc(1).is_err(), "no order-1 block available");
+        // Free the rest: everything merges to the top.
+        for b in blocks.iter().filter(|b| b.offset % 2 == 1) {
+            a.free(*b);
+        }
+        assert_eq!(a.probe_max_free_order(), Some(8));
+    }
+}

@@ -1,0 +1,211 @@
+//! The [`Managed`] trait: what a node type must provide for the §5 memory
+//! manager to reference-count, reclaim, and recycle it.
+
+use std::fmt;
+
+use valois_sync::primitives::{CasPtr, Counter, TestAndSet};
+
+/// Maximum number of counted outgoing links a node may report at
+/// reclamation time. The list's cells have two (`next`, `back_link`); BST
+/// cells have up to three (`left`, `right`, `back_link`); skip-list tower
+/// cells have two per level (next + back link, up to 12 levels).
+pub const MAX_LINKS: usize = 26;
+
+/// A counted pointer field inside a node (`next`, `back_link`, roots).
+///
+/// This is just the paper's shared pointer word — [`CasPtr`] — renamed to
+/// emphasize that *this location's current value contributes 1 to the
+/// pointee's reference count*, an invariant maintained by
+/// [`Arena::swing`](crate::Arena::swing) and the reclamation drain.
+pub type Link<N> = CasPtr<N>;
+
+/// Per-node bookkeeping required by the §5 protocol.
+///
+/// * `refct` — process references + incoming counted links (see crate docs).
+/// * `claim` — the Test&Set used by `Release` (Fig. 16) to pick a single
+///   reclaimer among processes that concurrently see the count reach zero.
+///
+/// A freshly constructed header describes a **detached** node: count 0 and
+/// claim set. The arena's free-list push then installs the free list's
+/// incoming-pointer count (so on-free-list nodes always have count ≥ 1);
+/// claim is cleared only by `Alloc` (Fig. 17 line 8).
+pub struct NodeHeader {
+    refct: Counter,
+    claim: TestAndSet,
+}
+
+impl NodeHeader {
+    /// Creates a header in the detached pre-free-list state (count 0,
+    /// claim set).
+    pub fn new_free() -> Self {
+        Self {
+            refct: Counter::new(0),
+            claim: TestAndSet::with_state(true),
+        }
+    }
+
+    /// The reference count.
+    pub fn refct(&self) -> &Counter {
+        &self.refct
+    }
+
+    /// The claim flag.
+    pub fn claim(&self) -> &TestAndSet {
+        &self.claim
+    }
+}
+
+impl Default for NodeHeader {
+    fn default() -> Self {
+        Self::new_free()
+    }
+}
+
+impl fmt::Debug for NodeHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeHeader")
+            .field("refct", &self.refct.read())
+            .field("claim", &self.claim.is_set())
+            .finish()
+    }
+}
+
+/// Outgoing counted links collected from a node at reclamation time.
+///
+/// Fixed-capacity so the reclamation path never allocates for the common
+/// case; see [`MAX_LINKS`].
+pub struct ReclaimedLinks<N> {
+    links: [*mut N; MAX_LINKS],
+    len: usize,
+}
+
+impl<N> ReclaimedLinks<N> {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self {
+            links: [std::ptr::null_mut(); MAX_LINKS],
+            len: 0,
+        }
+    }
+
+    /// Records a drained link target. Null pointers are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_LINKS`] non-null links are pushed — that
+    /// would mean the node type under-declared its link count and the
+    /// protocol would leak references.
+    pub fn push(&mut self, target: *mut N) {
+        if target.is_null() {
+            return;
+        }
+        assert!(self.len < MAX_LINKS, "node reported more than MAX_LINKS counted links");
+        self.links[self.len] = target;
+        self.len += 1;
+    }
+
+    /// Number of recorded links.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no links were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the recorded targets.
+    pub fn iter(&self) -> impl Iterator<Item = *mut N> + '_ {
+        self.links[..self.len].iter().copied()
+    }
+}
+
+impl<N> Default for ReclaimedLinks<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N> fmt::Debug for ReclaimedLinks<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReclaimedLinks")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// A node type managed by the [`Arena`](crate::Arena).
+///
+/// # Safety contract (enforced by convention, checked by tests)
+///
+/// * [`Managed::header`] must return the same header for the node's entire
+///   life.
+/// * [`Managed::free_link`] returns the pointer field the free list threads
+///   through free nodes. The paper reuses the node's `next` field (Fig. 18
+///   line 2 writes `p^.next`); implementations should do the same.
+/// * [`Managed::drain_links`] is called exactly once per reclamation, by the
+///   claim winner, when the count is zero (no other process can read the
+///   node's fields). It must atomically take every *counted* outgoing link,
+///   null the fields, drop any payload, and report the old targets so the
+///   arena can release them.
+/// * [`Managed::reset_for_alloc`] is called by `Alloc` while the allocator
+///   is the sole owner, before the node is handed out.
+pub trait Managed: Send + Sync {
+    /// Reference-count / claim bookkeeping for this node.
+    fn header(&self) -> &NodeHeader;
+
+    /// The field the free list uses to chain free nodes.
+    fn free_link(&self) -> &Link<Self>
+    where
+        Self: Sized;
+
+    /// Takes all counted outgoing links and drops any payload; returns the
+    /// old link targets for the arena to release.
+    fn drain_links(&self) -> ReclaimedLinks<Self>
+    where
+        Self: Sized;
+
+    /// Re-initializes the node for a fresh life (clear payload slots, null
+    /// links). Called with exclusive logical ownership.
+    fn reset_for_alloc(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_starts_free() {
+        let h = NodeHeader::new_free();
+        assert_eq!(h.refct().read(), 0);
+        assert!(h.claim().is_set());
+    }
+
+    #[test]
+    fn default_header_matches_new_free() {
+        let h = NodeHeader::default();
+        assert_eq!(h.refct().read(), 0);
+        assert!(h.claim().is_set());
+    }
+
+    #[test]
+    fn reclaimed_links_skips_null() {
+        let mut r: ReclaimedLinks<u8> = ReclaimedLinks::new();
+        r.push(std::ptr::null_mut());
+        assert!(r.is_empty());
+        let mut x = 0u8;
+        r.push(&mut x);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap(), &mut x as *mut u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_LINKS")]
+    fn reclaimed_links_overflow_panics() {
+        let mut r: ReclaimedLinks<u8> = ReclaimedLinks::new();
+        let mut xs = [0u8; MAX_LINKS + 1];
+        for x in xs.iter_mut() {
+            r.push(x as *mut u8);
+        }
+    }
+}

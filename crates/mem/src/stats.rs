@@ -1,0 +1,150 @@
+//! Memory-manager statistics.
+//!
+//! §6 of the paper singles out `SafeRead` as "the most time consuming
+//! operation"; experiment E8 quantifies that, and E3 needs CAS retry
+//! counts. The counters here are relaxed atomics — their cost is validated
+//! to be in the noise by the `stats_overhead` Criterion bench.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters owned by an [`Arena`](crate::Arena).
+#[derive(Default)]
+pub struct StatCounters {
+    pub(crate) safe_reads: AtomicU64,
+    pub(crate) safe_read_retries: AtomicU64,
+    pub(crate) releases: AtomicU64,
+    pub(crate) allocs: AtomicU64,
+    pub(crate) alloc_retries: AtomicU64,
+    pub(crate) reclaims: AtomicU64,
+    pub(crate) swings: AtomicU64,
+    pub(crate) swing_failures: AtomicU64,
+    pub(crate) grows: AtomicU64,
+}
+
+impl StatCounters {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot.
+    pub fn snapshot(&self) -> MemStats {
+        MemStats {
+            safe_reads: self.safe_reads.load(Ordering::Relaxed),
+            safe_read_retries: self.safe_read_retries.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            alloc_retries: self.alloc_retries.load(Ordering::Relaxed),
+            reclaims: self.reclaims.load(Ordering::Relaxed),
+            swings: self.swings.load(Ordering::Relaxed),
+            swing_failures: self.swing_failures.load(Ordering::Relaxed),
+            grows: self.grows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for StatCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// Point-in-time snapshot of an arena's activity counters.
+///
+/// Obtain via [`Arena::stats`](crate::Arena::stats). Differences between two
+/// snapshots measure a workload's memory-protocol traffic (experiments
+/// E3/E8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Completed `SafeRead` operations (Fig. 15).
+    pub safe_reads: u64,
+    /// `SafeRead` retries (pointer changed between read and increment).
+    pub safe_read_retries: u64,
+    /// `Release` operations (Fig. 16), including link releases at reclaim.
+    pub releases: u64,
+    /// Successful `Alloc` operations (Fig. 17).
+    pub allocs: u64,
+    /// `Alloc` CAS retries (free-list head contention).
+    pub alloc_retries: u64,
+    /// Reclamations (Fig. 18 pushes back onto the free list).
+    pub reclaims: u64,
+    /// Counted-link CAS swings attempted via `Arena::swing`.
+    pub swings: u64,
+    /// Swings whose CAS failed (contention/invalid cursor — the paper's
+    /// retry signal).
+    pub swing_failures: u64,
+    /// Arena segment growth events.
+    pub grows: u64,
+}
+
+impl MemStats {
+    /// Component-wise difference (`self - earlier`), saturating at zero.
+    pub fn since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            safe_reads: self.safe_reads.saturating_sub(earlier.safe_reads),
+            safe_read_retries: self
+                .safe_read_retries
+                .saturating_sub(earlier.safe_read_retries),
+            releases: self.releases.saturating_sub(earlier.releases),
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            alloc_retries: self.alloc_retries.saturating_sub(earlier.alloc_retries),
+            reclaims: self.reclaims.saturating_sub(earlier.reclaims),
+            swings: self.swings.saturating_sub(earlier.swings),
+            swing_failures: self.swing_failures.saturating_sub(earlier.swing_failures),
+            grows: self.grows.saturating_sub(earlier.grows),
+        }
+    }
+
+    /// Nodes currently checked out (allocated and not yet reclaimed).
+    pub fn live_nodes(&self) -> u64 {
+        self.allocs.saturating_sub(self.reclaims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let c = StatCounters::default();
+        StatCounters::bump(&c.safe_reads);
+        StatCounters::bump(&c.safe_reads);
+        StatCounters::bump(&c.allocs);
+        let s = c.snapshot();
+        assert_eq!(s.safe_reads, 2);
+        assert_eq!(s.allocs, 1);
+        assert_eq!(s.reclaims, 0);
+    }
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let a = MemStats {
+            safe_reads: 10,
+            allocs: 5,
+            reclaims: 2,
+            ..MemStats::default()
+        };
+        let b = MemStats {
+            safe_reads: 4,
+            allocs: 5,
+            reclaims: 1,
+            ..MemStats::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.safe_reads, 6);
+        assert_eq!(d.allocs, 0);
+        assert_eq!(d.reclaims, 1);
+    }
+
+    #[test]
+    fn live_nodes_is_allocs_minus_reclaims() {
+        let s = MemStats {
+            allocs: 7,
+            reclaims: 3,
+            ..MemStats::default()
+        };
+        assert_eq!(s.live_nodes(), 4);
+    }
+}

@@ -1,0 +1,126 @@
+//! Bounded exponential backoff for CAS retry loops.
+//!
+//! §2.1 of the paper: "starvation at high levels of contention is more
+//! efficiently handled by techniques such as exponential backoff". Every
+//! retry loop in the dictionary layer takes an optional [`Backoff`]; the
+//! `backoff` Criterion bench measures its effect (ablation of a design
+//! choice called out in DESIGN.md).
+
+use std::fmt;
+
+/// Upper bound on the exponent so the wait stays bounded (2^10 spins).
+const MAX_EXPONENT: u32 = 10;
+/// Below this exponent we spin; above it we yield to the OS scheduler,
+/// which matters when threads outnumber cores.
+const YIELD_EXPONENT: u32 = 6;
+
+/// Bounded exponential backoff.
+///
+/// Each call to [`Backoff::spin`] waits roughly twice as long as the
+/// previous one, up to a fixed cap, then starts yielding the CPU. Reset
+/// with [`Backoff::reset`] after a successful operation.
+///
+/// # Example
+///
+/// ```
+/// use valois_sync::Backoff;
+/// let mut b = Backoff::new();
+/// for _ in 0..4 { b.spin(); }
+/// b.reset();
+/// assert!(b.is_fresh());
+/// ```
+#[derive(Clone)]
+pub struct Backoff {
+    exponent: u32,
+}
+
+impl Backoff {
+    /// Creates a fresh backoff (first wait is minimal).
+    pub fn new() -> Self {
+        Self { exponent: 0 }
+    }
+
+    /// Returns `true` if no backoff has been accumulated yet.
+    pub fn is_fresh(&self) -> bool {
+        self.exponent == 0
+    }
+
+    /// Current exponent (testing / statistics hook).
+    pub fn exponent(&self) -> u32 {
+        self.exponent
+    }
+
+    /// Waits for the current backoff duration and doubles the next one.
+    ///
+    /// Short waits are busy spins with `spin_loop` hints; once the wait
+    /// grows past a threshold the thread yields instead, so an
+    /// oversubscribed host (more threads than cores) makes progress.
+    pub fn spin(&mut self) {
+        if self.exponent <= YIELD_EXPONENT {
+            let iters = 1u32 << self.exponent;
+            for _ in 0..iters {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.exponent < MAX_EXPONENT {
+            self.exponent += 1;
+        }
+    }
+
+    /// Resets to the minimal wait (call after the contended operation
+    /// finally succeeds).
+    pub fn reset(&mut self) {
+        self.exponent = 0;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Backoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Backoff")
+            .field("exponent", &self.exponent)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_grows_and_saturates() {
+        let mut b = Backoff::new();
+        assert!(b.is_fresh());
+        for _ in 0..(MAX_EXPONENT + 5) {
+            b.spin();
+        }
+        assert_eq!(b.exponent(), MAX_EXPONENT, "exponent must saturate");
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut b = Backoff::new();
+        b.spin();
+        b.spin();
+        assert!(!b.is_fresh());
+        b.reset();
+        assert!(b.is_fresh());
+        assert_eq!(b.exponent(), 0);
+    }
+
+    #[test]
+    fn clone_preserves_state() {
+        let mut b = Backoff::new();
+        b.spin();
+        b.spin();
+        let c = b.clone();
+        assert_eq!(c.exponent(), b.exponent());
+    }
+}

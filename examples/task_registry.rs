@@ -1,0 +1,82 @@
+//! A multi-threaded task registry on the lock-free hash dictionary —
+//! the OS-kernel-style use case the paper's introduction motivates
+//! (Massalin & Pu built a whole kernel on structures like these).
+//!
+//! Worker threads register tasks, look peers up, and retire finished
+//! tasks, all concurrently and without a single lock.
+//!
+//! ```sh
+//! cargo run --example task_registry
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use valois::{Dictionary, HashDict};
+
+#[derive(Clone, Debug, PartialEq)]
+struct Task {
+    owner: u64,
+    priority: u8,
+}
+
+fn main() {
+    let registry: HashDict<u64, Task> = HashDict::with_buckets(256);
+    let spawned = AtomicU64::new(0);
+    let retired = AtomicU64::new(0);
+    let lookups = AtomicU64::new(0);
+    let workers = 8u64;
+    let per_worker = 20_000u64;
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let registry = &registry;
+        let spawned = &spawned;
+        let retired = &retired;
+        let lookups = &lookups;
+        for w in 0..workers {
+            s.spawn(move || {
+                for i in 0..per_worker {
+                    let id = w * per_worker + i;
+                    // Register a new task.
+                    if registry.insert(
+                        id,
+                        Task {
+                            owner: w,
+                            priority: (i % 5) as u8,
+                        },
+                    ) {
+                        spawned.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Look up a (probably) live neighbour's task.
+                    let probe = id.saturating_sub(5);
+                    if registry.with_value(&probe, |t| t.priority).is_some() {
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Retire an older task of ours.
+                    if i >= 10 {
+                        let old = w * per_worker + i - 10;
+                        if registry.remove(&old) {
+                            retired.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let dt = t0.elapsed();
+
+    let spawned = spawned.load(Ordering::Relaxed);
+    let retired = retired.load(Ordering::Relaxed);
+    println!("workers:            {workers}");
+    println!("tasks registered:   {spawned}");
+    println!("tasks retired:      {retired}");
+    println!("successful lookups: {}", lookups.load(Ordering::Relaxed));
+    println!("live tasks:         {}", registry.len());
+    println!(
+        "throughput:         {:.0} registry ops/s",
+        (spawned + retired) as f64 * 2.0 / dt.as_secs_f64()
+    );
+    assert_eq!(registry.len() as u64, spawned - retired);
+    println!("accounting exact:   registered - retired == live ✓");
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the building-block ADTs: the FIFO queue against
+//! a `VecDeque` model, the stack against a `Vec` model, and the priority
+//! queue against a sorted model.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use valois::{FifoQueue, PriorityQueue, Stack};
+
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Enqueue(u16),
+    Dequeue,
+    Len,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        2 => any::<u16>().prop_map(QueueOp::Enqueue),
+        2 => Just(QueueOp::Dequeue),
+        1 => Just(QueueOp::Len),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fifo_queue_matches_vecdeque(ops in prop::collection::vec(queue_op(), 1..200)) {
+        let q: FifoQueue<u16> = FifoQueue::new();
+        let mut model: VecDeque<u16> = VecDeque::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                QueueOp::Enqueue(v) => {
+                    q.enqueue(v).unwrap();
+                    model.push_back(v);
+                }
+                QueueOp::Dequeue => {
+                    prop_assert_eq!(q.dequeue(), model.pop_front(), "op {}", i);
+                }
+                QueueOp::Len => {
+                    prop_assert_eq!(q.len(), model.len(), "op {}", i);
+                    prop_assert_eq!(q.is_empty(), model.is_empty(), "op {}", i);
+                }
+            }
+        }
+        // Drain to the end; order must match exactly.
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(q.dequeue(), Some(expected));
+        }
+        prop_assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn stack_matches_vec(ops in prop::collection::vec(queue_op(), 1..200)) {
+        let s: Stack<u16> = Stack::new();
+        let mut model: Vec<u16> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                QueueOp::Enqueue(v) => {
+                    s.push(v).unwrap();
+                    model.push(v);
+                }
+                QueueOp::Dequeue => {
+                    prop_assert_eq!(s.pop(), model.pop(), "op {}", i);
+                }
+                QueueOp::Len => {
+                    prop_assert_eq!(s.len(), model.len(), "op {}", i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_queue_always_pops_minimum(ops in prop::collection::vec(queue_op(), 1..150)) {
+        let q: PriorityQueue<u16> = PriorityQueue::new();
+        let mut model: Vec<u16> = Vec::new(); // kept sorted
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                QueueOp::Enqueue(v) => {
+                    q.insert(v).unwrap();
+                    let pos = model.partition_point(|x| *x <= v);
+                    model.insert(pos, v);
+                }
+                QueueOp::Dequeue => {
+                    let expected = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0))
+                    };
+                    prop_assert_eq!(q.pop_min(), expected, "op {}", i);
+                }
+                QueueOp::Len => {
+                    prop_assert_eq!(q.len(), model.len(), "op {}", i);
+                    prop_assert_eq!(q.peek_min(), model.first().copied(), "op {}", i);
+                }
+            }
+        }
+        prop_assert_eq!(q.to_sorted_vec(), model);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based sequential equivalence: every §4 dictionary must behave
+//! exactly like `BTreeMap` (presence semantics, first-insert-wins) over
+//! arbitrary operation sequences.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use valois::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
+
+#[derive(Debug, Clone)]
+enum DictOp {
+    Insert(u8, u16),
+    Remove(u8),
+    Find(u8),
+    Len,
+}
+
+fn op_strategy() -> impl Strategy<Value = DictOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| DictOp::Insert(k % 32, v)),
+        any::<u8>().prop_map(|k| DictOp::Remove(k % 32)),
+        any::<u8>().prop_map(|k| DictOp::Find(k % 32)),
+        Just(DictOp::Len),
+    ]
+}
+
+fn run_against_model<D: Dictionary<u64, u64>>(
+    dict: &D,
+    ops: &[DictOp],
+) -> Result<(), TestCaseError> {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            DictOp::Insert(k, v) => {
+                let (k, v) = (k as u64, v as u64);
+                let expect = !model.contains_key(&k);
+                if expect {
+                    model.insert(k, v);
+                }
+                prop_assert_eq!(dict.insert(k, v), expect, "op {}: insert({})", i, k);
+            }
+            DictOp::Remove(k) => {
+                let k = k as u64;
+                let expect = model.remove(&k).is_some();
+                prop_assert_eq!(dict.remove(&k), expect, "op {}: remove({})", i, k);
+            }
+            DictOp::Find(k) => {
+                let k = k as u64;
+                prop_assert_eq!(dict.find(&k), model.get(&k).copied(), "op {}: find({})", i, k);
+            }
+            DictOp::Len => {
+                prop_assert_eq!(dict.len(), model.len(), "op {}: len", i);
+            }
+        }
+    }
+    Ok(())
+}
+
+// Each impl gets its own proptest so shrinking pinpoints the structure.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sorted_list_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let d: SortedListDict<u64, u64> = SortedListDict::new();
+        run_against_model(&d, &ops)?;
+    }
+
+    #[test]
+    fn hash_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let d: HashDict<u64, u64> = HashDict::with_buckets(4);
+        run_against_model(&d, &ops)?;
+    }
+
+    #[test]
+    fn skiplist_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let d: SkipListDict<u64, u64> = SkipListDict::new();
+        run_against_model(&d, &ops)?;
+    }
+
+    #[test]
+    fn bst_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let d: BstDict<u64, u64> = BstDict::new();
+        run_against_model(&d, &ops)?;
+    }
+
+    #[test]
+    fn sorted_list_keys_always_sorted(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let d: SortedListDict<u64, u64> = SortedListDict::new();
+        for op in &ops {
+            match *op {
+                DictOp::Insert(k, v) => { d.insert(k as u64, v as u64); }
+                DictOp::Remove(k) => { d.remove(&(k as u64)); }
+                _ => {}
+            }
+            let keys = d.keys();
+            prop_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys {:?}", keys);
+        }
+    }
+
+    #[test]
+    fn skiplist_levels_stay_subsets(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let mut d: SkipListDict<u64, u64> = SkipListDict::new();
+        for op in &ops {
+            match *op {
+                DictOp::Insert(k, v) => { d.insert(k as u64, v as u64); }
+                DictOp::Remove(k) => { d.remove(&(k as u64)); }
+                _ => {}
+            }
+        }
+        prop_assert!(d.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn sorted_list_range_matches_btreemap(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        lo in 0u64..32,
+        span in 0u64..32,
+    ) {
+        let d: SortedListDict<u64, u64> = SortedListDict::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                DictOp::Insert(k, v) => {
+                    let (k, v) = (k as u64, v as u64);
+                    model.entry(k).or_insert(v);
+                    d.insert(k, v);
+                }
+                DictOp::Remove(k) => {
+                    model.remove(&(k as u64));
+                    d.remove(&(k as u64));
+                }
+                _ => {}
+            }
+        }
+        let hi = lo + span;
+        let expected: Vec<(u64, u64)> =
+            model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(d.range(&lo, &hi), expected);
+    }
+
+    #[test]
+    fn skiplist_range_matches_btreemap(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        lo in 0u64..32,
+        span in 0u64..32,
+    ) {
+        let d: SkipListDict<u64, u64> = SkipListDict::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                DictOp::Insert(k, v) => {
+                    let (k, v) = (k as u64, v as u64);
+                    model.entry(k).or_insert(v);
+                    d.insert(k, v);
+                }
+                DictOp::Remove(k) => {
+                    model.remove(&(k as u64));
+                    d.remove(&(k as u64));
+                }
+                _ => {}
+            }
+        }
+        let hi = lo + span;
+        let expected: Vec<(u64, u64)> =
+            model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(d.range(&lo, &hi), expected);
+    }
+
+    #[test]
+    fn bst_inorder_stays_sorted(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let mut d: BstDict<u64, u64> = BstDict::new();
+        for op in &ops {
+            match *op {
+                DictOp::Insert(k, v) => { d.insert(k as u64, v as u64); }
+                DictOp::Remove(k) => { d.remove(&(k as u64)); }
+                _ => {}
+            }
+        }
+        prop_assert!(d.check_invariants().is_ok());
+    }
+}

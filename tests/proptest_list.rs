@@ -1,0 +1,119 @@
+//! Property-based tests of the raw §3 list: cursor navigation against a
+//! vector model, structural invariants after arbitrary edit scripts, and
+//! memory conservation.
+
+use proptest::prelude::*;
+
+use valois::core::{ArenaConfig, List};
+
+#[derive(Debug, Clone)]
+enum ListOp {
+    /// Move the cursor n steps forward (saturating at the end).
+    Advance(u8),
+    /// Reposition at the first item.
+    SeekFirst,
+    /// Insert a value before the cursor position.
+    Insert(u16),
+    /// Delete the item at the cursor position.
+    Delete,
+}
+
+fn op_strategy() -> impl Strategy<Value = ListOp> {
+    prop_oneof![
+        (0u8..6).prop_map(ListOp::Advance),
+        Just(ListOp::SeekFirst),
+        any::<u16>().prop_map(ListOp::Insert),
+        Just(ListOp::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drive a cursor with an arbitrary script; a Vec<u16> + index model
+    /// must agree at every step.
+    #[test]
+    fn cursor_matches_vec_model(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let list: List<u16> = List::new();
+        let mut cursor = list.cursor();
+        let mut model: Vec<u16> = Vec::new();
+        let mut pos: usize = 0; // model cursor position (== model.len() at end)
+
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                ListOp::Advance(n) => {
+                    for _ in 0..n {
+                        let moved = cursor.next();
+                        if pos < model.len() {
+                            pos += 1;
+                            prop_assert!(moved, "op {}: next must move", i);
+                        } else {
+                            prop_assert!(!moved, "op {}: next at end must fail", i);
+                        }
+                    }
+                }
+                ListOp::SeekFirst => {
+                    cursor.seek_first();
+                    pos = 0;
+                }
+                ListOp::Insert(v) => {
+                    cursor.insert(v).unwrap();
+                    model.insert(pos, v);
+                    // The paper's insert leaves the cursor invalid; update
+                    // repositions it at the inserted cell (same index).
+                    cursor.update();
+                }
+                ListOp::Delete => {
+                    let deleted = cursor.try_delete();
+                    if pos < model.len() {
+                        prop_assert!(deleted, "op {}: delete of live item", i);
+                        model.remove(pos);
+                        cursor.update();
+                    } else {
+                        prop_assert!(!deleted, "op {}: delete at end must fail", i);
+                    }
+                }
+            }
+            // The visited value must match the model at every step.
+            let expected = model.get(pos).copied();
+            let actual = cursor.get().copied();
+            prop_assert_eq!(actual, expected, "op {}: cursor value", i);
+            prop_assert_eq!(cursor.is_at_end(), pos >= model.len(), "op {}: end state", i);
+        }
+        // Full contents agree.
+        let items: Vec<u16> = list.iter().collect();
+        prop_assert_eq!(items, model);
+    }
+
+    /// After any edit script, the structure is well-formed and all nodes
+    /// are accounted for (live structure + free list = capacity).
+    #[test]
+    fn structure_and_memory_conserved(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut list: List<u16> = List::with_config(ArenaConfig::new().initial_capacity(64));
+        {
+            let mut cursor = list.cursor();
+            for op in &ops {
+                match *op {
+                    ListOp::Advance(n) => { for _ in 0..n { cursor.next(); } }
+                    ListOp::SeekFirst => cursor.seek_first(),
+                    ListOp::Insert(v) => { cursor.insert(v).unwrap(); cursor.update(); }
+                    ListOp::Delete => { if cursor.try_delete() { cursor.update(); } }
+                }
+            }
+        }
+        prop_assert!(list.check_structure().is_ok());
+        let items = list.len() as u64;
+        let collected = list.quiescent_collect();
+        prop_assert_eq!(collected, 0, "sequential scripts never create cycles");
+        // dummies(2) + aux(items+1) + cells(items)
+        prop_assert_eq!(list.mem_stats().live_nodes(), 3 + 2 * items);
+    }
+
+    /// FromIterator/iter round-trip.
+    #[test]
+    fn collect_roundtrip(values in prop::collection::vec(any::<u16>(), 0..100)) {
+        let list: List<u16> = values.clone().into_iter().collect();
+        let back: Vec<u16> = list.iter().collect();
+        prop_assert_eq!(back, values);
+    }
+}
