@@ -163,7 +163,9 @@ impl<K: Ord, V> Default for SeqSortedList<K, V> {
 
 impl<K, V> fmt::Debug for SeqSortedList<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SeqSortedList").field("len", &self.len).finish()
+        f.debug_struct("SeqSortedList")
+            .field("len", &self.len)
+            .finish()
     }
 }
 
@@ -585,8 +587,8 @@ mod tests {
 
     #[test]
     fn delayed_lock_still_correct() {
-        let d: LockedListDict<u64, u64> = LockedListDict::new()
-            .with_delay(CriticalDelay::new(0.5, Duration::from_micros(10)));
+        let d: LockedListDict<u64, u64> =
+            LockedListDict::new().with_delay(CriticalDelay::new(0.5, Duration::from_micros(10)));
         std::thread::scope(|s| {
             let d = &d;
             for t in 0..4u64 {

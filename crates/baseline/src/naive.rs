@@ -17,7 +17,7 @@
 //! a node — which is itself part of the paper's motivation.
 
 use std::fmt;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use valois_sync::shim::atomic::{AtomicPtr, Ordering};
 
 /// A node of the naive list.
 pub struct NaiveNode<T> {
@@ -34,7 +34,9 @@ impl<T> NaiveNode<T> {
 
 impl<T: fmt::Debug> fmt::Debug for NaiveNode<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("NaiveNode").field("value", &self.value).finish()
+        f.debug_struct("NaiveNode")
+            .field("value", &self.value)
+            .finish()
     }
 }
 
@@ -210,7 +212,9 @@ impl<T: Ord> Drop for NaiveList<T> {
 
 impl<T: Ord + fmt::Debug + Clone> fmt::Debug for NaiveList<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("NaiveList").field("items", &self.to_vec()).finish()
+        f.debug_struct("NaiveList")
+            .field("items", &self.to_vec())
+            .finish()
     }
 }
 
@@ -270,10 +274,16 @@ mod tests {
 
         // Process 2 starts deleting C but stalls just before its CAS;
         // process 1 deletes B first.
-        assert!(unsafe { list.cas_next(a, b, c) }, "delete B: CAS(A.next, B, C)");
+        assert!(
+            unsafe { list.cas_next(a, b, c) },
+            "delete B: CAS(A.next, B, C)"
+        );
         // Process 2 resumes: CAS(B.next, C, D) — still succeeds, because
         // nothing marks B as deleted.
-        assert!(unsafe { list.cas_next(b, c, d) }, "delete C: CAS(B.next, C, D)");
+        assert!(
+            unsafe { list.cas_next(b, c, d) },
+            "delete C: CAS(B.next, C, D)"
+        );
 
         // Both deletions "succeeded", yet C is still in the list.
         assert!(

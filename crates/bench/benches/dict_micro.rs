@@ -1,8 +1,9 @@
 //! Single-threaded per-operation costs of every §4 dictionary and the
 //! lock-based baselines: the "constant factor" side of E1/E5/E6.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use valois_baseline::{LockedBstDict, LockedListDict, MutexListDict};
+use valois_bench::criterion::{black_box, BenchmarkId, Criterion};
+use valois_bench::{criterion_group, criterion_main};
 use valois_dict::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
 
 const PREFILL: u64 = 1_024;

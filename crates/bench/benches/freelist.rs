@@ -1,7 +1,8 @@
 //! §5.2 allocator micro-benchmarks: `Alloc`/`Reclaim` (Figs. 17–18)
 //! against the system allocator, single-threaded and contended.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use valois_bench::criterion::{black_box, Criterion};
+use valois_bench::{criterion_group, criterion_main};
 use valois_core::List;
 use valois_mem::{ArenaConfig, BuddyAllocator};
 

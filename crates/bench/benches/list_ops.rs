@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the §3 list primitives: cursor traversal, Update,
 //! TryInsert, TryDelete (single-threaded baseline costs).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use valois_bench::criterion::{black_box, BatchSize, BenchmarkId, Criterion, Throughput};
+use valois_bench::{criterion_group, criterion_main};
 use valois_core::List;
 
 fn bench_traversal(c: &mut Criterion) {
@@ -33,7 +34,7 @@ fn bench_insert_front(c: &mut Criterion) {
                 }
                 black_box(list)
             },
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         );
     });
 }
@@ -52,7 +53,7 @@ fn bench_delete_front(c: &mut Criterion) {
                 }
                 black_box(list)
             },
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         );
     });
 }

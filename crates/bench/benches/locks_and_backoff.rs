@@ -1,8 +1,9 @@
 //! Spin-lock algorithm comparison (the §1 baselines) and the exponential
 //! backoff ablation (§2.1 cites backoff for contention management).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::atomic::{AtomicU64, Ordering};
+use valois_bench::criterion::{black_box, BenchmarkId, Criterion};
+use valois_bench::{criterion_group, criterion_main};
 use valois_sync::{Backoff, LockKind};
 
 /// Per-thread iterations for contended runs. FIFO locks (ticket/CLH/
@@ -10,7 +11,9 @@ use valois_sync::{Backoff, LockKind};
 /// cores than threads costs a scheduler round per acquisition — keep the
 /// counts small there so the benches stay tractable.
 fn contended_iters() -> u64 {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if cores >= 4 {
         5_000
     } else {

@@ -5,7 +5,8 @@
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Mutex;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use valois_bench::criterion::{black_box, Criterion};
+use valois_bench::{criterion_group, criterion_main};
 use valois_core::adt::{PriorityQueue, Stack};
 use valois_core::queue::FifoQueue;
 
@@ -89,9 +90,8 @@ fn bench_pqueue(c: &mut Criterion) {
             black_box(q.pop_min())
         });
     });
-    let heap: Mutex<BinaryHeap<std::cmp::Reverse<u64>>> = Mutex::new(
-        (0..64).map(|i| std::cmp::Reverse(i * 2)).collect(),
-    );
+    let heap: Mutex<BinaryHeap<std::cmp::Reverse<u64>>> =
+        Mutex::new((0..64).map(|i| std::cmp::Reverse(i * 2)).collect());
     group.bench_function("mutex_binaryheap", |b| {
         b.iter(|| {
             k = (k + 17) % 128;

@@ -1,7 +1,8 @@
 //! E8 in Criterion form: the per-node cost of the §5 `SafeRead`/`Release`
 //! protocol during traversal ("the most time consuming operation", §6).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use valois_bench::criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use valois_bench::{criterion_group, criterion_main};
 use valois_core::List;
 
 fn bench_protected_vs_raw(c: &mut Criterion) {

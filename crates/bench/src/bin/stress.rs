@@ -9,8 +9,8 @@
 //! --bin stress -- --secs 300`); the CI-sized default is 5 seconds per
 //! structure.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use valois_sync::shim::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use valois_core::adt::{PriorityQueue, Stack};
 use valois_core::queue::FifoQueue;
@@ -104,7 +104,10 @@ fn soak_dict<D: Dictionary<u64, u64>>(name: &str, dict: &D, secs: u64, threads: 
     });
     let net = inserted.load(Ordering::Relaxed) - removed.load(Ordering::Relaxed);
     let len = dict.len() as u64;
-    assert_eq!(len, net, "{name}: accounting violated (len {len} vs net {net})");
+    assert_eq!(
+        len, net,
+        "{name}: accounting violated (len {len} vs net {net})"
+    );
     println!(
         "{name:>12}: {} ops, {} net items, invariants OK",
         ops.load(Ordering::Relaxed),
@@ -253,7 +256,10 @@ fn soak_stack_pqueue(secs: u64, threads: usize) {
     );
     println!(
         "{:>12}: {} pushed / {} popped, {} left, order OK",
-        "stack+pq", pushed.load(Ordering::Relaxed), popped.load(Ordering::Relaxed), net
+        "stack+pq",
+        pushed.load(Ordering::Relaxed),
+        popped.load(Ordering::Relaxed),
+        net
     );
 }
 

@@ -3,8 +3,8 @@
 //! Every function prints and returns a table whose *shape* reproduces a
 //! claim of the paper; EXPERIMENTS.md records claim vs. measurement.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+use valois_sync::shim::atomic::{AtomicBool, Ordering};
 
 use valois_baseline::{CriticalDelay, LockedBstDict, LockedListDict, MutexListDict};
 use valois_dict::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
@@ -38,7 +38,9 @@ impl ExpConfig {
 
     /// Available cores.
     pub fn cores() -> usize {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     }
 
     fn thread_points(&self) -> Vec<usize> {
@@ -203,8 +205,7 @@ pub fn e2_delay_injection(cfg: &ExpConfig) -> ExperimentReport {
     {
         let d: LockedListDict<u64, u64> = LockedListDict::new();
         let a = run_throughput(&d, &base_run).ops_per_sec();
-        let d2: LockedListDict<u64, u64> =
-            LockedListDict::new().with_delay(stall.clone());
+        let d2: LockedListDict<u64, u64> = LockedListDict::new().with_delay(stall.clone());
         let b = run_throughput(&d2, &base_run).ops_per_sec();
         rows.push(("spin(ttas)", a, b));
     }
@@ -282,8 +283,7 @@ pub fn e3_retries_vs_threads(cfg: &ExpConfig) -> ExperimentReport {
         let res = run_throughput(&d, &run);
         let stats = d.list_stats().since(&before);
         let ops = res.total_ops.max(1);
-        let retries =
-            (stats.insert_retries() + stats.delete_retries()) as f64 / ops as f64;
+        let retries = (stats.insert_retries() + stats.delete_retries()) as f64 / ops as f64;
         if retries > (threads as f64 - 1.0).max(0.05) * 1.5 {
             within_bound = false;
         }
@@ -418,7 +418,10 @@ pub fn e6_bst(cfg: &ExpConfig) -> ExperimentReport {
         "ratio",
     ]);
     for &threads in &cfg.thread_points() {
-        for (name, mix) in [("90/5/5", OpMix::read_heavy()), ("50/25/25", OpMix::balanced())] {
+        for (name, mix) in [
+            ("90/5/5", OpMix::read_heavy()),
+            ("50/25/25", OpMix::balanced()),
+        ] {
             let spec = WorkloadSpec {
                 mix,
                 keys: KeyDist::Uniform { range: 4096 },
@@ -430,7 +433,7 @@ pub fn e6_bst(cfg: &ExpConfig) -> ExperimentReport {
                 duration: cfg.point / 2,
                 workload: spec,
                 op_delay: None,
-            measure_latency: false,
+                measure_latency: false,
             };
             let lf = {
                 let d: BstDict<u64, u64> = BstDict::new();
@@ -522,7 +525,8 @@ pub fn e7_aux_quiescence(cfg: &ExpConfig) -> ExperimentReport {
             max_chain.to_string(),
             after.runs_ge2.to_string(),
         ]);
-        list.check_structure().expect("structure intact after churn");
+        list.check_structure()
+            .expect("structure intact after churn");
     }
     let mut notes = Vec::new();
     if all_zero {
@@ -647,7 +651,8 @@ pub fn e9_multiprogramming(cfg: &ExpConfig) -> ExperimentReport {
     let mut tas_collapse = 0.0f64;
     let mut tas_base = 0.0f64;
     let fmt_lat = |l: Option<valois_harness::LatencySummary>| -> String {
-        l.map(|s| format!("{:?}", s.p999)).unwrap_or_else(|| "-".into())
+        l.map(|s| format!("{:?}", s.p999))
+            .unwrap_or_else(|| "-".into())
     };
     for &threads in &[1usize, 2, 4, 8, 16] {
         if threads > cfg.max_threads.max(16) {

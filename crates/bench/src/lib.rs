@@ -5,6 +5,7 @@
 
 #![warn(missing_docs)]
 
+pub mod criterion;
 pub mod experiments;
 
 pub use experiments::{ExpConfig, ExperimentReport};

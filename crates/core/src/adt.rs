@@ -206,7 +206,7 @@ impl<T: Ord + Send + Sync + Clone + fmt::Debug> fmt::Debug for PriorityQueue<T> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn stack_lifo_order() {

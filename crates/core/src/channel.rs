@@ -11,8 +11,8 @@
 //! structure).
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use valois_sync::shim::atomic::{AtomicUsize, Ordering};
 
 use crate::queue::FifoQueue;
 

@@ -42,7 +42,7 @@ fn amplify() {
             x & 3 == 0
         });
         if flip {
-            std::thread::yield_now();
+            valois_sync::shim::thread::yield_now();
         }
     }
 }

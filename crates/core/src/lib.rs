@@ -40,13 +40,13 @@ pub mod adt;
 pub mod channel;
 pub mod cursor;
 pub mod list;
-pub mod queue;
 mod node;
+pub mod queue;
 mod stats;
 
 pub use adt::{PriorityQueue, Stack};
-pub use queue::FifoQueue;
 pub use cursor::Cursor;
 pub use list::{AuxChainReport, Iter, List, PreparedInsert};
+pub use queue::FifoQueue;
 pub use stats::ListStats;
 pub use valois_mem::{AllocError, ArenaConfig, MemStats};

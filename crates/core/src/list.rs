@@ -12,7 +12,7 @@
 //! the cursor's position, and deletion of the visited item.
 
 use std::fmt;
-use std::sync::atomic::AtomicU64;
+use valois_sync::shim::atomic::AtomicU64;
 
 use valois_mem::{AllocError, Arena, ArenaConfig, Managed, MemStats};
 
@@ -336,6 +336,125 @@ impl<T: Send + Sync> List<T> {
         report
     }
 
+    /// Concurrency-safe invariant walker, intended for `debug_assertions`
+    /// builds (in release builds it is a no-op returning `Ok(())`, so
+    /// stress tests can call it unconditionally without perturbing
+    /// benchmarked paths). See [`List::check_invariants_now`] for the
+    /// checks performed.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if cfg!(debug_assertions) {
+            self.check_invariants_now()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The walker behind [`List::check_invariants`], compiled in every
+    /// profile (verification tools want it in release builds too).
+    ///
+    /// Unlike [`List::check_structure`] — which demands the strict
+    /// quiescent shape and therefore `&mut self` — this uses a protected
+    /// (counted) traversal and checks only the invariants that hold at
+    /// *every* instant, even mid-operation:
+    ///
+    /// 1. the chain from the first dummy reaches the last dummy in a
+    ///    bounded number of hops (connectivity, no cycles);
+    /// 2. no reachable node is `Free`: a free node under a counted
+    ///    reference means reclamation overtook a live link — the §5 bug
+    ///    class the claim bit exists to prevent;
+    /// 3. every reachable node's reference count is ≥ 1 (at minimum ours);
+    /// 4. a normal cell's successor is an auxiliary node (§3 invariant;
+    ///    auxiliary runs of length ≥ 2 are legal mid-`TryDelete`).
+    pub fn check_invariants_now(&self) -> Result<(), String> {
+        // Concurrent inserts may lengthen the chain under our feet; the
+        // bound exists only to turn a corruption cycle into an error.
+        let max_hops = self.arena.capacity() * 8 + 64;
+        // SAFETY: the root and held-node `next` fields are counted links
+        // of this arena; every protected node is released exactly once.
+        unsafe {
+            let mut p = self.arena.safe_read(&self.first_root);
+            if p.is_null() {
+                return Err("first root is null".into());
+            }
+            for _ in 0..max_hops {
+                let kind = (*p).kind();
+                let refct = (*p).header().refcount();
+                if kind == NodeKind::Free {
+                    let e = format!("node {p:p} is Free under a counted reference");
+                    self.arena.release(p);
+                    return Err(e);
+                }
+                if refct < 1 {
+                    let e = format!("{kind:?} node {p:p} has count {refct} while referenced");
+                    self.arena.release(p);
+                    return Err(e);
+                }
+                if kind == NodeKind::LastDummy {
+                    self.arena.release(p);
+                    return Ok(());
+                }
+                let n = self.arena.safe_read(&(*p).next);
+                if n.is_null() {
+                    let e =
+                        format!("{kind:?} node {p:p} has a null successor before the last dummy");
+                    self.arena.release(p);
+                    return Err(e);
+                }
+                if kind != NodeKind::Aux && (*n).kind() != NodeKind::Aux {
+                    let e = format!(
+                        "§3 violation: {kind:?} node {p:p} is followed by {:?} {n:p} (expected Aux)",
+                        (*n).kind()
+                    );
+                    self.arena.release(p);
+                    self.arena.release(n);
+                    return Err(e);
+                }
+                self.arena.release(p);
+                p = n;
+            }
+            self.arena.release(p);
+            Err(format!(
+                "chain did not reach the last dummy within {max_hops} hops (cycle?)"
+            ))
+        }
+    }
+
+    /// Renders the quiescent chain (and each node's header state) for
+    /// failure diagnostics: `kind@addr[refct,claim]` hops from the first
+    /// dummy, bounded so a corrupted cyclic chain still terminates.
+    ///
+    /// Requires `&mut self` so the borrow checker guarantees quiescence.
+    pub fn dump_chain(&mut self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        // SAFETY: &mut self guarantees quiescence; raw walks are exclusive.
+        unsafe {
+            let mut p = self.first;
+            for hop in 0..64 {
+                if hop > 0 {
+                    out.push_str(" -> ");
+                }
+                if p.is_null() {
+                    out.push_str("NULL");
+                    break;
+                }
+                let _ = write!(
+                    out,
+                    "{:?}@{:#x}[rc={},claim={}]",
+                    (*p).kind(),
+                    p as usize,
+                    (*p).header().refcount(),
+                    (*p).header().claim_is_set(),
+                );
+                if (*p).kind() == NodeKind::LastDummy {
+                    break;
+                }
+                p = (*p).next.read();
+            }
+        }
+        out
+    }
+
     /// Verifies the §3 structural invariants at quiescence (test helper):
     /// the list must be `FirstDummy (Aux Cell)* Aux LastDummy` — every
     /// normal cell with an auxiliary node as predecessor and successor, and
@@ -432,7 +551,7 @@ impl<T: Send + Sync> List<T> {
                 if result.is_err() {
                     return;
                 }
-                let actual = (*p).header().refct().read() as u64;
+                let actual = (*p).header().refcount() as u64;
                 let expect = expected.get(&(p as usize)).copied().unwrap_or(0);
                 let kind = (*p).kind();
                 // The free-list head has one count from the arena root that
@@ -486,7 +605,7 @@ impl<T: Send + Sync> List<T> {
             let garbage_set: HashSet<usize> = garbage.iter().map(|p| *p as usize).collect();
             // Claim each first so no cascade can race our manual drain.
             for &g in &garbage {
-                let lost = (*g).header().claim().test_and_set();
+                let lost = (*g).header().set_claim();
                 debug_assert!(!lost, "garbage node already claimed at quiescence");
             }
             for &g in &garbage {
@@ -495,7 +614,7 @@ impl<T: Send + Sync> List<T> {
                     if garbage_set.contains(&(t as usize)) {
                         // Internal cycle edge: drop the count manually; the
                         // target is reclaimed by this sweep, not by cascade.
-                        (*t).header().refct().fetch_decrement();
+                        (*t).header().decr_ref();
                     } else {
                         self.arena.release(t);
                     }
@@ -503,7 +622,7 @@ impl<T: Send + Sync> List<T> {
             }
             for &g in &garbage {
                 debug_assert_eq!(
-                    (*g).header().refct().read(),
+                    (*g).header().refcount(),
                     0,
                     "cycle garbage should end with zero count"
                 );

@@ -7,9 +7,9 @@
 //! all cells of one size class to be interchangeable — discriminated by a
 //! kind tag set between `Alloc` and publication.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU8, Ordering};
+use valois_sync::shim::atomic::{AtomicU8, Ordering};
+use valois_sync::shim::cell::UnsafeCell;
 
 use valois_mem::{Link, Managed, NodeHeader, ReclaimedLinks};
 
@@ -88,12 +88,18 @@ impl<T> Default for Node<T> {
 
 impl<T> Node<T> {
     pub(crate) fn kind(&self) -> NodeKind {
+        // ORDER: Acquire — pairs with `set_kind`'s Release so a reader
+        // that observes a kind also observes the initialization (value
+        // write, link resets) that preceded the kind's publication.
         NodeKind::from_u8(self.kind.load(Ordering::Acquire))
     }
 
     /// Sets the discriminant. Caller must have exclusive logical ownership
     /// (freshly allocated, unpublished).
     pub(crate) fn set_kind(&self, kind: NodeKind) {
+        // ORDER: Release — the discriminant is the last word written
+        // during init (and the first during drain); it must publish every
+        // prior field write to `kind()`'s Acquire load.
         self.kind.store(kind as u8, Ordering::Release);
     }
 
@@ -205,7 +211,7 @@ mod tests {
 
     #[test]
     fn value_lifecycle_drops_exactly_once() {
-        use std::sync::atomic::AtomicUsize;
+        use valois_sync::shim::atomic::AtomicUsize;
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         struct Probe;
         impl Drop for Probe {
@@ -252,6 +258,10 @@ mod tests {
             // b and c are now held alive solely by a's links.
             arena.release(a);
         }
-        assert_eq!(arena.live_nodes(), 0, "drain must release both link targets");
+        assert_eq!(
+            arena.live_nodes(),
+            0,
+            "drain must release both link targets"
+        );
     }
 }

@@ -213,14 +213,16 @@ impl<T: Send + Sync> Drop for FifoQueue<T> {
 
 impl<T: Send + Sync> fmt::Debug for FifoQueue<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FifoQueue").field("len", &self.len()).finish()
+        f.debug_struct("FifoQueue")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn fifo_order_single_thread() {
@@ -326,19 +328,17 @@ mod tests {
                 });
             }
             for _ in 0..3 {
-                s.spawn(move || {
-                    loop {
-                        match q.dequeue() {
-                            Some(v) => {
-                                dequeued_sum.fetch_add(v, Ordering::Relaxed);
-                                dequeued_n.fetch_add(1, Ordering::Relaxed);
+                s.spawn(move || loop {
+                    match q.dequeue() {
+                        Some(v) => {
+                            dequeued_sum.fetch_add(v, Ordering::Relaxed);
+                            dequeued_n.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if dequeued_n.load(Ordering::Relaxed) >= producers * per {
+                                break;
                             }
-                            None => {
-                                if dequeued_n.load(Ordering::Relaxed) >= producers * per {
-                                    break;
-                                }
-                                std::thread::yield_now();
-                            }
+                            std::thread::yield_now();
                         }
                     }
                 });
@@ -396,7 +396,7 @@ mod tests {
 
     #[test]
     fn drop_with_queued_values_releases_them() {
-        use std::sync::atomic::AtomicUsize;
+        use valois_sync::shim::atomic::AtomicUsize;
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         struct Probe;
         impl Drop for Probe {

@@ -1,7 +1,7 @@
 //! List-level operation statistics (experiments E3 and E7).
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
 /// Live counters owned by a [`List`](crate::List).
 #[derive(Default)]

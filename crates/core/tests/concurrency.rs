@@ -2,7 +2,7 @@
 //! occur, the §3 auxiliary-chain theorem must hold at quiescence, and the
 //! §5 memory protocol must keep counts exact under churn.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use valois_core::{ArenaConfig, List};
@@ -48,9 +48,11 @@ fn concurrent_adjacent_deletes_do_not_undo_each_other() {
         let n = 64u64;
         let mut list: List<u64> = (0..n).collect();
         let deleted = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
         std::thread::scope(|s| {
             let list = &list;
             let deleted = &deleted;
+            let done = &done;
             for _ in 0..4 {
                 s.spawn(move || {
                     let mut cur = list.cursor();
@@ -63,8 +65,16 @@ fn concurrent_adjacent_deletes_do_not_undo_each_other() {
                             deleted.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    done.store(true, Ordering::Release);
                 });
             }
+            // Live checker: the instantaneous §3/§5 invariants must hold
+            // at every sampled moment of the delete storm.
+            s.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    list.check_invariants().expect("invariants mid-deletes");
+                }
+            });
         });
         assert_eq!(
             deleted.load(Ordering::Relaxed),
@@ -83,11 +93,13 @@ fn interleaved_insert_delete_churn_is_conserved() {
     let mut list: List<u64> = List::new();
     let inserted = AtomicU64::new(0);
     let deleted = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
     let rounds = 2_000u64;
     std::thread::scope(|s| {
         let list = &list;
         let inserted = &inserted;
         let deleted = &deleted;
+        let done = &done;
         for t in 0..3u64 {
             s.spawn(move || {
                 let mut cur = list.cursor();
@@ -96,6 +108,7 @@ fn interleaved_insert_delete_churn_is_conserved() {
                     inserted.fetch_add(1, Ordering::Relaxed);
                     cur.update();
                 }
+                done.store(true, Ordering::Release);
             });
         }
         for _ in 0..2 {
@@ -109,6 +122,13 @@ fn interleaved_insert_delete_churn_is_conserved() {
                 }
             });
         }
+        // Live checker: sample the instantaneous §3/§5 invariants while
+        // the insert/delete churn is in full flight.
+        s.spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                list.check_invariants().expect("invariants mid-churn");
+            }
+        });
     });
     let remaining = list.len() as u64;
     assert_eq!(
@@ -280,8 +300,7 @@ fn many_cursors_on_same_position() {
 
 #[test]
 fn capped_pool_under_concurrency_never_over_allocates() {
-    let list: List<u64> =
-        List::with_config(ArenaConfig::new().initial_capacity(64).max_nodes(64));
+    let list: List<u64> = List::with_config(ArenaConfig::new().initial_capacity(64).max_nodes(64));
     std::thread::scope(|s| {
         let list = &list;
         for _ in 0..4 {

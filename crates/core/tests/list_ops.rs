@@ -128,7 +128,10 @@ fn delete_all_items_returns_to_fig4_layout() {
     assert!(list.is_empty());
     // The §3 theorem: no extra auxiliary nodes once all deletions complete.
     let report = list.aux_chain_report();
-    assert_eq!(report.aux, 1, "empty list must be back to a single aux node");
+    assert_eq!(
+        report.aux, 1,
+        "empty list must be back to a single aux node"
+    );
     assert_eq!(report.runs_ge2, 0);
     list.check_structure().unwrap();
 }
@@ -189,7 +192,8 @@ fn insert_failure_hands_back_prepared_pair() {
     };
     assert_eq!(*prepared.value(), 99);
     a.update();
-    a.try_insert(prepared).expect("valid cursor insert succeeds");
+    a.try_insert(prepared)
+        .expect("valid cursor insert succeeds");
     let items: Vec<u32> = list.iter().collect();
     assert_eq!(items, vec![99, 1, 2]);
 }
@@ -205,8 +209,7 @@ fn dropping_unused_prepared_insert_reclaims_nodes() {
 
 #[test]
 fn capped_pool_reports_exhaustion() {
-    let list: List<u32> =
-        List::with_config(ArenaConfig::new().initial_capacity(8).max_nodes(8));
+    let list: List<u32> = List::with_config(ArenaConfig::new().initial_capacity(8).max_nodes(8));
     let mut cur = list.cursor();
     // 3 nodes for the empty list; each item needs 2 → 2 items fit, the
     // third insert must fail cleanly.
@@ -298,8 +301,7 @@ fn len_and_iter_agree() {
 
 #[test]
 fn memory_is_recycled_across_insert_delete_cycles() {
-    let list: List<u32> =
-        List::with_config(ArenaConfig::new().initial_capacity(16).max_nodes(16));
+    let list: List<u32> = List::with_config(ArenaConfig::new().initial_capacity(16).max_nodes(16));
     for round in 0..100 {
         let mut cur = list.cursor();
         cur.insert(round).unwrap();
@@ -473,7 +475,8 @@ fn prepared_insert_can_move_threads() {
     std::thread::scope(|s| {
         s.spawn(|| {
             let mut cur = list.cursor();
-            cur.try_insert(prepared).expect("insert from another thread");
+            cur.try_insert(prepared)
+                .expect("insert from another thread");
         });
     });
     assert_eq!(list.iter().collect::<Vec<_>>(), vec![5]);

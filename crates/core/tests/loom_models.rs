@@ -1,0 +1,267 @@
+//! Model-checked verification of the three core Valois protocols
+//! (`--cfg loom` only). The scheduler in `valois_sync::shim::sched`
+//! exhaustively explores thread interleavings (sequentially-consistent,
+//! preemption-bounded), so every assertion below holds on *every*
+//! explored schedule, not just the ones the OS happens to produce.
+//!
+//! 1. SafeRead/Release with the claim bit (Figs. 15-18): a reader racing
+//!    an unlink + reclaim + re-allocation never observes a freed or
+//!    retyped cell while it holds a counted reference.
+//! 2. Free-list Alloc/Reclaim (Figs. 17-18): concurrent pop/push never
+//!    double-allocates a cell and never loses one.
+//! 3. TryInsert/TryDelete through auxiliary nodes (Figs. 9-10): a
+//!    concurrent insert and delete at the same position preserve the §3
+//!    invariant chain (strict cell/aux alternation, exact refcounts).
+//!
+//! Run with:
+//! `RUSTFLAGS="--cfg loom" cargo test -p valois-core --test loom_models`
+#![cfg(loom)]
+
+use std::ptr;
+use std::sync::Arc;
+
+use valois_core::List;
+use valois_mem::{Arena, ArenaConfig, Link, Managed, NodeHeader, ReclaimedLinks};
+use valois_sync::shim::atomic::{AtomicUsize, Ordering};
+use valois_sync::shim::{thread, Builder};
+
+/// Tag values tracking a slot's life cycle for the reader model.
+const TAG_FREE: usize = 0;
+const TAG_CELL: usize = 1;
+const TAG_RETYPED: usize = 2;
+
+/// Minimal managed node: one drainable link (doubles as the free-list
+/// link, exactly like the paper's cells) and an observable `tag` that
+/// reclamation resets to [`TAG_FREE`].
+#[derive(Default)]
+struct Slot {
+    header: NodeHeader,
+    link: Link<Slot>,
+    tag: AtomicUsize,
+}
+
+impl Managed for Slot {
+    fn header(&self) -> &NodeHeader {
+        &self.header
+    }
+    fn free_link(&self) -> &Link<Self> {
+        &self.link
+    }
+    fn drain_links(&self) -> ReclaimedLinks<Self> {
+        let mut links = ReclaimedLinks::new();
+        links.push(self.link.swap(ptr::null_mut()));
+        // The slot is dead: anyone who can still see a non-FREE tag is
+        // holding a pointer the protocol should have protected.
+        self.tag.store(TAG_FREE, Ordering::Release);
+        links
+    }
+    fn reset_for_alloc(&self) {
+        self.link.write(ptr::null_mut());
+    }
+}
+
+struct SlotCtx {
+    arena: Arena<Slot>,
+    root: Link<Slot>,
+}
+
+fn capped_slot_arena(cap: usize) -> Arena<Slot> {
+    let arena = Arena::with_config(ArenaConfig::new().initial_capacity(cap).max_nodes(cap));
+    // Force the (mutex-guarded) initial segment growth here, while the
+    // model is still single-threaded: the threads below must contend on
+    // the lock-free protocol paths only.
+    let warm = arena.alloc().expect("warm-up alloc within cap");
+    unsafe { arena.release(warm) };
+    arena
+}
+
+/// Model 1 — SafeRead vs. unlink + reclaim + re-allocation.
+///
+/// Thread A SafeReads the shared root; thread B swings the root to null
+/// (dropping the root's count) and then tries to re-allocate the cell
+/// and retype it. On every interleaving, if A's SafeRead returns the
+/// cell, the cell must still carry [`TAG_CELL`] for as long as A holds
+/// its counted reference: B's alloc can only succeed after the count
+/// reaches zero, which requires A's Release. A claim bit that is set
+/// while A holds the node would mean reclamation overtook a live
+/// reference — the exact bug class Figs. 15-16 exist to prevent.
+#[test]
+fn safe_read_never_observes_reclaimed_cell() {
+    let explored = Builder::new().check(|| {
+        let ctx = Arc::new(SlotCtx {
+            arena: capped_slot_arena(1),
+            root: Link::null(),
+        });
+        // Publish one live cell through the root.
+        let x = ctx.arena.alloc().expect("capacity 1");
+        unsafe {
+            (*x).tag.store(TAG_CELL, Ordering::Release);
+            ctx.arena.store_link(&ctx.root, x);
+            ctx.arena.release(x);
+        }
+
+        let reader = {
+            let ctx = Arc::clone(&ctx);
+            thread::spawn(move || unsafe {
+                let p = ctx.arena.safe_read(&ctx.root);
+                if !p.is_null() {
+                    // While we hold a counted reference the cell cannot be
+                    // freed (tag -> FREE) or recycled (tag -> RETYPED).
+                    let t1 = (*p).tag.load(Ordering::Acquire);
+                    assert_eq!(t1, TAG_CELL, "reader observed a dead cell");
+                    assert!(
+                        !(*p).header.claim_is_set(),
+                        "claim bit set under a live reference"
+                    );
+                    let t2 = (*p).tag.load(Ordering::Acquire);
+                    assert_eq!(t2, TAG_CELL, "cell recycled under a live reference");
+                    ctx.arena.release(p);
+                }
+            })
+        };
+
+        let deleter = {
+            let ctx = Arc::clone(&ctx);
+            thread::spawn(move || unsafe {
+                // Unlink the cell from the root (releases the root's count).
+                let x = ctx.arena.safe_read(&ctx.root);
+                if !x.is_null() {
+                    let swung = ctx.arena.swing(&ctx.root, x, ptr::null_mut());
+                    assert!(swung, "only writer of the root");
+                    ctx.arena.release(x);
+                }
+                // Recycle attempt: succeeds only once every counted
+                // reference is gone. Failure means the reader still holds
+                // the sole cell — equally legal.
+                if let Ok(q) = ctx.arena.alloc() {
+                    (*q).tag.store(TAG_RETYPED, Ordering::Release);
+                    ctx.arena.release(q);
+                }
+            })
+        };
+
+        reader.join().unwrap();
+        deleter.join().unwrap();
+
+        // Conservation: all references released, so the single cell is
+        // allocatable again and arrives reset.
+        let q = ctx.arena.alloc().expect("cell returned to the free list");
+        unsafe {
+            assert_eq!((*q).tag.load(Ordering::Acquire), TAG_FREE);
+            ctx.arena.release(q);
+        }
+        assert_eq!(ctx.arena.live_nodes(), 0);
+    });
+    assert!(explored > 1, "model must branch, explored {explored}");
+}
+
+/// Model 2 — free-list Alloc/Reclaim: no double-alloc, no lost cells.
+///
+/// Two threads pop from a two-cell free list, brand their cell, verify
+/// the brand survives (a double allocation would let the other thread
+/// overwrite it), and push it back. Afterwards the pool must hold
+/// exactly two distinct cells — none lost, none duplicated.
+#[test]
+fn freelist_alloc_reclaim_conserves_cells() {
+    let explored = Builder::new().check(|| {
+        let ctx = Arc::new(SlotCtx {
+            arena: capped_slot_arena(2),
+            root: Link::null(),
+        });
+
+        let mut handles = Vec::new();
+        for id in 1..=2usize {
+            let ctx = Arc::clone(&ctx);
+            handles.push(thread::spawn(move || unsafe {
+                let p = ctx.arena.alloc().expect("two cells for two threads");
+                (*p).tag.store(id, Ordering::Release);
+                let seen = (*p).tag.load(Ordering::Acquire);
+                assert_eq!(seen, id, "double allocation: cell branded by both threads");
+                ctx.arena.release(p);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Conservation: exactly two distinct cells remain allocatable.
+        let a = ctx.arena.alloc().expect("first cell conserved");
+        let b = ctx.arena.alloc().expect("second cell conserved");
+        assert_ne!(a, b, "free list duplicated a cell");
+        assert!(ctx.arena.alloc().is_err(), "free list grew a phantom cell");
+        unsafe {
+            ctx.arena.release(a);
+            ctx.arena.release(b);
+        }
+        assert_eq!(ctx.arena.live_nodes(), 0);
+    });
+    assert!(explored > 1, "model must branch, explored {explored}");
+}
+
+/// Model 3 — TryInsert racing TryDelete through auxiliary nodes.
+///
+/// The list starts as `[10]`. Thread A inserts `5` at the first
+/// position; thread B deletes the cell `10` — the same neighbourhood, so
+/// the Fig. 9 insertion CAS and the Fig. 10 deletion CAS contend for
+/// `pre_aux^.next`. On every interleaving the final list must be exactly
+/// `[5]`, the §3 invariant chain (strict cell/aux alternation between
+/// the dummies) must hold, and the refcounts must be exact.
+#[test]
+fn try_insert_vs_try_delete_preserves_invariant_chain() {
+    let explored = Builder::new().preemption_bound(2).check(|| {
+        let list: Arc<List<u64>> = Arc::new(List::with_config(
+            ArenaConfig::new().initial_capacity(16).max_nodes(16),
+        ));
+        list.cursor().insert(10).expect("seed cell");
+
+        let inserter = {
+            let list = Arc::clone(&list);
+            thread::spawn(move || {
+                // Fig. 12 retry loop: prepare once, CAS until it lands.
+                list.cursor().insert(5).expect("pool sized for both ops");
+            })
+        };
+
+        let deleter = {
+            let list = Arc::clone(&list);
+            thread::spawn(move || {
+                let mut c = list.cursor();
+                loop {
+                    match c.get() {
+                        Some(&10) => {
+                            // Fig. 13 retry: a failed TryDelete means a
+                            // concurrent op invalidated the cursor.
+                            if c.try_delete() {
+                                break;
+                            }
+                            c.update();
+                        }
+                        Some(_) => {
+                            // The inserter only adds cells *before* 10, so
+                            // walking forward must reach it.
+                            assert!(c.next(), "walked past cell 10");
+                        }
+                        None => panic!("cell 10 vanished without our delete"),
+                    }
+                }
+            })
+        };
+
+        inserter.join().unwrap();
+        deleter.join().unwrap();
+
+        let mut list = Arc::try_unwrap(list).expect("all threads joined");
+        if let Err(e) = list.check_structure() {
+            panic!("§3 invariant chain: {e}\nchain: {}", list.dump_chain());
+        }
+        list.audit_refcounts().expect("exact counts");
+        assert_eq!(list.iter().collect::<Vec<u64>>(), vec![5]);
+        // After collecting the deleted cell's residue the arena must hold
+        // exactly the quiescent shape: 3 dummies/roots + 2 per live cell.
+        list.quiescent_collect();
+        list.check_structure()
+            .expect("§3 invariant chain after collect");
+        assert_eq!(list.mem_stats().live_nodes(), 3 + 2);
+    });
+    assert!(explored > 1, "model must branch, explored {explored}");
+}

@@ -39,10 +39,10 @@
 //!   whose link is an aux can never point at a cell again, so collapsing
 //!   over it loses no updates).
 
-use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use valois_sync::shim::atomic::{AtomicU64, AtomicU8, Ordering};
+use valois_sync::shim::cell::UnsafeCell;
 
 use valois_mem::{Arena, ArenaConfig, Link, Managed, MemStats, NodeHeader, ReclaimedLinks};
 
@@ -380,7 +380,10 @@ where
                         // The leaf insertion: one CAS on the empty aux
                         // ("simply swinging the pointer in the auxiliary
                         // node at the leaf").
-                        if self.arena.swing(&(*terminal).left, std::ptr::null_mut(), cell) {
+                        if self
+                            .arena
+                            .swing(&(*terminal).left, std::ptr::null_mut(), cell)
+                        {
                             self.arena.release(terminal);
                             self.arena.release(cell); // the tree link owns it now
                             return true;
@@ -461,7 +464,7 @@ where
                     return true;
                 }
                 self.bump_retry();
-                std::hint::spin_loop();
+                valois_sync::shim::hint::spin_loop();
             }
         }
     }
@@ -582,11 +585,7 @@ where
     /// Counted in-order traversal applying `f` to every reachable cell.
     /// Iterative (explicit stack of counted references): recursion would
     /// overflow on degenerate (spine-shaped) trees.
-    unsafe fn in_order(
-        &self,
-        link: &Link<BstNode<K, V>>,
-        f: &mut impl FnMut(*mut BstNode<K, V>),
-    ) {
+    unsafe fn in_order(&self, link: &Link<BstNode<K, V>>, f: &mut impl FnMut(*mut BstNode<K, V>)) {
         enum Step<K2, V2> {
             /// Explore the subtree hanging off this (held) cell-or-root.
             Descend(*mut BstNode<K2, V2>),
@@ -714,13 +713,13 @@ impl<K: Send + Sync, V: Send + Sync> Drop for BstDict<K, V> {
             });
             let set: HashSet<usize> = garbage.iter().map(|p| *p as usize).collect();
             for &g in &garbage {
-                let _ = (*g).header().claim().test_and_set();
+                let _ = (*g).header().set_claim();
             }
             for &g in &garbage {
                 let links = (*g).drain_links();
                 for t in links.iter() {
                     if set.contains(&(t as usize)) {
-                        (*t).header().refct().fetch_decrement();
+                        (*t).header().decr_ref();
                     } else {
                         self.arena.release(t);
                     }
@@ -992,15 +991,12 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(
-            live, 2,
-            "converged skeleton: root aux + DEAD sentinel only"
-        );
+        assert_eq!(live, 2, "converged skeleton: root aux + DEAD sentinel only");
     }
 
     #[test]
     fn drop_releases_all_values() {
-        use std::sync::atomic::AtomicUsize;
+        use valois_sync::shim::atomic::AtomicUsize;
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         struct Probe;
         impl Drop for Probe {

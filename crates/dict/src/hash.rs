@@ -256,7 +256,11 @@ mod tests {
             d.insert(k, ());
         }
         // With 100 expected per bucket, no bucket should be pathological.
-        assert!(d.max_bucket_len() < 400, "max {} too skewed", d.max_bucket_len());
+        assert!(
+            d.max_bucket_len() < 400,
+            "max {} too skewed",
+            d.max_bucket_len()
+        );
         d.check_invariants().unwrap();
     }
 }

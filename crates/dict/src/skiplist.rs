@@ -18,10 +18,10 @@
 //! at level 0 but still visible above (an in-flight top-down deletion or a
 //! stalled bottom-up insertion) only costs extra hops, never correctness.
 
-use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use valois_sync::shim::atomic::{AtomicU64, AtomicU8, Ordering};
+use valois_sync::shim::cell::UnsafeCell;
 
 use valois_mem::{Arena, ArenaConfig, Link, Managed, MemStats, NodeHeader, ReclaimedLinks};
 
@@ -467,7 +467,7 @@ where
             (*cell).level.store(height as u8, Ordering::Relaxed);
             (*cell).kind.store(KIND_CELL, Ordering::Release);
             let key = (*cell).key(); // owned by the cell now
-            // Level 0: the membership-defining insertion (Fig. 12 loop).
+                                     // Level 0: the membership-defining insertion (Fig. 12 loop).
             let aux0 = self.arena.alloc().expect("skip-list node pool exhausted");
             (*aux0).kind.store(KIND_AUX, Ordering::Release);
             loop {
@@ -767,13 +767,13 @@ impl<K: Send + Sync, V: Send + Sync> Drop for SkipListDict<K, V> {
             });
             let set: HashSet<usize> = garbage.iter().map(|p| *p as usize).collect();
             for &g in &garbage {
-                let _ = (*g).header().claim().test_and_set();
+                let _ = (*g).header().set_claim();
             }
             for &g in &garbage {
                 let links = (*g).drain_links();
                 for t in links.iter() {
                     if set.contains(&(t as usize)) {
-                        (*t).header().refct().fetch_decrement();
+                        (*t).header().decr_ref();
                     } else {
                         self.arena.release(t);
                     }
@@ -917,8 +917,16 @@ mod tests {
         for _ in 0..10_000 {
             heights[d.random_level()] += 1;
         }
-        assert!(heights[1] > 4_000 && heights[1] < 6_000, "h=1: {}", heights[1]);
-        assert!(heights[2] > 1_900 && heights[2] < 3_100, "h=2: {}", heights[2]);
+        assert!(
+            heights[1] > 4_000 && heights[1] < 6_000,
+            "h=1: {}",
+            heights[1]
+        );
+        assert!(
+            heights[2] > 1_900 && heights[2] < 3_100,
+            "h=2: {}",
+            heights[2]
+        );
         assert_eq!(heights[0], 0);
     }
 
@@ -946,8 +954,18 @@ mod tests {
         let r = d.range(&100, &120);
         assert_eq!(
             r,
-            vec![(100, 50), (102, 51), (104, 52), (106, 53), (108, 54),
-                 (110, 55), (112, 56), (114, 57), (116, 58), (118, 59)]
+            vec![
+                (100, 50),
+                (102, 51),
+                (104, 52),
+                (106, 53),
+                (108, 54),
+                (110, 55),
+                (112, 56),
+                (114, 57),
+                (116, 58),
+                (118, 59)
+            ]
         );
         assert!(d.range(&1001, &1001).is_empty());
         assert!(d.range(&2000, &1000).is_empty(), "inverted range empty");
@@ -985,7 +1003,7 @@ mod tests {
 
     #[test]
     fn drop_releases_all_values() {
-        use std::sync::atomic::AtomicUsize;
+        use valois_sync::shim::atomic::AtomicUsize;
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         struct Probe;
         impl Drop for Probe {

@@ -105,7 +105,7 @@ where
     /// The paper's `Insert` (Fig. 12).
     fn insert_impl(&self, key: K, value: V) -> bool {
         let mut cursor = self.list.cursor(); // Fig. 12 line 1
-        // First positioning scan before paying for allocation.
+                                             // First positioning scan before paying for allocation.
         if find_from(&mut cursor, &key) {
             return false; // Fig. 12 lines 6-7
         }

@@ -115,7 +115,11 @@ fn churn_conservation<D: Dictionary<u64, u64>>(dict: &D) {
         }
     });
     let net = inserted.load(Ordering::Relaxed) - removed.load(Ordering::Relaxed);
-    assert_eq!(dict.len() as u64, net, "insert/remove accounting must balance");
+    assert_eq!(
+        dict.len() as u64,
+        net,
+        "insert/remove accounting must balance"
+    );
 }
 
 mod sorted_list {

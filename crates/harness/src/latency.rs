@@ -6,8 +6,8 @@
 //! into a [`LatencyHistogram`] when asked; experiments report p50/p99/max.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two buckets (covers 1 ns ..= ~18 s).
 const BUCKETS: usize = 64;

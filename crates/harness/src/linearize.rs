@@ -12,7 +12,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
 use valois_dict::Dictionary;
 
@@ -117,7 +117,10 @@ impl fmt::Display for History {
 /// set-semantics dictionary. Returns `true` iff one exists.
 pub fn check_linearizable(history: &History) -> bool {
     let n = history.ops.len();
-    assert!(n <= 24, "exhaustive checker is for small histories (≤ 24 ops)");
+    assert!(
+        n <= 24,
+        "exhaustive checker is for small histories (≤ 24 ops)"
+    );
     // done-set as a bitmask; model as a BTreeSet rebuilt incrementally.
     fn step(
         ops: &[Recorded],
@@ -143,9 +146,11 @@ pub fn check_linearizable(history: &History) -> bool {
             }
             // Real-time order: r may linearize now only if every operation
             // that *finished before r started* is already linearized.
-            if ops.iter().enumerate().any(|(j, q)| {
-                done & (1 << j) == 0 && j != i && q.end < r.start
-            }) {
+            if ops
+                .iter()
+                .enumerate()
+                .any(|(j, q)| done & (1 << j) == 0 && j != i && q.end < r.start)
+            {
                 continue;
             }
             // Does the result match sequential semantics?

@@ -1,10 +1,8 @@
 //! Duration-based multi-threaded throughput runs (experiments E1–E6).
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-
-use rand::distributions::Distribution;
+use valois_sync::shim::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use valois_baseline::CriticalDelay;
 use valois_dict::Dictionary;
@@ -118,9 +116,8 @@ pub fn run_throughput<D: Dictionary<u64, u64>>(dict: &D, config: &RunConfig) -> 
     let odds = (1..range).step_by(2);
     let mut candidates: Vec<u64> = evens.chain(odds).collect();
     {
-        use rand::seq::SliceRandom;
         let mut rng = spec.rng_for(u64::MAX);
-        candidates.shuffle(&mut rng);
+        rng.shuffle(&mut candidates);
     }
     let mut prefilled = 0u64;
     for k in candidates {
@@ -180,7 +177,7 @@ pub fn run_throughput<D: Dictionary<u64, u64>>(dict: &D, config: &RunConfig) -> 
         }
         // Let all workers come up, then time the window.
         while (started.load(Ordering::Acquire) as usize) < config.threads {
-            std::hint::spin_loop();
+            valois_sync::shim::hint::spin_loop();
         }
         std::thread::sleep(config.duration);
         stop.store(true, Ordering::Relaxed);
@@ -233,10 +230,7 @@ mod tests {
         let cfg = RunConfig::new(2, 50, WorkloadSpec::standard(64));
         let res = run_throughput(&dict, &cfg);
         assert!(res.total_ops > 0, "some operations must complete");
-        assert_eq!(
-            res.total_ops,
-            res.finds + res.insert_hits + res.delete_hits
-        );
+        assert_eq!(res.total_ops, res.finds + res.insert_hits + res.delete_hits);
         assert!(res.ops_per_sec() > 0.0);
         assert!(res.elapsed >= Duration::from_millis(50));
     }

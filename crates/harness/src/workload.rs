@@ -6,9 +6,7 @@
 
 use std::fmt;
 
-use rand::distributions::Distribution;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use valois_sync::rng::SmallRng;
 
 /// One dictionary operation kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +66,7 @@ impl OpMix {
 
     /// Draws an operation kind.
     pub fn sample(&self, rng: &mut SmallRng) -> OpKind {
-        let roll: u8 = rng.gen_range(0..100);
+        let roll: u8 = rng.gen_range(0..100u8);
         if roll < self.find_pct {
             OpKind::Find
         } else if roll < self.find_pct + self.insert_pct {
@@ -125,8 +123,9 @@ impl KeyDist {
     }
 }
 
-impl Distribution<u64> for KeyDist {
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+impl KeyDist {
+    /// Draws a key.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
         match *self {
             KeyDist::Uniform { range } => rng.gen_range(0..range.max(1)),
             KeyDist::Hotspot {
@@ -144,7 +143,7 @@ impl Distribution<u64> for KeyDist {
                 // Inverse-CDF of a continuous 1/x density on [1, range+1):
                 // heavier head than uniform, cheap to sample.
                 let n = range.max(1) as f64;
-                let u: f64 = rng.gen::<f64>();
+                let u: f64 = rng.gen_f64();
                 let x = (n + 1.0).powf(u) - 1.0;
                 (x as u64).min(range.saturating_sub(1))
             }
@@ -244,8 +243,8 @@ mod tests {
     #[test]
     fn per_thread_rngs_differ() {
         let spec = WorkloadSpec::standard(100);
-        let a: u64 = spec.rng_for(0).gen();
-        let b: u64 = spec.rng_for(1).gen();
+        let a: u64 = spec.rng_for(0).next_u64();
+        let b: u64 = spec.rng_for(1).next_u64();
         assert_ne!(a, b);
     }
 }

@@ -16,7 +16,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::sync::Mutex;
+use valois_sync::shim::sync::Mutex;
 
 use valois_sync::pad::CachePadded;
 
@@ -96,7 +96,7 @@ pub struct Arena<N: Managed> {
     /// block growth decisions).
     grow_lock: Mutex<()>,
     counters: StatCounters,
-    total_nodes: std::sync::atomic::AtomicUsize,
+    total_nodes: valois_sync::shim::atomic::AtomicUsize,
     max_nodes: Option<usize>,
 }
 
@@ -108,7 +108,7 @@ impl<N: Managed + Default> Arena<N> {
             free_head: CachePadded::new(Link::null()),
             grow_lock: Mutex::new(()),
             counters: StatCounters::default(),
-            total_nodes: std::sync::atomic::AtomicUsize::new(0),
+            total_nodes: valois_sync::shim::atomic::AtomicUsize::new(0),
             max_nodes: config.max_nodes,
         };
         let initial = match config.max_nodes {
@@ -134,7 +134,7 @@ impl<N: Managed + Default> Arena<N> {
             self.push_free(node as *const N as *mut N);
         }
         self.total_nodes
-            .fetch_add(count, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(count, valois_sync::shim::atomic::Ordering::Relaxed);
         self.segments.lock().unwrap().push(segment);
         StatCounters::bump(&self.counters.grows);
     }
@@ -147,7 +147,9 @@ impl<N: Managed + Default> Arena<N> {
         if !self.free_head.read().is_null() {
             return true;
         }
-        let current = self.total_nodes.load(std::sync::atomic::Ordering::Relaxed);
+        let current = self
+            .total_nodes
+            .load(valois_sync::shim::atomic::Ordering::Relaxed);
         let want = current.max(1); // double
         let want = match self.max_nodes {
             Some(max) if current >= max => return false,
@@ -191,11 +193,11 @@ impl<N: Managed + Default> Arena<N> {
                 unsafe { self.release(q) };
                 StatCounters::bump(&self.counters.allocs);
                 unsafe {
-                    debug_assert!((*q).header().claim().is_set(), "free node must be claimed");
+                    debug_assert!((*q).header().claim_is_set(), "free node must be claimed");
                     (*q).reset_for_alloc();
                     // Fig. 17 line 8: Write(q^.claim, 0) — the single point
                     // where claim is cleared, while we are sole owner.
-                    (*q).header().claim().clear();
+                    (*q).header().clear_claim();
                 }
                 return Ok(q);
             }
@@ -236,7 +238,7 @@ impl<N: Managed> Arena<N> {
             // recycled — but it is always a valid node of this type-stable
             // arena, so the increment is memory-safe; the re-read below
             // rejects stale protections and `release` undoes the count.
-            (*q).header().refct().fetch_increment();
+            (*q).header().incr_ref();
             // Fig. 15 line 5: still current? Then our count was acquired
             // while `src` held a (counted) pointer to `q`, so `q` was live.
             if src.read() == q {
@@ -259,7 +261,7 @@ impl<N: Managed> Arena<N> {
     /// cannot be concurrently recycled).
     pub unsafe fn incr_ref(&self, p: *mut N) {
         if !p.is_null() {
-            (*p).header().refct().fetch_increment();
+            (*p).header().incr_ref();
         }
     }
 
@@ -288,10 +290,15 @@ impl<N: Managed> Arena<N> {
         loop {
             StatCounters::bump(&self.counters.releases);
             // Fig. 16 line 1: c <- Fetch&Add(p^.refct, -1).
-            let prev = (*current).header().refct().fetch_decrement();
+            let prev = (*current).header().decr_ref();
             if prev == 1 {
-                // Count hit zero: Fig. 16 lines 4-7 — claim arbitration.
-                if !(*current).header().claim().test_and_set() {
+                // Count hit zero: Fig. 16 lines 4-7 — claim arbitration,
+                // with the Michael & Scott correction: the claim CAS
+                // requires the count to *still* be zero, so a claim
+                // attempt delayed past a recycling of this node fails
+                // instead of freeing the new allocation (see
+                // `NodeHeader::try_claim` and `RefClaim`).
+                if (*current).header().try_claim() {
                     // We are the unique reclaimer. No process or link
                     // references remain, so reading/draining fields is
                     // exclusive.
@@ -317,7 +324,7 @@ impl<N: Managed> Arena<N> {
         // (never store — a store would erase a concurrent transient
         // SafeRead increment; see crate docs "corrections").
         unsafe {
-            (*p).header().refct().fetch_increment();
+            (*p).header().incr_ref();
         }
         loop {
             // Fig. 18 lines 1-3. Plain read (not SafeRead): we never
@@ -389,8 +396,8 @@ impl<N: Managed> Arena<N> {
     /// counted links drained, count zero) and guarantee no concurrent
     /// protocol activity can reach `p`.
     pub unsafe fn reclaim_detached(&self, p: *mut N) {
-        debug_assert_eq!((*p).header().refct().read(), 0);
-        debug_assert!((*p).header().claim().is_set());
+        debug_assert_eq!((*p).header().refcount(), 0);
+        debug_assert!((*p).header().claim_is_set());
         StatCounters::bump(&self.counters.reclaims);
         self.push_free(p);
     }
@@ -402,7 +409,8 @@ impl<N: Managed> Arena<N> {
 
     /// Total nodes owned by the arena (free + live).
     pub fn capacity(&self) -> usize {
-        self.total_nodes.load(std::sync::atomic::Ordering::Relaxed)
+        self.total_nodes
+            .load(valois_sync::shim::atomic::Ordering::Relaxed)
     }
 
     /// Nodes currently allocated (checked out and not yet reclaimed).
@@ -440,8 +448,8 @@ impl<N: Managed> fmt::Debug for Arena<N> {
 mod tests {
     use super::*;
     use crate::managed::{NodeHeader, ReclaimedLinks};
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
+    use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
     /// Minimal managed node: one value slot and two counted links, mirroring
     /// the list's cell shape.
@@ -487,8 +495,8 @@ mod tests {
         let arena = small_arena(4);
         let p = arena.alloc().unwrap();
         unsafe {
-            assert_eq!((*p).header().refct().read(), 1);
-            assert!(!(*p).header().claim().is_set());
+            assert_eq!((*p).header().refcount(), 1);
+            assert!(!(*p).header().claim_is_set());
             assert!((*p).next.read().is_null());
         }
         unsafe { arena.release(p) };
@@ -520,8 +528,7 @@ mod tests {
 
     #[test]
     fn uncapped_arena_grows_by_doubling() {
-        let arena: Arena<TestNode> =
-            Arena::with_config(ArenaConfig::new().initial_capacity(2));
+        let arena: Arena<TestNode> = Arena::with_config(ArenaConfig::new().initial_capacity(2));
         let mut held = Vec::new();
         for _ in 0..10 {
             held.push(arena.alloc().unwrap());
@@ -545,9 +552,9 @@ mod tests {
         unsafe {
             (*b).next.write(c); // b's link now counts c: transfer our process ref
             (*a).next.write(b); // a's link now counts b
-            // (we transferred our alloc references into the links, so no
-            // incr_ref: each node's count is exactly 1, held by its parent.)
-            assert_eq!((*c).header().refct().read(), 1);
+                                // (we transferred our alloc references into the links, so no
+                                // incr_ref: each node's count is exactly 1, held by its parent.)
+            assert_eq!((*c).header().refcount(), 1);
             arena.release(a);
         }
         assert_eq!(arena.live_nodes(), 0, "cascade must reclaim a, b, c");
@@ -623,8 +630,8 @@ mod tests {
         assert_eq!(arena.live_nodes(), 0, "all nodes reclaimed after quiesce");
         // Every node's count must be exactly the free-list's 1.
         arena.for_each_node(|p| unsafe {
-            assert_eq!((*p).header().refct().read(), 1);
-            assert!((*p).header().claim().is_set());
+            assert_eq!((*p).header().refcount(), 1);
+            assert!((*p).header().claim_is_set());
         });
     }
 
@@ -659,7 +666,7 @@ mod tests {
         assert_eq!(arena.live_nodes(), 0);
         let mut free = 0usize;
         arena.for_each_node(|p| unsafe {
-            assert_eq!((*p).header().refct().read(), 1, "free node count must be 1");
+            assert_eq!((*p).header().refcount(), 1, "free node count must be 1");
             free += 1;
         });
         assert_eq!(free, 256);
@@ -719,9 +726,9 @@ mod tests {
         unsafe {
             arena.store_link(&root, a);
             // CAS expecting `b` must fail and leave counts unchanged.
-            let before = (*c).header().refct().read();
+            let before = (*c).header().refcount();
             assert!(!arena.swing(&root, b, c));
-            assert_eq!((*c).header().refct().read(), before);
+            assert_eq!((*c).header().refcount(), before);
             assert_eq!(root.read(), a);
             // Clean up: unlink a, release all.
             assert!(arena.swing(&root, a, std::ptr::null_mut()));
@@ -771,10 +778,10 @@ mod tests {
             // fresh.next := a (counted), then re-target to b: a's count from
             // the link must drop. store_link itself installs the link count.
             arena.store_link(&(*fresh).next, a);
-            assert_eq!((*a).header().refct().read(), 2);
+            assert_eq!((*a).header().refcount(), 2);
             arena.store_link(&(*fresh).next, b);
-            assert_eq!((*a).header().refct().read(), 1);
-            assert_eq!((*b).header().refct().read(), 2);
+            assert_eq!((*a).header().refcount(), 1);
+            assert_eq!((*b).header().refcount(), 2);
             arena.release(a);
             arena.release(b);
             arena.release(fresh); // drains fresh.next -> releases b

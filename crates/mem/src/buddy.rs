@@ -30,7 +30,7 @@
 //! bounded number of stale list entries, never block anyone.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use valois_sync::shim::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 /// Block states. One word per tree node (order × position), so reuse of a
 /// region at a *different* order can never be confused with this node.
@@ -373,7 +373,10 @@ mod tests {
                 let start = b.offset;
                 let end = b.offset + b.units();
                 for &(s, e) in &taken {
-                    assert!(end <= s || start >= e, "overlap: [{start},{end}) vs [{s},{e})");
+                    assert!(
+                        end <= s || start >= e,
+                        "overlap: [{start},{end}) vs [{s},{e})"
+                    );
                 }
                 taken.push((start, end));
                 blocks.push(b);
@@ -432,8 +435,8 @@ mod tests {
     #[test]
     fn concurrent_alloc_free_never_overlaps() {
         let a = BuddyAllocator::new(10); // 1024 units
-        // Each thread marks the units of every block it holds in a shared
-        // bitmap with fetch_or; any double-set bit is an overlap.
+                                         // Each thread marks the units of every block it holds in a shared
+                                         // bitmap with fetch_or; any double-set bit is an overlap.
         let bitmap: Vec<AtomicU64> = (0..16).map(|_| AtomicU64::new(0)).collect();
         std::thread::scope(|s| {
             let a = &a;
@@ -491,7 +494,7 @@ mod tests {
     #[test]
     fn fragmentation_then_recovery() {
         let a = BuddyAllocator::new(8); // 256 units
-        // Allocate alternating unit blocks to fragment maximally.
+                                        // Allocate alternating unit blocks to fragment maximally.
         let blocks: Vec<Block> = (0..256).map(|_| a.alloc(0).unwrap()).collect();
         // Free every even-offset block: max free order must be 0 (all
         // buddies of free blocks are still allocated).

@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use valois_sync::primitives::{CasPtr, Counter, TestAndSet};
+use valois_sync::primitives::{CasPtr, RefClaim};
 
 /// Maximum number of counted outgoing links a node may report at
 /// reclamation time. The list's cells have two (`next`, `back_link`); BST
@@ -21,17 +21,25 @@ pub type Link<N> = CasPtr<N>;
 
 /// Per-node bookkeeping required by the §5 protocol.
 ///
-/// * `refct` — process references + incoming counted links (see crate docs).
-/// * `claim` — the Test&Set used by `Release` (Fig. 16) to pick a single
-///   reclaimer among processes that concurrently see the count reach zero.
+/// The paper gives each node a `refct` word (process references + incoming
+/// counted links, see crate docs) and a separate `claim` Test&Set used by
+/// `Release` (Fig. 16) to pick a single reclaimer among processes that
+/// concurrently see the count reach zero. Keeping them in **separate words
+/// is unsound**: a releaser can stall between its decrement-to-zero and its
+/// `Test&Set`, and by the time it resumes the node may have been reclaimed
+/// *and recycled* by others — its late `Test&Set` then sees the clear claim
+/// of the new allocation and frees a live node. The model checker finds
+/// this interleaving (see `valois-core/tests/loom_models.rs` and
+/// [`RefClaim`]); we therefore store both in one word per the Michael &
+/// Scott correction, and `Release` acquires the claim with a CAS that
+/// requires the count to *still* be zero.
 ///
 /// A freshly constructed header describes a **detached** node: count 0 and
 /// claim set. The arena's free-list push then installs the free list's
 /// incoming-pointer count (so on-free-list nodes always have count ≥ 1);
 /// claim is cleared only by `Alloc` (Fig. 17 line 8).
 pub struct NodeHeader {
-    refct: Counter,
-    claim: TestAndSet,
+    state: RefClaim,
 }
 
 impl NodeHeader {
@@ -39,19 +47,46 @@ impl NodeHeader {
     /// claim set).
     pub fn new_free() -> Self {
         Self {
-            refct: Counter::new(0),
-            claim: TestAndSet::with_state(true),
+            state: RefClaim::new_detached(),
         }
     }
 
-    /// The reference count.
-    pub fn refct(&self) -> &Counter {
-        &self.refct
+    /// `Fetch&Add(refct, +1)`: returns the previous count.
+    pub fn incr_ref(&self) -> usize {
+        self.state.incr_ref()
     }
 
-    /// The claim flag.
-    pub fn claim(&self) -> &TestAndSet {
-        &self.claim
+    /// `Fetch&Add(refct, -1)`: returns the previous count.
+    pub fn decr_ref(&self) -> usize {
+        self.state.decr_ref()
+    }
+
+    /// Corrected claim arbitration (Fig. 16 lines 4-7): succeeds only if
+    /// the count is still zero and the claim clear — atomically.
+    pub fn try_claim(&self) -> bool {
+        self.state.try_claim()
+    }
+
+    /// Unconditional claim for quiescent cycle collectors; returns the
+    /// previous claim state.
+    pub fn set_claim(&self) -> bool {
+        self.state.set_claim()
+    }
+
+    /// Clears the claim (`Alloc`, Fig. 17 line 8); preserves the count
+    /// bits (a stale `SafeRead` may hold a transient increment).
+    pub fn clear_claim(&self) {
+        self.state.clear_claim()
+    }
+
+    /// The current reference count.
+    pub fn refcount(&self) -> usize {
+        self.state.refcount()
+    }
+
+    /// The current claim state.
+    pub fn claim_is_set(&self) -> bool {
+        self.state.claim_is_set()
     }
 }
 
@@ -64,8 +99,8 @@ impl Default for NodeHeader {
 impl fmt::Debug for NodeHeader {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("NodeHeader")
-            .field("refct", &self.refct.read())
-            .field("claim", &self.claim.is_set())
+            .field("refct", &self.refcount())
+            .field("claim", &self.claim_is_set())
             .finish()
     }
 }
@@ -99,7 +134,10 @@ impl<N> ReclaimedLinks<N> {
         if target.is_null() {
             return;
         }
-        assert!(self.len < MAX_LINKS, "node reported more than MAX_LINKS counted links");
+        assert!(
+            self.len < MAX_LINKS,
+            "node reported more than MAX_LINKS counted links"
+        );
         self.links[self.len] = target;
         self.len += 1;
     }
@@ -177,15 +215,15 @@ mod tests {
     #[test]
     fn header_starts_free() {
         let h = NodeHeader::new_free();
-        assert_eq!(h.refct().read(), 0);
-        assert!(h.claim().is_set());
+        assert_eq!(h.refcount(), 0);
+        assert!(h.claim_is_set());
     }
 
     #[test]
     fn default_header_matches_new_free() {
         let h = NodeHeader::default();
-        assert_eq!(h.refct().read(), 0);
-        assert!(h.claim().is_set());
+        assert_eq!(h.refcount(), 0);
+        assert!(h.claim_is_set());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! to be in the noise by the `stats_overhead` Criterion bench.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
 /// Live counters owned by an [`Arena`](crate::Arena).
 #[derive(Default)]

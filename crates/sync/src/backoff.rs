@@ -59,10 +59,10 @@ impl Backoff {
         if self.exponent <= YIELD_EXPONENT {
             let iters = 1u32 << self.exponent;
             for _ in 0..iters {
-                std::hint::spin_loop();
+                crate::shim::hint::spin_loop();
             }
         } else {
-            std::thread::yield_now();
+            crate::shim::thread::yield_now();
         }
         if self.exponent < MAX_EXPONENT {
             self.exponent += 1;

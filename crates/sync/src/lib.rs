@@ -31,9 +31,13 @@
 pub mod backoff;
 pub mod pad;
 pub mod primitives;
+pub mod rng;
+pub mod shim;
 pub mod spinlock;
 
 pub use backoff::Backoff;
 pub use pad::CachePadded;
-pub use primitives::{CasCell, CasPtr, Counter, TestAndSet};
-pub use spinlock::{AndersonLock, ClhLock, Lock, LockGuard, LockKind, TasLock, TicketLock, TtasLock};
+pub use primitives::{CasCell, CasPtr, Counter, RefClaim, TestAndSet};
+pub use spinlock::{
+    AndersonLock, ClhLock, Lock, LockGuard, LockKind, TasLock, TicketLock, TtasLock,
+};

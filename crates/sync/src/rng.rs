@@ -1,0 +1,238 @@
+//! Small, fast, dependency-free pseudo-random number generation for
+//! workload generation and randomized tests.
+//!
+//! The container this repository builds in has no network access to a
+//! crates registry, so the test/harness layers cannot depend on the `rand`
+//! crate. This module provides the tiny subset those layers need: a
+//! seedable 64-bit generator ([`SmallRng`], an xoshiro256++ behind a
+//! SplitMix64 seeder), uniform ranges, booleans, floats, and a
+//! Fisher–Yates shuffle.
+//!
+//! This RNG is for *workloads and tests only* — it is deterministic by
+//! design (identical seeds reproduce identical schedules) and makes no
+//! cryptographic claims.
+//!
+//! # Example
+//!
+//! ```
+//! use valois_sync::rng::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let k: u64 = rng.gen_range(0..100u64);
+//! assert!(k < 100);
+//! let mut v = vec![1, 2, 3, 4];
+//! rng.shuffle(&mut v);
+//! assert_eq!(v.len(), 4);
+//! ```
+
+use std::fmt;
+use std::ops::Range;
+
+/// SplitMix64 step — used to expand a single `u64` seed into the four
+/// xoshiro state words (the construction recommended by the xoshiro
+/// authors).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, seedable xoshiro256++ generator (name mirrors `rand`'s
+/// `SmallRng` so call sites read identically).
+#[derive(Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed. Identical seeds produce
+    /// identical streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform value in `range` (half-open). Panics on an empty range.
+    ///
+    /// Uses Lemire-style rejection to stay unbiased.
+    pub fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range on an empty range");
+        // Rejection sampling over the largest multiple of `bound`.
+        let zone = u64::MAX - (u64::MAX % bound + 1) % bound.max(1);
+        loop {
+            let v = self.next_u64();
+            if v <= zone || zone == u64::MAX {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chooses one element (None on an empty slice).
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.bounded_u64(slice.len() as u64) as usize])
+        }
+    }
+}
+
+impl fmt::Debug for SmallRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SmallRng { .. }")
+    }
+}
+
+/// Integer types [`SmallRng::gen_range`] can sample uniformly.
+pub trait RangeSample: Copy {
+    /// Uniform sample from a half-open range.
+    fn sample(rng: &mut SmallRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($ty:ty),*) => {$(
+        impl RangeSample for $ty {
+            fn sample(rng: &mut SmallRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range on an empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start + rng.bounded_u64(span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let u: u8 = rng.gen_range(0..3u8);
+            assert!(u < 3);
+            let w: usize = rng.gen_range(0..1usize);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits={hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "64 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let items = [1, 2, 3];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*rng.choose(&items).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        assert!(rng.choose::<u8>(&[]).is_none());
+    }
+}

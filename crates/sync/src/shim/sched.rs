@@ -1,0 +1,698 @@
+//! Deterministic model-checking scheduler (compiled only under
+//! `--cfg loom`).
+//!
+//! This is a self-contained reimplementation of the part of
+//! [loom](https://docs.rs/loom) / CHESS this workspace needs: exhaustive,
+//! depth-first exploration of thread interleavings at atomic-operation
+//! granularity, with a **preemption bound** to keep the schedule space
+//! tractable (Musuvathi & Qadeer, "Iterative Context Bounding for
+//! Systematic Testing of Multithreaded Programs", PLDI 2007 — most
+//! concurrency bugs manifest within 2 preemptions).
+//!
+//! # How it works
+//!
+//! Real OS threads execute the model body, but they are serialized by a
+//! token: exactly one thread runs at a time, and every instrumented
+//! operation (each `shim::atomic` access, mutex acquire, spawn/join/yield)
+//! is a *scheduling point* where the scheduler may hand the token to a
+//! different runnable thread. The sequence of such decisions forms a
+//! schedule; after each complete execution the driver backtracks the last
+//! decision with an unexplored alternative and replays. Exploration is
+//! exhaustive within the preemption bound: switching away from a thread
+//! that is still runnable costs one unit of a finite budget, while forced
+//! switches (the running thread blocked or finished) and voluntary yields
+//! are free.
+//!
+//! # What it does and does not check
+//!
+//! * Explored: every interleaving of instrumented operations reachable
+//!   with at most `preemption_bound` preemptions, for the given model.
+//! * Not modeled: weak memory orderings (all instrumented accesses are
+//!   performed `SeqCst`), non-atomic data races (use Miri/TSan), and
+//!   anything behind more preemptions than the bound.
+//!
+//! Model bodies must be **deterministic** apart from scheduling: no wall
+//! clocks, no OS randomness, no I/O dependence — replay divergence is
+//! detected and reported as a panic.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{PoisonError, TryLockError};
+
+/// Default preemption budget per execution.
+pub const DEFAULT_PREEMPTION_BOUND: usize = 2;
+/// Default per-execution step limit (livelock backstop).
+pub const DEFAULT_MAX_STEPS: usize = 50_000;
+/// Default limit on explored schedules (model-too-big backstop).
+pub const DEFAULT_MAX_ITERATIONS: u64 = 2_000_000;
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Model>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<Model>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// One recorded scheduling decision: which thread, out of which options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Decision {
+    choices: Vec<usize>,
+    chosen_idx: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    /// Waiting for the given thread to finish.
+    BlockedJoin(usize),
+    /// Waiting for the mutex with the given address key to be released.
+    BlockedMutex(usize),
+    Finished,
+}
+
+struct SchedState {
+    /// Replay prefix plus this run's extension.
+    schedule: Vec<Decision>,
+    /// Index of the next decision to replay.
+    pos: usize,
+    threads: Vec<ThreadState>,
+    current: usize,
+    preemptions: usize,
+    steps: usize,
+    /// First failure message; once set, every thread unwinds.
+    abort: Option<String>,
+}
+
+struct Model {
+    state: StdMutex<SchedState>,
+    cv: Condvar,
+    preemption_bound: usize,
+    max_steps: usize,
+    /// Forced `chosen_idx` per decision (schedule replay; see
+    /// `VALOIS_SCHED_REPLAY` in [`Builder::check`]).
+    forced: Option<Vec<usize>>,
+    /// Print every scheduling point (thread + call site) to stderr.
+    trace: bool,
+}
+
+impl Model {
+    /// Blocks until this thread holds the token (or the run aborted).
+    fn wait_for_token<'a>(
+        &self,
+        mut st: StdMutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, SchedState> {
+        while st.abort.is_none() && st.current != me {
+            st = self.cv.wait(st).unwrap();
+        }
+        if let Some(msg) = &st.abort {
+            let msg = msg.clone();
+            drop(st);
+            panic!("model aborted: {msg}");
+        }
+        st
+    }
+
+    fn abort_locked(&self, st: &mut SchedState, msg: String) {
+        if st.abort.is_none() {
+            st.abort = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Replays or extends the schedule at a decision point. `choices`
+    /// must be non-empty and deterministic across replays.
+    fn decide(&self, st: &mut SchedState, choices: Vec<usize>) -> usize {
+        if choices.len() == 1 {
+            return choices[0];
+        }
+        let chosen = if st.pos < st.schedule.len() {
+            let d = &st.schedule[st.pos];
+            if d.choices != choices {
+                let msg = format!(
+                    "nondeterministic model execution: replay expected choices {:?} \
+                     but found {:?} at decision {} — model bodies must not depend on \
+                     time, OS randomness, or other non-scheduler input",
+                    d.choices, choices, st.pos
+                );
+                self.abort_locked(st, msg.clone());
+                panic!("model aborted: {msg}");
+            }
+            d.choices[d.chosen_idx]
+        } else {
+            let idx = match &self.forced {
+                Some(f) => f
+                    .get(st.schedule.len())
+                    .copied()
+                    .unwrap_or(0)
+                    .min(choices.len() - 1),
+                None => 0,
+            };
+            st.schedule.push(Decision {
+                choices: choices.clone(),
+                chosen_idx: idx,
+            });
+            choices[idx]
+        };
+        st.pos += 1;
+        chosen
+    }
+
+    fn runnable(st: &SchedState) -> Vec<usize> {
+        (0..st.threads.len())
+            .filter(|&t| st.threads[t] == ThreadState::Runnable)
+            .collect()
+    }
+
+    fn count_step(&self, st: &mut SchedState) {
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            let msg = format!(
+                "exceeded {} scheduling points in one execution — livelock, or a \
+                 model too large to check exhaustively",
+                self.max_steps
+            );
+            self.abort_locked(st, msg.clone());
+            panic!("model aborted: {msg}");
+        }
+    }
+
+    /// A scheduling point for thread `me` (which is runnable and holds the
+    /// token). `free` switches (yields) do not consume preemption budget.
+    fn switch(&self, me: usize, free: bool, loc: &'static std::panic::Location<'static>) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(msg) = &st.abort {
+            let msg = msg.clone();
+            drop(st);
+            panic!("model aborted: {msg}");
+        }
+        self.count_step(&mut st);
+        let others: Vec<usize> = Self::runnable(&st)
+            .into_iter()
+            .filter(|&t| t != me)
+            .collect();
+        let choices = if others.is_empty() || (!free && st.preemptions >= self.preemption_bound) {
+            vec![me]
+        } else {
+            // `me` first: the first exploration of each decision continues
+            // the current thread, so run 0 is the sequential execution and
+            // backtracking introduces preemptions one at a time.
+            let mut c = Vec::with_capacity(1 + others.len());
+            c.push(me);
+            c.extend(others);
+            c
+        };
+        let chosen = self.decide(&mut st, choices);
+        if self.trace {
+            eprintln!(
+                "[sched] step {:>4} t{me} {loc}{}",
+                st.steps,
+                if chosen == me {
+                    String::new()
+                } else {
+                    format!("  => t{chosen}")
+                }
+            );
+        }
+        if chosen != me {
+            if !free {
+                st.preemptions += 1;
+            }
+            st.current = chosen;
+            self.cv.notify_all();
+            let st = self.wait_for_token(st, me);
+            drop(st);
+        }
+    }
+
+    /// Marks `me` blocked with the given reason, hands the token to some
+    /// runnable thread, and returns once `me` is rescheduled.
+    fn block(&self, me: usize, why: ThreadState) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(msg) = &st.abort {
+            let msg = msg.clone();
+            drop(st);
+            panic!("model aborted: {msg}");
+        }
+        self.count_step(&mut st);
+        st.threads[me] = why;
+        self.hand_off(&mut st);
+        let st = self.wait_for_token(st, me);
+        drop(st);
+    }
+
+    /// Transfers the token to some runnable thread (the current thread is
+    /// blocked or finished, so the switch is forced and free). Detects
+    /// deadlock.
+    fn hand_off(&self, st: &mut SchedState) {
+        let runnable = Self::runnable(st);
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| *t == ThreadState::Finished) {
+                // Run complete; wake the driver.
+                self.cv.notify_all();
+                return;
+            }
+            let stuck: Vec<(usize, ThreadState)> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t, ThreadState::Finished))
+                .map(|(i, t)| (i, t.clone()))
+                .collect();
+            let msg = format!("deadlock: no runnable threads, blocked = {stuck:?}");
+            self.abort_locked(st, msg.clone());
+            panic!("model aborted: {msg}");
+        }
+        let chosen = self.decide(st, runnable);
+        st.current = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Marks `me` finished, wakes joiners, and hands the token onward.
+    fn finish(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[me] = ThreadState::Finished;
+        for t in 0..st.threads.len() {
+            if st.threads[t] == ThreadState::BlockedJoin(me) {
+                st.threads[t] = ThreadState::Runnable;
+            }
+        }
+        if st.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        self.hand_off(&mut st);
+    }
+
+    /// Records a panic from `me` and marks it finished so every other
+    /// thread (and the driver) unwinds promptly.
+    fn abort_from(&self, me: usize, msg: String) {
+        let mut st = self.state.lock().unwrap();
+        self.abort_locked(&mut st, msg);
+        st.threads[me] = ThreadState::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Wakes threads parked on the mutex identified by `key`. The caller
+    /// still holds the token; the woken threads compete at the caller's
+    /// next scheduling point.
+    fn mutex_released(&self, key: usize) {
+        let mut st = self.state.lock().unwrap();
+        for t in 0..st.threads.len() {
+            if st.threads[t] == ThreadState::BlockedMutex(key) {
+                st.threads[t] = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// Blocks `me` until `target` has finished (join edge).
+    fn join_wait(&self, me: usize, target: usize) {
+        {
+            let st = self.state.lock().unwrap();
+            if st.threads[target] == ThreadState::Finished {
+                return;
+            }
+        }
+        self.block(me, ThreadState::BlockedJoin(target));
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Body wrapper every modeled OS thread runs: waits for its first token,
+/// executes, then either hands the token onward or aborts the run.
+fn run_thread<T>(model: Arc<Model>, me: usize, body: impl FnOnce() -> T) -> T {
+    CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&model), me)));
+    {
+        let st = model.state.lock().unwrap();
+        let st = model.wait_for_token(st, me);
+        drop(st);
+    }
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(v) => {
+            model.finish(me);
+            v
+        }
+        Err(e) => {
+            model.abort_from(me, panic_message(&*e));
+            resume_unwind(e)
+        }
+    }
+}
+
+/// Inserts a scheduling point if the calling thread is inside a model
+/// (no-op otherwise, so `--cfg loom` builds still run ordinary tests).
+#[track_caller]
+pub fn sched_point() {
+    if let Some((m, me)) = current() {
+        m.switch(me, false, std::panic::Location::caller());
+    }
+}
+
+/// Voluntary yield: a free scheduling point inside a model, a plain
+/// `std::thread::yield_now` outside one.
+#[track_caller]
+pub fn yield_now() {
+    match current() {
+        Some((m, me)) => m.switch(me, true, std::panic::Location::caller()),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Handle to a thread spawned through [`spawn`].
+pub struct JoinHandle<T> {
+    meta: Option<(Arc<Model>, usize)>,
+    inner: std::thread::JoinHandle<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result (`Err` holds
+    /// the panic payload, as with `std`).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((model, target)) = &self.meta {
+            if let Some((m, me)) = current() {
+                debug_assert!(Arc::ptr_eq(&m, model));
+                m.join_wait(me, *target);
+            }
+        }
+        self.inner.join()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle { .. }")
+    }
+}
+
+/// Spawns a thread. Inside a model the thread is registered with the
+/// scheduler and serialized like every other; outside one this is
+/// `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        None => JoinHandle {
+            meta: None,
+            inner: std::thread::spawn(f),
+        },
+        Some((model, _me)) => {
+            let tid = {
+                let mut st = model.state.lock().unwrap();
+                st.threads.push(ThreadState::Runnable);
+                st.threads.len() - 1
+            };
+            let m2 = Arc::clone(&model);
+            let inner = std::thread::spawn(move || run_thread(m2, tid, f));
+            JoinHandle {
+                meta: Some((model, tid)),
+                inner,
+            }
+        }
+    }
+}
+
+/// Scheduler-aware mutex: `std::sync::Mutex` outside a model; inside one,
+/// contended acquires park the thread in the scheduler instead of the OS
+/// (an OS block while holding the token would wedge the whole model).
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(t: T) -> Self {
+        Self {
+            inner: StdMutex::new(t),
+        }
+    }
+
+    /// Acquires the mutex (see type docs for in-model behaviour).
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    release: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    release: None,
+                })),
+            },
+            Some((model, me)) => {
+                let key = self as *const Self as usize;
+                // ORDER: acquiring a lock is a visible synchronization
+                // event — give the scheduler a chance to preempt first.
+                model.switch(me, false, std::panic::Location::caller());
+                loop {
+                    match self.inner.try_lock() {
+                        Ok(g) => {
+                            return Ok(MutexGuard {
+                                inner: Some(g),
+                                release: Some((Arc::clone(&model), key)),
+                            })
+                        }
+                        Err(TryLockError::WouldBlock) => {
+                            model.block(me, ThreadState::BlockedMutex(key));
+                        }
+                        Err(TryLockError::Poisoned(p)) => {
+                            return Err(PoisonError::new(MutexGuard {
+                                inner: Some(p.into_inner()),
+                                release: Some((Arc::clone(&model), key)),
+                            }))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exclusive access without locking.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Guard for [`Mutex`]; wakes scheduler-parked waiters on drop.
+pub struct MutexGuard<'a, T> {
+    inner: Option<StdMutexGuard<'a, T>>,
+    release: Option<(Arc<Model>, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().unwrap()
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().unwrap()
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the OS lock *before* marking waiters runnable so a
+        // rescheduled waiter's try_lock cannot spuriously fail.
+        self.inner = None;
+        if let Some((model, key)) = self.release.take() {
+            model.mutex_released(key);
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.as_ref().unwrap().fmt(f)
+    }
+}
+
+/// Configures and runs an exploration (see [`model`] for the default).
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Preemption budget per execution (see module docs).
+    pub preemption_bound: usize,
+    /// Per-execution scheduling-point limit (livelock backstop).
+    pub max_steps: usize,
+    /// Limit on the number of explored schedules.
+    pub max_iterations: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            preemption_bound: DEFAULT_PREEMPTION_BOUND,
+            max_steps: DEFAULT_MAX_STEPS,
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the preemption budget.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Runs `body` under every schedule reachable within the preemption
+    /// bound, returning the number of schedules explored. Panics (with
+    /// the original assertion message and the failing schedule) if any
+    /// execution fails.
+    pub fn check<F>(&self, body: F) -> u64
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            current().is_none(),
+            "nested model() calls are not supported"
+        );
+        let body = Arc::new(body);
+        // Replay support: `VALOIS_SCHED_REPLAY=0,0,1,...` (the chosen_idx
+        // sequence printed with a failing schedule) runs exactly that one
+        // schedule with per-step tracing; `VALOIS_SCHED_TRACE=1` traces a
+        // normal exploration.
+        let forced: Option<Vec<usize>> = std::env::var("VALOIS_SCHED_REPLAY").ok().map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(|t| {
+                    t.parse()
+                        .expect("VALOIS_SCHED_REPLAY: comma-separated indices")
+                })
+                .collect()
+        });
+        let trace = forced.is_some() || std::env::var_os("VALOIS_SCHED_TRACE").is_some();
+        let mut schedule: Vec<Decision> = Vec::new();
+        let mut iterations: u64 = 0;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "exceeded {} explored schedules — shrink the model",
+                self.max_iterations
+            );
+            let model = Arc::new(Model {
+                state: StdMutex::new(SchedState {
+                    schedule: std::mem::take(&mut schedule),
+                    pos: 0,
+                    threads: vec![ThreadState::Runnable],
+                    current: 0,
+                    preemptions: 0,
+                    steps: 0,
+                    abort: None,
+                }),
+                cv: Condvar::new(),
+                preemption_bound: self.preemption_bound,
+                max_steps: self.max_steps,
+                forced: forced.clone(),
+                trace,
+            });
+            let m2 = Arc::clone(&model);
+            let b2 = Arc::clone(&body);
+            let root = std::thread::spawn(move || run_thread(m2, 0, move || b2()));
+            let root_result = root.join();
+            // Wait until every modeled thread (including ones whose
+            // handles the body dropped) has passed its final scheduling
+            // point before reading the schedule back.
+            {
+                let mut st = model.state.lock().unwrap();
+                while !st.threads.iter().all(|t| *t == ThreadState::Finished) {
+                    st = model.cv.wait(st).unwrap();
+                }
+            }
+            let (mut sched, abort) = {
+                let mut st = model.state.lock().unwrap();
+                (std::mem::take(&mut st.schedule), st.abort.take())
+            };
+            if let Some(msg) = abort {
+                let csv = sched
+                    .iter()
+                    .map(|d| d.chosen_idx.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                panic!(
+                    "model failed on schedule {iterations} \
+                     (preemption bound {}): {msg}\nfailing schedule: {sched:?}\n\
+                     replay deterministically (with a per-step trace) via \
+                     VALOIS_SCHED_REPLAY={csv}",
+                    self.preemption_bound
+                );
+            }
+            if let Err(e) = root_result {
+                resume_unwind(e);
+            }
+            if forced.is_some() {
+                eprintln!(
+                    "[sched] replayed schedule passed ({} decisions)",
+                    sched.len()
+                );
+                return iterations;
+            }
+            // Depth-first backtrack: advance the deepest decision with an
+            // unexplored alternative; exploration is complete when none
+            // remains.
+            loop {
+                match sched.last_mut() {
+                    None => return iterations,
+                    Some(d) => {
+                        if d.chosen_idx + 1 < d.choices.len() {
+                            d.chosen_idx += 1;
+                            break;
+                        }
+                        sched.pop();
+                    }
+                }
+            }
+            schedule = sched;
+        }
+    }
+}
+
+/// Explores `body` under every schedule reachable with the default
+/// preemption bound ([`DEFAULT_PREEMPTION_BOUND`]), panicking on the
+/// first failing schedule.
+pub fn model<F>(body: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(body);
+}

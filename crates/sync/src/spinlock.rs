@@ -21,8 +21,8 @@
 //! blocks everyone — exactly the failure mode the lock-free list avoids,
 //! and what experiment E2 demonstrates.
 
+use crate::shim::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
 use crate::backoff::Backoff;
 use crate::pad::CachePadded;
@@ -150,7 +150,7 @@ impl TasLock {
 impl Lock for TasLock {
     fn acquire(&self) {
         while self.flag.swap(true, Ordering::Acquire) {
-            std::hint::spin_loop();
+            crate::shim::hint::spin_loop();
         }
     }
 
@@ -232,7 +232,7 @@ impl Lock for TicketLock {
     fn acquire(&self) {
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         while self.now_serving.load(Ordering::Acquire) != ticket {
-            std::hint::spin_loop();
+            crate::shim::hint::spin_loop();
         }
     }
 
@@ -301,7 +301,7 @@ impl Lock for ClhLock {
         // SAFETY: `pred` stays alive until *we* free it after acquiring.
         unsafe {
             while (*pred).locked.load(Ordering::Acquire) {
-                std::hint::spin_loop();
+                crate::shim::hint::spin_loop();
             }
         }
         CLH_SLOTS.with(|s| s.borrow_mut().push((self as *const _ as usize, node, pred)));
@@ -397,7 +397,7 @@ impl Lock for AndersonLock {
     fn acquire(&self) {
         let me = self.next.fetch_add(1, Ordering::AcqRel) % self.slots.len();
         while !self.slots[me].load(Ordering::Acquire) {
-            std::hint::spin_loop();
+            crate::shim::hint::spin_loop();
         }
         // Re-arm our slot for its next lap around the ring.
         self.slots[me].store(false, Ordering::Relaxed);
@@ -433,7 +433,7 @@ mod tests {
     use std::sync::Arc;
 
     fn hammer(lock: Arc<dyn Lock>, threads: usize, iters: usize) -> usize {
-        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = Arc::new(crate::shim::atomic::AtomicUsize::new(0));
         struct ForceSync<T>(T);
         unsafe impl<T> Sync for ForceSync<T> {}
         unsafe impl<T> Send for ForceSync<T> {}

@@ -91,20 +91,18 @@ fn main() {
 
         // Workers: always take the most urgent ready job.
         for _ in 0..4 {
-            s.spawn(move || {
-                loop {
-                    match ready.pop_min() {
-                        Some(job) => {
-                            status.remove(&job.id);
-                            status.insert(job.id, "done");
-                            completed.fetch_add(1, Ordering::Relaxed);
+            s.spawn(move || loop {
+                match ready.pop_min() {
+                    Some(job) => {
+                        status.remove(&job.id);
+                        status.insert(job.id, "done");
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        if dispatcher_done.load(Ordering::Acquire) && ready.is_empty() {
+                            break;
                         }
-                        None => {
-                            if dispatcher_done.load(Ordering::Acquire) && ready.is_empty() {
-                                break;
-                            }
-                            std::thread::yield_now();
-                        }
+                        std::thread::yield_now();
                     }
                 }
             });

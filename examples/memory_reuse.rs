@@ -19,9 +19,11 @@ use valois::{ArenaConfig, List};
 
 fn main() {
     // --- 1. Fixed pool, heavy recycling --------------------------------
-    let list: List<u64> =
-        List::with_config(ArenaConfig::new().initial_capacity(16).max_nodes(16));
-    println!("pool: {} nodes (3 structural + 13 usable)", list.node_capacity());
+    let list: List<u64> = List::with_config(ArenaConfig::new().initial_capacity(16).max_nodes(16));
+    println!(
+        "pool: {} nodes (3 structural + 13 usable)",
+        list.node_capacity()
+    );
     let mut cur = list.cursor();
     for round in 0..50_000u64 {
         cur.seek_first();

@@ -108,5 +108,8 @@ fn main() {
     assert_eq!(first_live, still_readable);
     // After revalidating, the cursor moves on to live data.
     cursor.update();
-    println!("after update, cursor sees {:?}", cursor.get().map(|e| e.seq));
+    println!(
+        "after update, cursor sees {:?}",
+        cursor.get().map(|e| e.seq)
+    );
 }

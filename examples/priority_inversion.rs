@@ -63,7 +63,10 @@ fn run<D: Dictionary<u64, u64>>(dict: &D, stall_in_op: bool) -> (u64, u64) {
         std::thread::sleep(RUN);
         stop.store(true, Ordering::Relaxed);
     });
-    (high_ops.load(Ordering::Relaxed), low_ops.load(Ordering::Relaxed))
+    (
+        high_ops.load(Ordering::Relaxed),
+        low_ops.load(Ordering::Relaxed),
+    )
 }
 
 fn main() {
@@ -71,8 +74,8 @@ fn main() {
     println!("sleeps 1ms mid-operation; {RUN:?} per run\n");
 
     // Lock-based: the sleeper's stall happens while HOLDING the lock.
-    let locked: LockedListDict<u64, u64> = LockedListDict::new()
-        .with_delay(CriticalDelay::new(1.0, Duration::from_millis(1)));
+    let locked: LockedListDict<u64, u64> =
+        LockedListDict::new().with_delay(CriticalDelay::new(1.0, Duration::from_millis(1)));
     let (high_locked, low_locked) = run(&locked, false);
 
     // Lock-free: the same stall, but there is no lock to hold.
@@ -84,5 +87,7 @@ fn main() {
     println!("lock-free list         {high_free:>15}{low_free:>15}");
     let factor = high_free as f64 / high_locked.max(1) as f64;
     println!("\nhigh-priority throughput with the lock-free list: {factor:.1}x the locked list");
-    println!("(the sleeping writer convoys every reader behind the lock — §1's priority inversion)");
+    println!(
+        "(the sleeping writer convoys every reader behind the lock — §1's priority inversion)"
+    );
 }

@@ -30,7 +30,7 @@ fn naive_list_loses_insert_fig2() {
 #[test]
 fn valois_list_refuses_stale_insert() {
     let list: List<u32> = (0..3).collect(); // [0, 1, 2]
-    // Process 1 positions a cursor at 1 (like reading B.next).
+                                            // Process 1 positions a cursor at 1 (like reading B.next).
     let mut inserter = list.cursor();
     assert!(inserter.next());
     assert_eq!(inserter.get(), Some(&1));

@@ -1,9 +1,7 @@
 //! Cross-crate integration through the `valois` facade: the public API a
 //! downstream user sees, exercised end to end.
 
-use valois::{
-    ArenaConfig, BstDict, Dictionary, HashDict, List, SkipListDict, SortedListDict,
-};
+use valois::{ArenaConfig, BstDict, Dictionary, HashDict, List, SkipListDict, SortedListDict};
 
 #[test]
 fn facade_reexports_are_usable() {

@@ -33,10 +33,7 @@ fn runner_works_for_every_dictionary_kind() {
         assert!(res.total_ops > 0, "{name}: no operations completed");
         let lat = res.latency.expect("latency requested");
         assert!(lat.samples > 0, "{name}: no latency samples");
-        assert!(
-            lat.p50 <= lat.p999,
-            "{name}: quantiles out of order: {lat}"
-        );
+        assert!(lat.p50 <= lat.p999, "{name}: quantiles out of order: {lat}");
     }
 }
 

@@ -76,8 +76,7 @@ fn bst_histories_linearizable() {
 #[test]
 fn randomized_plans_all_linearizable() {
     // Fuzz: random 3-thread plans over 4 keys, checked exhaustively.
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use valois::sync::rng::SmallRng;
     let mut rng = SmallRng::seed_from_u64(0x11AE_A810u64);
     type Fixture = (
         SortedListDict<u64, u64>,

@@ -1,10 +1,14 @@
-//! Property-based tests of the building-block ADTs: the FIFO queue against
-//! a `VecDeque` model, the stack against a `Vec` model, and the priority
-//! queue against a sorted model.
+//! Randomized model-based tests of the building-block ADTs: the FIFO
+//! queue against a `VecDeque` model, the stack against a `Vec` model, and
+//! the priority queue against a sorted model.
+//!
+//! Formerly proptest-based; the offline build environment cannot fetch
+//! proptest, so the scripts come from the in-repo seeded RNG (fixed seeds
+//! keep failures reproducible by case number).
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
+use valois::sync::rng::SmallRng;
 use valois::{FifoQueue, PriorityQueue, Stack};
 
 #[derive(Debug, Clone)]
@@ -14,19 +18,23 @@ enum QueueOp {
     Len,
 }
 
-fn queue_op() -> impl Strategy<Value = QueueOp> {
-    prop_oneof![
-        2 => any::<u16>().prop_map(QueueOp::Enqueue),
-        2 => Just(QueueOp::Dequeue),
-        1 => Just(QueueOp::Len),
-    ]
+/// Weighted 2:2:1 enqueue/dequeue/len, matching the old proptest strategy.
+fn random_ops(rng: &mut SmallRng, max_len: usize) -> Vec<QueueOp> {
+    let len = rng.gen_range(1..max_len);
+    (0..len)
+        .map(|_| match rng.gen_range(0..5u8) {
+            0 | 1 => QueueOp::Enqueue(rng.next_u64() as u16),
+            2 | 3 => QueueOp::Dequeue,
+            _ => QueueOp::Len,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn fifo_queue_matches_vecdeque(ops in prop::collection::vec(queue_op(), 1..200)) {
+#[test]
+fn fifo_queue_matches_vecdeque() {
+    for case in 0..96u64 {
+        let mut rng = SmallRng::seed_from_u64(0xADC7_0001 ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 200);
         let q: FifoQueue<u16> = FifoQueue::new();
         let mut model: VecDeque<u16> = VecDeque::new();
         for (i, op) in ops.iter().enumerate() {
@@ -36,23 +44,27 @@ proptest! {
                     model.push_back(v);
                 }
                 QueueOp::Dequeue => {
-                    prop_assert_eq!(q.dequeue(), model.pop_front(), "op {}", i);
+                    assert_eq!(q.dequeue(), model.pop_front(), "case {case} op {i}");
                 }
                 QueueOp::Len => {
-                    prop_assert_eq!(q.len(), model.len(), "op {}", i);
-                    prop_assert_eq!(q.is_empty(), model.is_empty(), "op {}", i);
+                    assert_eq!(q.len(), model.len(), "case {case} op {i}");
+                    assert_eq!(q.is_empty(), model.is_empty(), "case {case} op {i}");
                 }
             }
         }
         // Drain to the end; order must match exactly.
         while let Some(expected) = model.pop_front() {
-            prop_assert_eq!(q.dequeue(), Some(expected));
+            assert_eq!(q.dequeue(), Some(expected), "case {case}: drain");
         }
-        prop_assert_eq!(q.dequeue(), None);
+        assert_eq!(q.dequeue(), None, "case {case}: empty after drain");
     }
+}
 
-    #[test]
-    fn stack_matches_vec(ops in prop::collection::vec(queue_op(), 1..200)) {
+#[test]
+fn stack_matches_vec() {
+    for case in 0..96u64 {
+        let mut rng = SmallRng::seed_from_u64(0xADC7_0002 ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 200);
         let s: Stack<u16> = Stack::new();
         let mut model: Vec<u16> = Vec::new();
         for (i, op) in ops.iter().enumerate() {
@@ -62,17 +74,21 @@ proptest! {
                     model.push(v);
                 }
                 QueueOp::Dequeue => {
-                    prop_assert_eq!(s.pop(), model.pop(), "op {}", i);
+                    assert_eq!(s.pop(), model.pop(), "case {case} op {i}");
                 }
                 QueueOp::Len => {
-                    prop_assert_eq!(s.len(), model.len(), "op {}", i);
+                    assert_eq!(s.len(), model.len(), "case {case} op {i}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn priority_queue_always_pops_minimum(ops in prop::collection::vec(queue_op(), 1..150)) {
+#[test]
+fn priority_queue_always_pops_minimum() {
+    for case in 0..96u64 {
+        let mut rng = SmallRng::seed_from_u64(0xADC7_0003 ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 150);
         let q: PriorityQueue<u16> = PriorityQueue::new();
         let mut model: Vec<u16> = Vec::new(); // kept sorted
         for (i, op) in ops.iter().enumerate() {
@@ -88,14 +104,14 @@ proptest! {
                     } else {
                         Some(model.remove(0))
                     };
-                    prop_assert_eq!(q.pop_min(), expected, "op {}", i);
+                    assert_eq!(q.pop_min(), expected, "case {case} op {i}");
                 }
                 QueueOp::Len => {
-                    prop_assert_eq!(q.len(), model.len(), "op {}", i);
-                    prop_assert_eq!(q.peek_min(), model.first().copied(), "op {}", i);
+                    assert_eq!(q.len(), model.len(), "case {case} op {i}");
+                    assert_eq!(q.peek_min(), model.first().copied(), "case {case} op {i}");
                 }
             }
         }
-        prop_assert_eq!(q.to_sorted_vec(), model);
+        assert_eq!(q.to_sorted_vec(), model, "case {case}: final contents");
     }
 }

@@ -1,10 +1,14 @@
-//! Property-based sequential equivalence: every §4 dictionary must behave
+//! Randomized sequential equivalence: every §4 dictionary must behave
 //! exactly like `BTreeMap` (presence semantics, first-insert-wins) over
 //! arbitrary operation sequences.
+//!
+//! Formerly proptest-based; the offline build environment cannot fetch
+//! proptest, so the scripts come from the in-repo seeded RNG (fixed seeds
+//! keep failures reproducible by case number).
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
+use valois::sync::rng::SmallRng;
 use valois::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
 
 #[derive(Debug, Clone)]
@@ -15,19 +19,19 @@ enum DictOp {
     Len,
 }
 
-fn op_strategy() -> impl Strategy<Value = DictOp> {
-    prop_oneof![
-        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| DictOp::Insert(k % 32, v)),
-        any::<u8>().prop_map(|k| DictOp::Remove(k % 32)),
-        any::<u8>().prop_map(|k| DictOp::Find(k % 32)),
-        Just(DictOp::Len),
-    ]
+fn random_ops(rng: &mut SmallRng, max_len: usize) -> Vec<DictOp> {
+    let len = rng.gen_range(1..max_len);
+    (0..len)
+        .map(|_| match rng.gen_range(0..4u8) {
+            0 => DictOp::Insert(rng.gen_range(0..32u8), rng.next_u64() as u16),
+            1 => DictOp::Remove(rng.gen_range(0..32u8)),
+            2 => DictOp::Find(rng.gen_range(0..32u8)),
+            _ => DictOp::Len,
+        })
+        .collect()
 }
 
-fn run_against_model<D: Dictionary<u64, u64>>(
-    dict: &D,
-    ops: &[DictOp],
-) -> Result<(), TestCaseError> {
+fn run_against_model<D: Dictionary<u64, u64>>(dict: &D, ops: &[DictOp], case: u64) {
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
     for (i, op) in ops.iter().enumerate() {
         match *op {
@@ -37,146 +41,181 @@ fn run_against_model<D: Dictionary<u64, u64>>(
                 if expect {
                     model.insert(k, v);
                 }
-                prop_assert_eq!(dict.insert(k, v), expect, "op {}: insert({})", i, k);
+                assert_eq!(dict.insert(k, v), expect, "case {case} op {i}: insert({k})");
             }
             DictOp::Remove(k) => {
                 let k = k as u64;
                 let expect = model.remove(&k).is_some();
-                prop_assert_eq!(dict.remove(&k), expect, "op {}: remove({})", i, k);
+                assert_eq!(dict.remove(&k), expect, "case {case} op {i}: remove({k})");
             }
             DictOp::Find(k) => {
                 let k = k as u64;
-                prop_assert_eq!(dict.find(&k), model.get(&k).copied(), "op {}: find({})", i, k);
+                assert_eq!(
+                    dict.find(&k),
+                    model.get(&k).copied(),
+                    "case {case} op {i}: find({k})"
+                );
             }
             DictOp::Len => {
-                prop_assert_eq!(dict.len(), model.len(), "op {}: len", i);
+                assert_eq!(dict.len(), model.len(), "case {case} op {i}: len");
             }
         }
     }
-    Ok(())
 }
 
-// Each impl gets its own proptest so shrinking pinpoints the structure.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// Each impl gets its own test so a failure pinpoints the structure.
 
-    #[test]
-    fn sorted_list_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn sorted_list_matches_btreemap() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_0001 ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 200);
         let d: SortedListDict<u64, u64> = SortedListDict::new();
-        run_against_model(&d, &ops)?;
+        run_against_model(&d, &ops, case);
     }
+}
 
-    #[test]
-    fn hash_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn hash_matches_btreemap() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_0002 ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 200);
         let d: HashDict<u64, u64> = HashDict::with_buckets(4);
-        run_against_model(&d, &ops)?;
+        run_against_model(&d, &ops, case);
     }
+}
 
-    #[test]
-    fn skiplist_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn skiplist_matches_btreemap() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_0003 ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 200);
         let d: SkipListDict<u64, u64> = SkipListDict::new();
-        run_against_model(&d, &ops)?;
+        run_against_model(&d, &ops, case);
     }
+}
 
-    #[test]
-    fn bst_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn bst_matches_btreemap() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_0004 ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 200);
         let d: BstDict<u64, u64> = BstDict::new();
-        run_against_model(&d, &ops)?;
+        run_against_model(&d, &ops, case);
     }
+}
 
-    #[test]
-    fn sorted_list_keys_always_sorted(ops in prop::collection::vec(op_strategy(), 1..100)) {
+#[test]
+fn sorted_list_keys_always_sorted() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_0005 ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 100);
         let d: SortedListDict<u64, u64> = SortedListDict::new();
         for op in &ops {
             match *op {
-                DictOp::Insert(k, v) => { d.insert(k as u64, v as u64); }
-                DictOp::Remove(k) => { d.remove(&(k as u64)); }
+                DictOp::Insert(k, v) => {
+                    d.insert(k as u64, v as u64);
+                }
+                DictOp::Remove(k) => {
+                    d.remove(&(k as u64));
+                }
                 _ => {}
             }
             let keys = d.keys();
-            prop_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys {:?}", keys);
+            assert!(
+                keys.windows(2).all(|w| w[0] < w[1]),
+                "case {case}: keys {keys:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn skiplist_levels_stay_subsets(ops in prop::collection::vec(op_strategy(), 1..100)) {
+#[test]
+fn skiplist_levels_stay_subsets() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_0006 ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 100);
         let mut d: SkipListDict<u64, u64> = SkipListDict::new();
         for op in &ops {
             match *op {
-                DictOp::Insert(k, v) => { d.insert(k as u64, v as u64); }
-                DictOp::Remove(k) => { d.remove(&(k as u64)); }
+                DictOp::Insert(k, v) => {
+                    d.insert(k as u64, v as u64);
+                }
+                DictOp::Remove(k) => {
+                    d.remove(&(k as u64));
+                }
                 _ => {}
             }
         }
-        prop_assert!(d.check_invariants().is_ok());
+        assert!(d.check_invariants().is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn sorted_list_range_matches_btreemap(
-        ops in prop::collection::vec(op_strategy(), 1..120),
-        lo in 0u64..32,
-        span in 0u64..32,
-    ) {
+fn range_case<D: Dictionary<u64, u64>>(
+    d: &D,
+    rng: &mut SmallRng,
+    case: u64,
+) -> (Vec<(u64, u64)>, u64, u64) {
+    let ops = random_ops(rng, 120);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in &ops {
+        match *op {
+            DictOp::Insert(k, v) => {
+                let (k, v) = (k as u64, v as u64);
+                model.entry(k).or_insert(v);
+                d.insert(k, v);
+            }
+            DictOp::Remove(k) => {
+                model.remove(&(k as u64));
+                d.remove(&(k as u64));
+            }
+            _ => {}
+        }
+    }
+    let lo = rng.gen_range(0..32u64);
+    let hi = lo + rng.gen_range(0..32u64);
+    let expected: Vec<(u64, u64)> = model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+    let _ = case;
+    (expected, lo, hi)
+}
+
+#[test]
+fn sorted_list_range_matches_btreemap() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_0007 ^ (case * 0x9E37));
         let d: SortedListDict<u64, u64> = SortedListDict::new();
-        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
-        for op in &ops {
-            match *op {
-                DictOp::Insert(k, v) => {
-                    let (k, v) = (k as u64, v as u64);
-                    model.entry(k).or_insert(v);
-                    d.insert(k, v);
-                }
-                DictOp::Remove(k) => {
-                    model.remove(&(k as u64));
-                    d.remove(&(k as u64));
-                }
-                _ => {}
-            }
-        }
-        let hi = lo + span;
-        let expected: Vec<(u64, u64)> =
-            model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
-        prop_assert_eq!(d.range(&lo, &hi), expected);
+        let (expected, lo, hi) = range_case(&d, &mut rng, case);
+        assert_eq!(d.range(&lo, &hi), expected, "case {case}: range {lo}..{hi}");
     }
+}
 
-    #[test]
-    fn skiplist_range_matches_btreemap(
-        ops in prop::collection::vec(op_strategy(), 1..120),
-        lo in 0u64..32,
-        span in 0u64..32,
-    ) {
+#[test]
+fn skiplist_range_matches_btreemap() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_0008 ^ (case * 0x9E37));
         let d: SkipListDict<u64, u64> = SkipListDict::new();
-        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
-        for op in &ops {
-            match *op {
-                DictOp::Insert(k, v) => {
-                    let (k, v) = (k as u64, v as u64);
-                    model.entry(k).or_insert(v);
-                    d.insert(k, v);
-                }
-                DictOp::Remove(k) => {
-                    model.remove(&(k as u64));
-                    d.remove(&(k as u64));
-                }
-                _ => {}
-            }
-        }
-        let hi = lo + span;
-        let expected: Vec<(u64, u64)> =
-            model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
-        prop_assert_eq!(d.range(&lo, &hi), expected);
+        let (expected, lo, hi) = range_case(&d, &mut rng, case);
+        assert_eq!(d.range(&lo, &hi), expected, "case {case}: range {lo}..{hi}");
     }
+}
 
-    #[test]
-    fn bst_inorder_stays_sorted(ops in prop::collection::vec(op_strategy(), 1..100)) {
+#[test]
+fn bst_inorder_stays_sorted() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_0009 ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 100);
         let mut d: BstDict<u64, u64> = BstDict::new();
         for op in &ops {
             match *op {
-                DictOp::Insert(k, v) => { d.insert(k as u64, v as u64); }
-                DictOp::Remove(k) => { d.remove(&(k as u64)); }
+                DictOp::Insert(k, v) => {
+                    d.insert(k as u64, v as u64);
+                }
+                DictOp::Remove(k) => {
+                    d.remove(&(k as u64));
+                }
                 _ => {}
             }
         }
-        prop_assert!(d.check_invariants().is_ok());
+        assert!(d.check_invariants().is_ok(), "case {case}");
     }
 }
