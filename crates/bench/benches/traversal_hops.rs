@@ -1,0 +1,115 @@
+//! Per-hop traversal cost: the cursor hop loop (`SafeRead` + deferred
+//! `Release` + count transfer) against a raw pointer walk over the same
+//! nodes.
+//!
+//! This is the hot path the magazine/deferred-release work targets: each
+//! `Cursor::next` used to pay six refcount RMWs plus four shared-counter
+//! increments per hop; with count transfer, deferred release batching, and
+//! cursor-resident tallies it pays two `SafeRead` increments plus two
+//! amortized deferred decrements. The bench reports ns per *hop* (node
+//! visited), and — unlike the other benches — writes the measured per-hop
+//! costs to `BENCH_traversal.json` at the repo root next to the recorded
+//! seed baseline, so the before/after ratio is machine-checkable.
+//!
+//! `--smoke` (CI): run one short iteration of each case and skip the JSON
+//! artifact — proves the harness end to end without measuring anything.
+
+use std::fs;
+use std::path::Path;
+
+use valois_bench::criterion::{
+    black_box, last_median_ns, smoke_mode, BenchmarkId, Criterion, Throughput,
+};
+use valois_core::List;
+
+/// Seed-tree E8 measurements (EXPERIMENTS.md, single-core container):
+/// protected traversal per-node cost before the batching layers existed,
+/// and the raw-walk floor it is compared against.
+const BASELINE_PROTECTED_NS_PER_HOP: f64 = 95.7;
+const BASELINE_RAW_NS_PER_HOP: f64 = 3.5;
+
+struct Row {
+    n: u64,
+    protected_ns: f64,
+    raw_ns: f64,
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let sizes: &[u64] = if smoke { &[64] } else { &[1_000, 10_000] };
+
+    let mut c = Criterion::default();
+    let mut rows: Vec<Row> = Vec::new();
+    {
+        let mut group = c.benchmark_group("traversal_hops");
+        for &n in sizes {
+            let mut list: List<u64> = (0..n).collect();
+            group.throughput(Throughput::Elements(n));
+            group.bench_with_input(BenchmarkId::new("protected_cursor", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut sum = 0u64;
+                    list.for_each(|v| sum += *v);
+                    black_box(sum)
+                });
+            });
+            let protected_ns = last_median_ns() / n as f64;
+            group.bench_with_input(BenchmarkId::new("raw_walk", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut sum = 0u64;
+                    list.for_each_unprotected(|v| sum += *v);
+                    black_box(sum)
+                });
+            });
+            let raw_ns = last_median_ns() / n as f64;
+            rows.push(Row {
+                n,
+                protected_ns,
+                raw_ns,
+            });
+        }
+        group.finish();
+    }
+
+    if smoke {
+        println!("traversal_hops: smoke run complete (no artifact written)");
+        return;
+    }
+
+    // Summary + artifact. The headline number is the larger list (cold-ish
+    // cache, amortized batch boundaries all exercised).
+    let head = rows.last().expect("at least one size measured");
+    let speedup = BASELINE_PROTECTED_NS_PER_HOP / head.protected_ns;
+    println!(
+        "\ntraversal_hops: protected {:.1} ns/hop (baseline {BASELINE_PROTECTED_NS_PER_HOP}) \
+         — {speedup:.2}x vs seed, {:.2}x over raw walk",
+        head.protected_ns,
+        head.protected_ns / head.raw_ns,
+    );
+
+    let mut sizes_json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            sizes_json.push(',');
+        }
+        sizes_json.push_str(&format!(
+            "\n    {{ \"n\": {}, \"protected_ns_per_hop\": {:.2}, \"raw_ns_per_hop\": {:.2}, \
+             \"protection_overhead_ratio\": {:.2} }}",
+            r.n,
+            r.protected_ns,
+            r.raw_ns,
+            r.protected_ns / r.raw_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"traversal_hops\",\n  \"unit\": \"ns_per_hop\",\n  \"sizes\": [{sizes_json}\n  ],\n  \
+         \"baseline\": {{\n    \"source\": \"EXPERIMENTS.md E8 (seed, pre-batching)\",\n    \
+         \"protected_ns_per_hop\": {BASELINE_PROTECTED_NS_PER_HOP},\n    \
+         \"raw_ns_per_hop\": {BASELINE_RAW_NS_PER_HOP}\n  }},\n  \
+         \"speedup_vs_baseline\": {speedup:.2}\n}}\n"
+    );
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_traversal.json");
+    match fs::write(&out, json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

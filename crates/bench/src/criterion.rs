@@ -14,6 +14,7 @@
 //! here are for relative comparisons on one machine, not archival
 //! benchmarking.
 
+use std::cell::Cell;
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -25,6 +26,26 @@ const SAMPLE_TARGET: Duration = Duration::from_millis(20);
 const WARMUP_TARGET: Duration = Duration::from_millis(50);
 /// Default number of samples.
 const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// True when the bench binary was invoked with `--smoke`: run each
+/// benchmark for a single short iteration, only proving it still compiles
+/// and executes (CI's bench-smoke job). Numbers printed in smoke mode are
+/// meaningless.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+thread_local! {
+    static LAST_MEDIAN_NS: Cell<f64> = const { Cell::new(f64::NAN) };
+}
+
+/// Median ns/iteration of the most recently completed benchmark on this
+/// thread (NaN before any has run). Lets benches with custom `main`s
+/// post-process results — e.g. `traversal_hops` deriving per-hop costs for
+/// `BENCH_traversal.json` — without a second measurement pass.
+pub fn last_median_ns() -> f64 {
+    LAST_MEDIAN_NS.with(|c| c.get())
+}
 
 /// Top-level benchmark driver (the `c` in `fn bench(c: &mut Criterion)`).
 #[derive(Debug, Default)]
@@ -205,24 +226,28 @@ fn run_one<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, m
 where
     F: FnMut(&mut Bencher),
 {
+    let smoke = smoke_mode();
+    let sample_size = if smoke { 1 } else { sample_size };
     // Warm-up and calibration: grow the iteration count until one sample
-    // costs at least SAMPLE_TARGET (or the warm-up budget runs out).
+    // costs at least SAMPLE_TARGET (or the warm-up budget runs out). Smoke
+    // mode skips calibration entirely — one iteration, one sample.
     let mut iters: u64 = 1;
-    let warmup_start = Instant::now();
-    let per_iter = loop {
-        let mut b = Bencher {
-            iters,
-            elapsed: Duration::ZERO,
-        };
-        f(&mut b);
-        if b.elapsed >= SAMPLE_TARGET || warmup_start.elapsed() >= WARMUP_TARGET {
-            break b.elapsed.as_nanos().max(1) as u64 / iters.max(1);
+    if !smoke {
+        let warmup_start = Instant::now();
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= SAMPLE_TARGET || warmup_start.elapsed() >= WARMUP_TARGET {
+                break;
+            }
+            // Aim directly for the target based on the cost observed so far.
+            let per = b.elapsed.as_nanos().max(1) as u64 / iters;
+            iters = (SAMPLE_TARGET.as_nanos() as u64 / per.max(1)).clamp(iters * 2, iters * 100);
         }
-        // Aim directly for the target based on the cost observed so far.
-        let per = b.elapsed.as_nanos().max(1) as u64 / iters;
-        iters = (SAMPLE_TARGET.as_nanos() as u64 / per.max(1)).clamp(iters * 2, iters * 100);
-    };
-    let _ = per_iter;
+    }
 
     let mut samples: Vec<f64> = (0..sample_size)
         .map(|_| {
@@ -238,6 +263,7 @@ where
     let median = samples[samples.len() / 2];
     let lo = samples[0];
     let hi = samples[samples.len() - 1];
+    LAST_MEDIAN_NS.with(|c| c.set(median));
 
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!(" {:.0} elem/s", n as f64 * 1e9 / median),
@@ -279,6 +305,15 @@ mod tests {
     fn bench_ids_format() {
         assert_eq!(BenchmarkId::new("walk", 10).0, "walk/10");
         assert_eq!(BenchmarkId::from_parameter("tas").0, "tas");
+    }
+
+    #[test]
+    fn last_median_is_recorded_per_run() {
+        run_one("criterion_shim_selftest", 3, None, |b| {
+            b.iter(|| black_box(3u64).wrapping_add(4))
+        });
+        let m = last_median_ns();
+        assert!(m.is_finite() && m > 0.0, "median {m} not recorded");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use std::fmt;
 
-use valois_mem::AllocError;
+use valois_mem::{AllocError, DeferredReleases, MemTally};
 
 /// Race-window widener: under `--features race-amplify`, yields the CPU at
 /// the algorithms' critical interleaving points so stress tests on few
@@ -49,6 +49,7 @@ fn amplify() {
 
 use crate::list::{List, PreparedInsert};
 use crate::node::Node;
+use crate::stats::ListTally;
 
 /// A cursor visiting one position of a [`List`] (§2.1).
 ///
@@ -78,6 +79,15 @@ pub struct Cursor<'a, T: Send + Sync> {
     target: *mut Node<T>,
     pre_aux: *mut Node<T>,
     pre_cell: *mut Node<T>,
+    /// Parked `Release`s from the hop loop (drained in batches, and fully
+    /// on drop): deferring a decrement only delays reclamation, never
+    /// anticipates it, so protection is unaffected.
+    defer: DeferredReleases<Node<T>>,
+    /// Batched §5 protocol events (folded into the arena's sharded
+    /// counters on drop / [`Cursor::flush_stats`]).
+    tally: MemTally,
+    /// Batched list-operation events (same lifecycle).
+    ops: ListTally,
 }
 
 // SAFETY: a cursor is three counted references plus a shared list handle;
@@ -97,6 +107,9 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             target: std::ptr::null_mut(),
             pre_aux: std::ptr::null_mut(),
             pre_cell: std::ptr::null_mut(),
+            defer: DeferredReleases::new(),
+            tally: MemTally::new(),
+            ops: ListTally::default(),
         };
         cursor.seek_first_inner();
         cursor
@@ -107,8 +120,8 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
         // SAFETY: the roots are counted links; `pre_cell` is held while its
         // `next` is read (Fig. 6 lines 1-2).
         unsafe {
-            self.pre_cell = arena.safe_read(self.list.first_root());
-            self.pre_aux = arena.safe_read(&(*self.pre_cell).next);
+            self.pre_cell = arena.safe_read_tallied(self.list.first_root(), &mut self.tally);
+            self.pre_aux = arena.safe_read_tallied(&(*self.pre_cell).next, &mut self.tally);
         }
         self.target = std::ptr::null_mut(); // Fig. 6 line 3
         self.update(); // Fig. 6 line 4
@@ -118,20 +131,35 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
     /// cursor).
     pub fn seek_first(&mut self) {
         let arena = self.list.arena();
-        // SAFETY: all three fields hold counted references (or null).
+        // SAFETY: all three fields hold counted references (or null);
+        // parking them in the defer buffer keeps them counted until a
+        // drain.
         unsafe {
-            arena.release(self.pre_cell);
-            arena.release(self.pre_aux);
-            arena.release(self.target);
+            arena.release_deferred(&mut self.defer, self.pre_cell);
+            arena.release_deferred(&mut self.defer, self.pre_aux);
+            arena.release_deferred(&mut self.defer, self.target);
         }
         self.seek_first_inner();
+    }
+
+    /// Folds this cursor's batched statistics (list events and §5 protocol
+    /// events) into the shared counters now instead of at drop, and drains
+    /// any deferred releases. Call before reading
+    /// [`List::stats`]/[`List::mem_stats`] while the cursor stays alive.
+    pub fn flush_stats(&mut self) {
+        let arena = self.list.arena();
+        // SAFETY: the defer buffer holds counted references of this
+        // cursor's arena.
+        unsafe { arena.drain_deferred(&mut self.defer) };
+        arena.flush_tally(&mut self.tally);
+        self.list.absorb(&mut self.ops);
     }
 
     /// Fig. 5 `Update`: makes the cursor valid again after concurrent
     /// structural changes, skipping (and opportunistically unlinking)
     /// auxiliary-node chains.
     pub fn update(&mut self) {
-        self.list.bump(|c| &c.updates);
+        self.ops.updates += 1;
         let arena = self.list.arena();
         // SAFETY: `pre_aux`/`pre_cell` hold counted references; every
         // pointer read below is a counted link of a held node.
@@ -143,20 +171,20 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             // Fig. 5 lines 3-5.
             let mut p = self.pre_aux; // take over the cursor's count on it
             amplify();
-            let mut n = arena.safe_read(&(*p).next);
-            arena.release(self.target);
+            let mut n = arena.safe_read_tallied(&(*p).next, &mut self.tally);
+            arena.release_deferred(&mut self.defer, self.target);
             // Fig. 5 lines 6-10: skip auxiliary nodes (dummies and cells
             // are "normal"), unlinking one of each adjacent pair.
             while !n.is_null() && (*n).is_aux() {
-                self.list.bump(|c| &c.aux_skipped);
+                self.ops.aux_skipped += 1;
                 // Fig. 5 line 7: CSW(pre_cell^.next, p, n). Failure just
                 // means someone else already cleaned up or moved on.
                 if arena.swing(&(*self.pre_cell).next, p, n) {
-                    self.list.bump(|c| &c.aux_unlinked);
+                    self.ops.aux_unlinked += 1;
                 }
-                arena.release(p);
+                arena.release_deferred(&mut self.defer, p);
                 p = n;
-                n = arena.safe_read(&(*p).next);
+                n = arena.safe_read_tallied(&(*p).next, &mut self.tally);
             }
             debug_assert!(!n.is_null(), "aux nodes always have a successor");
             // Fig. 5 lines 11-12.
@@ -177,18 +205,20 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             return false;
         }
         let arena = self.list.arena();
-        // SAFETY: `target` is held; duplicating its count (the paper's
-        // SafeRead of a private cursor field, lines 3-6) and reading its
-        // `next` are protected.
+        // SAFETY: `target` is held; its count *transfers* to `pre_cell`
+        // (where the paper SafeReads a private cursor field, lines 3-6, we
+        // move the reference we already hold and null `target`, saving an
+        // increment/release pair per hop); reading the held node's `next`
+        // is protected.
         unsafe {
-            arena.release(self.pre_cell);
-            arena.incr_ref(self.target);
+            arena.release_deferred(&mut self.defer, self.pre_cell);
             self.pre_cell = self.target;
-            arena.release(self.pre_aux);
-            self.pre_aux = arena.safe_read(&(*self.target).next);
+            self.target = std::ptr::null_mut(); // count moved to pre_cell
+            arena.release_deferred(&mut self.defer, self.pre_aux);
+            self.pre_aux = arena.safe_read_tallied(&(*self.pre_cell).next, &mut self.tally);
         }
         self.update(); // Fig. 7 line 7
-        self.list.bump(|c| &c.next_steps);
+        self.ops.next_steps += 1;
         true
     }
 
@@ -244,7 +274,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             std::ptr::eq(self.list, prepared.list),
             "PreparedInsert used with a cursor of a different list"
         );
-        self.list.bump(|c| &c.insert_attempts);
+        self.ops.insert_attempts += 1;
         let arena = self.list.arena();
         let q = prepared.cell;
         let a = prepared.aux;
@@ -259,7 +289,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             // Fig. 9 line 3: CSW(pre_aux^.next, target, q).
             amplify();
             if arena.swing(&(*self.pre_aux).next, self.target, q) {
-                self.list.bump(|c| &c.insert_successes);
+                self.ops.insert_successes += 1;
                 prepared.consume();
                 Ok(())
             } else {
@@ -277,7 +307,24 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
     ///
     /// Returns [`AllocError`] when the node pool is exhausted and capped.
     pub fn insert(&mut self, value: T) -> Result<(), AllocError> {
-        let mut prepared = self.list.prepare_insert(value)?;
+        let mut prepared = match self.list.try_prepare_insert(value) {
+            Ok(prepared) => prepared,
+            Err((value, e)) => {
+                // The pool may only look exhausted because our own defer
+                // buffer parks the last references to reclaimable nodes:
+                // drain it and retry once before giving up.
+                if self.defer.is_empty() {
+                    return Err(e);
+                }
+                // SAFETY: the buffer holds counted references of this
+                // cursor's arena.
+                unsafe { self.list.arena().drain_deferred(&mut self.defer) };
+                match self.list.try_prepare_insert(value) {
+                    Ok(prepared) => prepared,
+                    Err((_, e)) => return Err(e),
+                }
+            }
+        };
         loop {
             match self.try_insert(prepared) {
                 Ok(()) => return Ok(()),
@@ -301,7 +348,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
         if self.is_at_end() {
             return false;
         }
-        self.list.bump(|c| &c.delete_attempts);
+        self.ops.delete_attempts += 1;
         let arena = self.list.arena();
         // SAFETY: every dereference below is of a node we hold a counted
         // reference on; links are counted links of this arena.
@@ -319,7 +366,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
                 arena.release(n);
                 return false;
             }
-            self.list.bump(|c| &c.delete_successes);
+            self.ops.delete_successes += 1;
             amplify();
             // Fig. 10 line 6: record the back link. We won the deletion
             // CAS, so we are the unique writer of d's back_link.
@@ -335,7 +382,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
                 if q.is_null() {
                     break; // back_links are never cleared while p is held
                 }
-                self.list.bump(|c| &c.backlink_hops);
+                self.ops.backlink_hops += 1;
                 arena.release(p);
                 p = q;
             }
@@ -363,7 +410,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
                 if arena.swing(&(*p).next, s, n) {
                     break;
                 }
-                self.list.bump(|c| &c.chain_cleanup_retries);
+                self.ops.chain_cleanup_retries += 1;
                 arena.release(s);
                 s = arena.safe_read(&(*p).next);
                 if !(*p).back_link.read().is_null() {
@@ -405,6 +452,11 @@ impl<T: Send + Sync> Clone for Cursor<'_, T> {
             target: self.target,
             pre_aux: self.pre_aux,
             pre_cell: self.pre_cell,
+            // Batches are per-cursor state, not position: the clone starts
+            // with empty buffers of its own.
+            defer: DeferredReleases::new(),
+            tally: MemTally::new(),
+            ops: ListTally::default(),
         }
     }
 }
@@ -412,12 +464,16 @@ impl<T: Send + Sync> Clone for Cursor<'_, T> {
 impl<T: Send + Sync> Drop for Cursor<'_, T> {
     fn drop(&mut self) {
         let arena = self.list.arena();
-        // SAFETY: the cursor's fields are counted references (or null).
+        // SAFETY: the cursor's fields are counted references (or null), and
+        // the defer buffer holds counted references of this arena.
         unsafe {
-            arena.release(self.target);
-            arena.release(self.pre_aux);
-            arena.release(self.pre_cell);
+            arena.release_deferred(&mut self.defer, self.target);
+            arena.release_deferred(&mut self.defer, self.pre_aux);
+            arena.release_deferred(&mut self.defer, self.pre_cell);
+            arena.drain_deferred(&mut self.defer);
         }
+        arena.flush_tally(&mut self.tally);
+        self.list.absorb(&mut self.ops);
     }
 }
 

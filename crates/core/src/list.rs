@@ -12,13 +12,12 @@
 //! the cursor's position, and deletion of the visited item.
 
 use std::fmt;
-use valois_sync::shim::atomic::AtomicU64;
 
 use valois_mem::{AllocError, Arena, ArenaConfig, Managed, MemStats};
 
 use crate::cursor::Cursor;
 use crate::node::{Node, NodeKind};
-use crate::stats::{ListCounters, ListStats};
+use crate::stats::{ListCounters, ListStats, ListTally};
 
 /// A lock-free singly-linked list of `T` (Valois, PODC 1995, §3).
 ///
@@ -121,13 +120,26 @@ impl<T: Send + Sync> List<T> {
     ///
     /// Returns [`AllocError`] when the node pool is exhausted and capped.
     pub fn prepare_insert(&self, value: T) -> Result<PreparedInsert<'_, T>, AllocError> {
-        let cell = self.arena.alloc()?;
+        self.try_prepare_insert(value).map_err(|(_, e)| e)
+    }
+
+    /// [`List::prepare_insert`] that hands the value back on failure, so
+    /// callers holding reclaimable references (a cursor with parked
+    /// deferred releases) can free nodes and retry without losing it.
+    pub(crate) fn try_prepare_insert(
+        &self,
+        value: T,
+    ) -> Result<PreparedInsert<'_, T>, (T, AllocError)> {
+        let cell = match self.arena.alloc() {
+            Ok(cell) => cell,
+            Err(e) => return Err((value, e)),
+        };
         let aux = match self.arena.alloc() {
             Ok(aux) => aux,
             Err(e) => {
                 // SAFETY: `cell` is fresh and exclusively owned.
                 unsafe { self.arena.release(cell) };
-                return Err(e);
+                return Err((value, e));
             }
         };
         // SAFETY: both nodes fresh, unpublished.
@@ -274,11 +286,16 @@ impl<T: Send + Sync> List<T> {
 
     /// Snapshot of list-operation counters (retries, auxiliary-node
     /// overhead — the §4.1 "extra work" quantities).
+    ///
+    /// Cursors batch their events and fold them in when dropped; a
+    /// still-live cursor's recent operations may not be visible yet
+    /// (see [`Cursor::flush_stats`]).
     pub fn stats(&self) -> ListStats {
         self.counters.snapshot()
     }
 
     /// Snapshot of the underlying memory-protocol counters (§5 traffic).
+    /// Subject to the same cursor-batching caveat as [`List::stats`].
     pub fn mem_stats(&self) -> MemStats {
         self.arena.stats()
     }
@@ -286,6 +303,14 @@ impl<T: Send + Sync> List<T> {
     /// Total nodes owned by the backing arena (free + live).
     pub fn node_capacity(&self) -> usize {
         self.arena.capacity()
+    }
+
+    /// Flushes every per-thread free-node magazine back to the arena's
+    /// global free list and returns the number of nodes moved. At
+    /// quiescence, after this call every free node is reachable from the
+    /// global free head — the leak tests use it before auditing counts.
+    pub fn flush_node_caches(&self) -> usize {
+        self.arena.flush_thread_caches()
     }
 
     /// Walks the list and reports auxiliary-node structure: the §3 theorem
@@ -648,8 +673,10 @@ impl<T: Send + Sync> List<T> {
         self.last
     }
 
-    pub(crate) fn bump(&self, pick: impl FnOnce(&ListCounters) -> &AtomicU64) {
-        ListCounters::bump(pick(&self.counters));
+    pub(crate) fn absorb(&self, tally: &mut ListTally) {
+        if !tally.is_empty() {
+            self.counters.absorb(tally);
+        }
     }
 }
 

@@ -1,11 +1,20 @@
 //! List-level operation statistics (experiments E3 and E7).
+//!
+//! Like the memory-protocol counters in `valois-mem`, the list counters
+//! used to be a single set of relaxed atomics — one shared cache line that
+//! every `Update`/`Next` on every thread bumped, a measurable fraction of
+//! the per-hop cost in experiment E8. They are now [`Sharded`]
+//! (cache-line-padded per-shard atomics, summed at snapshot time), and the
+//! cursor batches its events in a plain-integer [`ListTally`] folded into
+//! the shards when the cursor drops.
 
 use std::fmt;
+use valois_sync::sharded::Sharded;
 use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
-/// Live counters owned by a [`List`](crate::List).
+/// One shard of the list's counters (all ten live on one padded line).
 #[derive(Default)]
-pub(crate) struct ListCounters {
+pub(crate) struct ListShard {
     pub(crate) updates: AtomicU64,
     pub(crate) aux_unlinked: AtomicU64,
     pub(crate) aux_skipped: AtomicU64,
@@ -18,25 +27,67 @@ pub(crate) struct ListCounters {
     pub(crate) chain_cleanup_retries: AtomicU64,
 }
 
+/// Sharded live counters owned by a [`List`](crate::List).
+pub(crate) struct ListCounters {
+    shards: Sharded<ListShard>,
+}
+
+impl Default for ListCounters {
+    fn default() -> Self {
+        Self {
+            shards: Sharded::new(),
+        }
+    }
+}
+
 impl ListCounters {
-    #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Adds 1 to one counter on the current thread's shard. Production
+    /// paths batch through [`ListTally`] + [`ListCounters::absorb`]
+    /// instead; this direct hook remains for tests.
+    #[cfg(test)]
+    pub(crate) fn bump(&self, pick: impl FnOnce(&ListShard) -> &AtomicU64) {
+        pick(self.shards.get()).fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self) -> ListStats {
-        ListStats {
-            updates: self.updates.load(Ordering::Relaxed),
-            aux_unlinked: self.aux_unlinked.load(Ordering::Relaxed),
-            aux_skipped: self.aux_skipped.load(Ordering::Relaxed),
-            next_steps: self.next_steps.load(Ordering::Relaxed),
-            insert_attempts: self.insert_attempts.load(Ordering::Relaxed),
-            insert_successes: self.insert_successes.load(Ordering::Relaxed),
-            delete_attempts: self.delete_attempts.load(Ordering::Relaxed),
-            delete_successes: self.delete_successes.load(Ordering::Relaxed),
-            backlink_hops: self.backlink_hops.load(Ordering::Relaxed),
-            chain_cleanup_retries: self.chain_cleanup_retries.load(Ordering::Relaxed),
+    /// Folds a cursor's batched events into the current thread's shard and
+    /// clears the tally. One `fetch_add` per non-zero field.
+    pub(crate) fn absorb(&self, tally: &mut ListTally) {
+        let shard = self.shards.get();
+        for (count, counter) in [
+            (tally.updates, &shard.updates),
+            (tally.aux_unlinked, &shard.aux_unlinked),
+            (tally.aux_skipped, &shard.aux_skipped),
+            (tally.next_steps, &shard.next_steps),
+            (tally.insert_attempts, &shard.insert_attempts),
+            (tally.insert_successes, &shard.insert_successes),
+            (tally.delete_attempts, &shard.delete_attempts),
+            (tally.delete_successes, &shard.delete_successes),
+            (tally.backlink_hops, &shard.backlink_hops),
+            (tally.chain_cleanup_retries, &shard.chain_cleanup_retries),
+        ] {
+            if count != 0 {
+                counter.fetch_add(count, Ordering::Relaxed);
+            }
         }
+        *tally = ListTally::default();
+    }
+
+    /// Takes a point-in-time snapshot (sums every shard).
+    pub(crate) fn snapshot(&self) -> ListStats {
+        let mut s = ListStats::default();
+        for shard in self.shards.shards() {
+            s.updates += shard.updates.load(Ordering::Relaxed);
+            s.aux_unlinked += shard.aux_unlinked.load(Ordering::Relaxed);
+            s.aux_skipped += shard.aux_skipped.load(Ordering::Relaxed);
+            s.next_steps += shard.next_steps.load(Ordering::Relaxed);
+            s.insert_attempts += shard.insert_attempts.load(Ordering::Relaxed);
+            s.insert_successes += shard.insert_successes.load(Ordering::Relaxed);
+            s.delete_attempts += shard.delete_attempts.load(Ordering::Relaxed);
+            s.delete_successes += shard.delete_successes.load(Ordering::Relaxed);
+            s.backlink_hops += shard.backlink_hops.load(Ordering::Relaxed);
+            s.chain_cleanup_retries += shard.chain_cleanup_retries.load(Ordering::Relaxed);
+        }
+        s
     }
 }
 
@@ -46,12 +97,62 @@ impl fmt::Debug for ListCounters {
     }
 }
 
+/// A cursor-private batch of list-operation events: plain integer adds on
+/// the hot path, folded into the sharded counters when the cursor drops
+/// (or via `Cursor::flush_stats`). Until then the events are invisible to
+/// [`List::stats`](crate::List::stats).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ListTally {
+    pub(crate) updates: u64,
+    pub(crate) aux_unlinked: u64,
+    pub(crate) aux_skipped: u64,
+    pub(crate) next_steps: u64,
+    pub(crate) insert_attempts: u64,
+    pub(crate) insert_successes: u64,
+    pub(crate) delete_attempts: u64,
+    pub(crate) delete_successes: u64,
+    pub(crate) backlink_hops: u64,
+    pub(crate) chain_cleanup_retries: u64,
+}
+
+impl ListTally {
+    pub(crate) fn is_empty(&self) -> bool {
+        let Self {
+            updates,
+            aux_unlinked,
+            aux_skipped,
+            next_steps,
+            insert_attempts,
+            insert_successes,
+            delete_attempts,
+            delete_successes,
+            backlink_hops,
+            chain_cleanup_retries,
+        } = *self;
+        updates
+            | aux_unlinked
+            | aux_skipped
+            | next_steps
+            | insert_attempts
+            | insert_successes
+            | delete_attempts
+            | delete_successes
+            | backlink_hops
+            | chain_cleanup_retries
+            == 0
+    }
+}
+
 /// Point-in-time snapshot of a list's operation counters.
 ///
 /// The "extra work" quantities of the §4.1 amortized analysis are directly
 /// observable here: failed `TryInsert`/`TryDelete` attempts
 /// ([`ListStats::insert_retries`], [`ListStats::delete_retries`]) and
 /// auxiliary-node traversal overhead ([`ListStats::aux_skipped`]).
+///
+/// Cursors batch their events thread-locally and fold them in when dropped,
+/// so a still-live cursor's recent operations may not be visible yet (call
+/// `Cursor::flush_stats` to force them out).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ListStats {
     /// Cursor `Update` calls (Fig. 5).
@@ -149,11 +250,45 @@ mod tests {
     #[test]
     fn counters_snapshot() {
         let c = ListCounters::default();
-        ListCounters::bump(&c.updates);
-        ListCounters::bump(&c.insert_attempts);
-        ListCounters::bump(&c.insert_successes);
+        c.bump(|s| &s.updates);
+        c.bump(|s| &s.insert_attempts);
+        c.bump(|s| &s.insert_successes);
         let s = c.snapshot();
         assert_eq!(s.updates, 1);
         assert_eq!(s.insert_retries(), 0);
+    }
+
+    #[test]
+    fn absorb_folds_and_clears_a_tally() {
+        let c = ListCounters::default();
+        let mut t = ListTally {
+            updates: 4,
+            next_steps: 3,
+            backlink_hops: 1,
+            ..ListTally::default()
+        };
+        assert!(!t.is_empty());
+        c.absorb(&mut t);
+        assert!(t.is_empty(), "absorb must clear the tally");
+        let s = c.snapshot();
+        assert_eq!(s.updates, 4);
+        assert_eq!(s.next_steps, 3);
+        assert_eq!(s.backlink_hops, 1);
+    }
+
+    #[test]
+    fn snapshot_sums_across_threads() {
+        let c = std::sync::Arc::new(ListCounters::default());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        c.bump(|s| &s.next_steps);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().next_steps, 2000);
     }
 }

@@ -235,6 +235,67 @@ fn reference_counts_are_exact_after_churn() {
 }
 
 #[test]
+fn nodes_return_to_free_list_with_exact_counts() {
+    // The leak test for the batching layers: after mixed
+    // insert/delete/traverse stress, deleting everything and flushing the
+    // per-thread magazines must return EVERY node to the free structure
+    // with a count of exactly 1 — the free list's single incoming-link
+    // count. A node parked forever in a magazine, an undrained deferred
+    // release, or a leaked/double count all fail the audit.
+    let mut list: List<u64> = List::with_config(ArenaConfig::new().initial_capacity(512));
+    std::thread::scope(|s| {
+        let list = &list;
+        for t in 0..thread_count() as u64 {
+            s.spawn(move || {
+                let mut cur = list.cursor();
+                for i in 0..1_500u64 {
+                    match i % 4 {
+                        0 | 1 => {
+                            cur.insert(t * 10_000 + i).unwrap();
+                            cur.update();
+                        }
+                        2 => {
+                            // Traverse a stretch (exercises the deferred
+                            // hop-release path).
+                            let mut hops = 0;
+                            while cur.next() && hops < 32 {
+                                hops += 1;
+                            }
+                            cur.seek_first();
+                        }
+                        _ => {
+                            if !cur.is_at_end() {
+                                cur.try_delete();
+                            }
+                            cur.update();
+                        }
+                    }
+                }
+                // Cursor drop drains its deferred buffer and flushes its
+                // tallies.
+            });
+        }
+    });
+    // Drain the structure completely, then collect back-link cycle garbage.
+    list.retain(|_| false);
+    assert_eq!(list.len(), 0);
+    list.quiescent_collect();
+    // Pull every node parked in thread magazines back to the global list.
+    list.flush_node_caches();
+    assert_eq!(
+        list.mem_stats().live_nodes(),
+        3,
+        "only the empty skeleton (2 dummies + 1 aux) stays checked out"
+    );
+    list.check_structure().unwrap();
+    list.check_invariants_now().unwrap();
+    list.audit_refcounts().expect(
+        "every free node must carry exactly its free-structure \
+         incoming-link count",
+    );
+}
+
+#[test]
 fn concurrent_readers_never_see_torn_values() {
     // Values are (x, !x) pairs; any torn read or use-after-free would break
     // the invariant.

@@ -254,6 +254,8 @@ fn stats_count_operations() {
     cur.insert(2).unwrap();
     cur.update();
     assert!(cur.try_delete());
+    // The cursor batches its events; flush before sampling the counters.
+    cur.flush_stats();
     let stats = list.stats();
     assert_eq!(stats.insert_successes, 2);
     assert_eq!(stats.delete_successes, 1);

@@ -48,6 +48,12 @@ where
 
     /// Creates a table with `buckets` buckets (each with a small
     /// grow-on-demand arena).
+    ///
+    /// `buckets == 0` is silently clamped to 1 (a zero-bucket table cannot
+    /// index, and the `%`-based bucket selection would divide by zero) —
+    /// the table degenerates to a single sorted list rather than panic.
+    /// Any other count, power of two or not, is used exactly as given: the
+    /// index is `hash % buckets`, not a power-of-two mask.
     pub fn with_buckets(buckets: usize) -> Self {
         Self::with_buckets_and_hasher(buckets, RandomState::new())
     }
@@ -61,6 +67,8 @@ where
 {
     /// Creates a table with `buckets` buckets and a custom hasher (e.g. a
     /// deterministic one for reproducible experiments).
+    ///
+    /// `buckets == 0` is clamped to 1, as in [`HashDict::with_buckets`].
     pub fn with_buckets_and_hasher(buckets: usize, hasher: S) -> Self {
         let buckets = buckets.max(1);
         // Per-bucket pools start tiny; they double on demand.
@@ -232,10 +240,70 @@ mod tests {
 
     #[test]
     fn bucket_count_minimum_is_one() {
-        let d: HashDict<u64, u64> = HashDict::with_buckets(0);
+        // `with_buckets(0)` clamps to 1 (documented behavior): the table
+        // degenerates to a single sorted list and every operation works.
+        let mut d: HashDict<u64, u64> = HashDict::with_buckets(0);
         assert_eq!(d.bucket_count(), 1);
-        d.insert(1, 1);
-        assert_eq!(d.find(&1), Some(1));
+        for k in 0..32 {
+            assert!(d.insert(k, k * 10));
+        }
+        for k in 0..32 {
+            assert_eq!(d.find(&k), Some(k * 10));
+        }
+        for k in (0..32).step_by(2) {
+            assert!(d.remove(&k));
+        }
+        assert_eq!(d.len(), 16);
+        assert_eq!(d.max_bucket_len(), 16, "everything lives in bucket 0");
+        d.check_invariants().unwrap();
+    }
+
+    /// Pass-through hasher: `hash_one(k) == k` for u64 keys, making bucket
+    /// selection deterministic so the indexing rule itself is testable.
+    struct IdentityBuild;
+    struct IdentityHasher(u64);
+    impl std::hash::Hasher for IdentityHasher {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = (self.0 << 8) | u64::from(b);
+            }
+        }
+        fn write_u64(&mut self, v: u64) {
+            self.0 = v;
+        }
+    }
+    impl std::hash::BuildHasher for IdentityBuild {
+        type Hasher = IdentityHasher;
+        fn build_hasher(&self) -> IdentityHasher {
+            IdentityHasher(0)
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_bucket_count_indexes_by_modulo() {
+        // Regression pin for the `%`-based `bucket()` rule: with 7 buckets
+        // and identity hashing, key k must land in bucket k % 7. A
+        // mask-based (power-of-two) indexing would both skew the
+        // distribution and send keys ≥ 7 to the wrong bucket.
+        let mut d: HashDict<u64, u64, _> = HashDict::with_buckets_and_hasher(7, IdentityBuild);
+        assert_eq!(d.bucket_count(), 7);
+        for k in 0..70 {
+            assert!(d.insert(k, k));
+        }
+        for k in 0..70u64 {
+            assert!(
+                std::ptr::eq(d.bucket(&k), &d.buckets[(k % 7) as usize]),
+                "key {k} must select bucket {}",
+                k % 7
+            );
+            assert_eq!(d.find(&k), Some(k));
+        }
+        // 70 identity-hashed keys over 7 buckets: exactly 10 each.
+        assert_eq!(d.max_bucket_len(), 10, "modulo spreads residues evenly");
+        d.check_invariants().unwrap();
     }
 
     #[test]

@@ -31,6 +31,16 @@ use crate::traits::Dictionary;
 /// indexes ~10⁵–10⁶ items (the paper chooses k = Θ(log N)).
 pub const MAX_LEVELS: usize = 12;
 
+// A max-level tower reports 2 * MAX_LEVELS counted links (next + back_link
+// per level) when reclaimed; `ReclaimedLinks` hard-caps at
+// `valois_mem::MAX_LINKS` and panics past it, so raising MAX_LEVELS without
+// raising the cap must fail at compile time, not at the first reclaimed
+// max tower in production.
+const _: () = assert!(
+    2 * MAX_LEVELS <= valois_mem::MAX_LINKS,
+    "a max-level tower's drained links must fit in ReclaimedLinks"
+);
+
 const KIND_FREE: u8 = 0;
 const KIND_AUX: u8 = 1;
 const KIND_CELL: u8 = 2;
@@ -123,6 +133,11 @@ impl<K: Send + Sync, V: Send + Sync> Managed for SkipNode<K, V> {
         for l in &self.back_link {
             links.push(l.swap(std::ptr::null_mut()));
         }
+        debug_assert!(
+            links.len() <= valois_mem::MAX_LINKS,
+            "skip tower drained {} links, over the MAX_LINKS cap",
+            links.len()
+        );
         if self.kind() == KIND_CELL {
             // SAFETY: claim winner at count zero — exclusive.
             unsafe {
@@ -999,6 +1014,27 @@ mod tests {
             "empty skeleton only: 2 dummies + one aux per level"
         );
         d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn max_tower_drain_fits_reclaimed_links_cap() {
+        // A full-height tower is the worst case for `Release`'s link drain:
+        // 2 * MAX_LEVELS counted links from one node. `ReclaimedLinks`
+        // panics past `valois_mem::MAX_LINKS`, so this must fit with room
+        // to spare — silently relying on towers never reaching max height
+        // would turn a rare geometric draw into a production abort.
+        let node: SkipNode<u32, u32> = SkipNode::default();
+        let sink: SkipNode<u32, u32> = SkipNode::default();
+        let target = &sink as *const _ as *mut SkipNode<u32, u32>;
+        node.level.store(MAX_LEVELS as u8, Ordering::Relaxed);
+        for lvl in 0..MAX_LEVELS {
+            node.next[lvl].write(target);
+            node.back_link[lvl].write(target);
+        }
+        let links = node.drain_links();
+        assert_eq!(links.len(), 2 * MAX_LEVELS);
+        assert!(links.len() <= valois_mem::MAX_LINKS);
+        assert!(links.iter().all(|p| p == target));
     }
 
     #[test]

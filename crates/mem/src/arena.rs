@@ -9,10 +9,18 @@
 //!
 //! | Paper figure | Method |
 //! |---|---|
-//! | Fig. 15 `SafeRead`  | [`Arena::safe_read`] |
-//! | Fig. 16 `Release`   | [`Arena::release`] |
+//! | Fig. 15 `SafeRead`  | [`Arena::safe_read`] / [`Arena::safe_read_tallied`] |
+//! | Fig. 16 `Release`   | [`Arena::release`] (batched: [`Arena::release_deferred`]) |
 //! | Fig. 17 `Alloc`     | [`Arena::alloc`] |
 //! | Fig. 18 `Reclaim`   | internal `push_free` (invoked by the claim winner inside `release`) |
+//!
+//! On top of the paper's global lock-free free list the arena layers
+//! per-thread **magazines** (see [`crate::magazine`]): bounded node stacks
+//! that absorb most `Alloc`/`Reclaim` traffic without touching the shared
+//! `free_head` word, refilled and flushed in batches. The global list
+//! remains the fallback on slot contention and the rendezvous for pool
+//! pressure ([`Arena::flush_thread_caches`] / the internal scavenge), so
+//! `AllocError` semantics for capped pools are preserved.
 
 use std::error::Error;
 use std::fmt;
@@ -20,8 +28,10 @@ use valois_sync::shim::sync::Mutex;
 
 use valois_sync::pad::CachePadded;
 
+use crate::defer::{DeferredReleases, DEFER_CAP};
+use crate::magazine::{MagazineGuard, MagazineSlot, MAGAZINE_CAP, MAG_SLOTS, REFILL_BATCH};
 use crate::managed::{Link, Managed};
-use crate::stats::{MemStats, StatCounters};
+use crate::stats::{MemStats, MemTally, StatCounters};
 
 /// Configuration for an [`Arena`].
 ///
@@ -84,7 +94,8 @@ impl Error for AllocError {}
 ///
 /// See the crate-level documentation for the counting invariant. All
 /// pointer-returning methods hand out *counted* references; every such
-/// pointer must eventually be passed to exactly one [`Arena::release`].
+/// pointer must eventually be passed to exactly one [`Arena::release`]
+/// (possibly by way of [`Arena::release_deferred`]).
 pub struct Arena<N: Managed> {
     /// Segment storage. Boxed slices never move, so node addresses are
     /// stable; the mutex is taken only to grow or enumerate.
@@ -92,6 +103,9 @@ pub struct Arena<N: Managed> {
     /// Head of the lock-free free list (a counted root: its current value
     /// contributes 1 to that node's count).
     free_head: CachePadded<Link<N>>,
+    /// Per-thread free-node magazines (see [`crate::magazine`]): each slot
+    /// is a bounded stack of free nodes in ordinary free-list state.
+    slots: Box<[CachePadded<MagazineSlot<N>>]>,
     /// Grow serialization (kept out of `segments` so enumeration does not
     /// block growth decisions).
     grow_lock: Mutex<()>,
@@ -106,6 +120,9 @@ impl<N: Managed + Default> Arena<N> {
         let arena = Self {
             segments: Mutex::new(Vec::new()),
             free_head: CachePadded::new(Link::null()),
+            slots: (0..MAG_SLOTS)
+                .map(|_| CachePadded::new(MagazineSlot::default()))
+                .collect(),
             grow_lock: Mutex::new(()),
             counters: StatCounters::default(),
             total_nodes: valois_sync::shim::atomic::AtomicUsize::new(0),
@@ -124,19 +141,33 @@ impl<N: Managed + Default> Arena<N> {
         Self::with_config(ArenaConfig::default())
     }
 
-    /// Allocates one segment of `count` default-constructed nodes and pushes
-    /// them all onto the free list.
+    /// Allocates one segment of `count` default-constructed nodes and
+    /// splices them onto the global free list as one pre-linked chain —
+    /// a single CAS instead of `count` pushes on the shared head.
     fn add_segment(&self, count: usize) {
         let segment: Box<[N]> = (0..count).map(|_| N::default()).collect();
+        let mut chain_head: *mut N = std::ptr::null_mut();
+        let chain_tail = segment[0].free_link() as *const Link<N>; // first linked = chain tail
+        let _ = chain_tail;
+        let mut tail: *mut N = std::ptr::null_mut();
         for node in segment.iter() {
-            // Fresh nodes are born detached (count 0, claim set); the push
-            // installs the free list's incoming-pointer count.
-            self.push_free(node as *const N as *mut N);
+            let p = node as *const N as *mut N;
+            // Fresh nodes are born detached (count 0, claim set); install
+            // the free structure's incoming-pointer count, then chain.
+            unsafe {
+                (*p).header().incr_ref();
+                (*p).free_link().write(chain_head);
+            }
+            if tail.is_null() {
+                tail = p;
+            }
+            chain_head = p;
         }
+        self.splice_free_global(chain_head, tail);
         self.total_nodes
             .fetch_add(count, valois_sync::shim::atomic::Ordering::Relaxed);
         self.segments.lock().unwrap().push(segment);
-        StatCounters::bump(&self.counters.grows);
+        self.counters.bump(|s| &s.grows);
     }
 
     /// Grows the pool if permitted. Returns `false` when at `max_nodes`.
@@ -163,22 +194,90 @@ impl<N: Managed + Default> Arena<N> {
     /// The paper's `Alloc` (Fig. 17): pops a free cell, re-initializes it,
     /// and returns it with one counted reference (the caller's).
     ///
-    /// Lock-free whenever the free list is non-empty; an empty free list
-    /// triggers a (mutex-guarded) growth attempt unless the pool is capped.
+    /// Fast path: the current thread's magazine — plain uncontended
+    /// loads/stores, zero shared RMWs. An empty magazine refills from the
+    /// global list in one batch; a *busy* magazine slot (another thread
+    /// hashed to it) falls through to the global lock-free pop, so `Alloc`
+    /// never blocks. An empty global list triggers a (mutex-guarded)
+    /// growth attempt, then a scavenge of every magazine, before the pool
+    /// is declared exhausted.
     ///
     /// # Errors
     ///
     /// Returns [`AllocError`] when the pool is exhausted and capped.
     pub fn alloc(&self) -> Result<*mut N, AllocError> {
+        let mut tally = MemTally::new();
+        let result = self.alloc_inner(&mut tally);
+        self.counters.absorb(&mut tally);
+        result
+    }
+
+    fn alloc_inner(&self, tally: &mut MemTally) -> Result<*mut N, AllocError> {
         loop {
-            // Fig. 17 line 1: q <- SafeRead(Freelist). The free-list head is
-            // a counted root, so SafeRead's contract holds.
-            let q = unsafe { self.safe_read(&self.free_head) };
-            if q.is_null() {
-                if self.try_grow() {
-                    continue;
+            if let Some(mut mag) = self.slot().try_lock() {
+                let popped = mag.pop().or_else(|| self.refill_and_pop(&mut mag, tally));
+                if let Some(p) = popped {
+                    drop(mag);
+                    return Ok(self.finish_alloc(p));
                 }
+            } else if let Some(p) = self.pop_free_global(tally) {
+                // Slot contended: straight to the global Fig. 17 path
+                // rather than waiting on the try-lock.
+                return Ok(self.finish_alloc(p));
+            }
+            // Global list empty. Grow if permitted; otherwise pull back
+            // nodes parked in other threads' magazines. Only when neither
+            // yields anything is the pool truly exhausted.
+            if !self.try_grow() && self.scavenge() == 0 {
                 return Err(AllocError);
+            }
+        }
+    }
+
+    /// Fig. 17 lines 7-8 plus bookkeeping: the caller owns `p` (one
+    /// counted reference, claim still set from its free life).
+    fn finish_alloc(&self, p: *mut N) -> *mut N {
+        self.counters.bump(|s| &s.allocs);
+        unsafe {
+            debug_assert!((*p).header().claim_is_set(), "free node must be claimed");
+            debug_assert!((*p).header().refcount() >= 1, "caller's count must exist");
+            (*p).reset_for_alloc();
+            // Fig. 17 line 8: Write(q^.claim, 0) — the single point where
+            // claim is cleared, while we are sole owner.
+            (*p).header().clear_claim();
+        }
+        p
+    }
+
+    /// Pops from the global free list (the paper's Fig. 17 lines 1-6) and
+    /// pushes up to [`REFILL_BATCH`]` - 1` more nodes into the held
+    /// magazine, amortizing the shared-head traffic over the magazine's
+    /// subsequent private pops. Returns the caller's node.
+    fn refill_and_pop(
+        &self,
+        mag: &mut MagazineGuard<'_, N>,
+        tally: &mut MemTally,
+    ) -> Option<*mut N> {
+        let first = self.pop_free_global(tally)?;
+        for _ in 1..REFILL_BATCH {
+            match self.pop_free_global(tally) {
+                Some(p) => mag.push(p),
+                None => break,
+            }
+        }
+        Some(first)
+    }
+
+    /// Fig. 17 lines 1-6: SafeRead the head, CAS it to its successor.
+    /// Returns a node carrying one counted reference (ours), claim set,
+    /// `free_link` stale (its count was transferred to the head root).
+    fn pop_free_global(&self, tally: &mut MemTally) -> Option<*mut N> {
+        loop {
+            // Fig. 17 line 1: q <- SafeRead(Freelist). The free-list head
+            // is a counted root, so SafeRead's contract holds.
+            let q = unsafe { self.safe_read_tallied(&self.free_head, tally) };
+            if q.is_null() {
+                return None;
             }
             // Our counted reference keeps `q` from being recycled, so its
             // free link is stable while `q` remains the head.
@@ -190,20 +289,12 @@ impl<N: Managed + Default> Arena<N> {
                 // reference); the root now counts `next`, which
                 // simultaneously lost the count held by `q`'s free link
                 // (net zero for `next`).
-                unsafe { self.release(q) };
-                StatCounters::bump(&self.counters.allocs);
-                unsafe {
-                    debug_assert!((*q).header().claim_is_set(), "free node must be claimed");
-                    (*q).reset_for_alloc();
-                    // Fig. 17 line 8: Write(q^.claim, 0) — the single point
-                    // where claim is cleared, while we are sole owner.
-                    (*q).header().clear_claim();
-                }
-                return Ok(q);
+                unsafe { self.release_into(q, tally) };
+                return Some(q);
             }
             // Fig. 17 lines 5-6: lost the race; drop protection and retry.
-            unsafe { self.release(q) };
-            StatCounters::bump(&self.counters.alloc_retries);
+            unsafe { self.release_into(q, tally) };
+            self.counters.bump(|s| &s.alloc_retries);
         }
     }
 }
@@ -215,6 +306,14 @@ impl<N: Managed + Default> Default for Arena<N> {
 }
 
 impl<N: Managed> Arena<N> {
+    /// The current thread's magazine slot (threads may collide; the slot
+    /// try-lock keeps collisions safe, the global path keeps them
+    /// non-blocking).
+    #[inline]
+    fn slot(&self) -> &MagazineSlot<N> {
+        &self.slots[valois_sync::sharded::thread_index() & (MAG_SLOTS - 1)]
+    }
+
     /// The paper's `SafeRead` (Fig. 15): atomically reads the counted link
     /// `src` and acquires a counted reference on the target.
     ///
@@ -228,6 +327,21 @@ impl<N: Managed> Arena<N> {
     /// current value always contributes 1 to its target's count (a structure
     /// root, or a field of a node the caller holds a counted reference on).
     pub unsafe fn safe_read(&self, src: &Link<N>) -> *mut N {
+        let mut tally = MemTally::new();
+        let q = self.safe_read_tallied(src, &mut tally);
+        self.counters.absorb(&mut tally);
+        q
+    }
+
+    /// [`Arena::safe_read`] with the statistics recorded into a caller
+    /// tally instead of the shared counters — the hot-path variant for
+    /// loops that perform many reads before flushing once (see
+    /// [`MemTally`] and [`Arena::flush_tally`]).
+    ///
+    /// # Safety
+    ///
+    /// As [`Arena::safe_read`].
+    pub unsafe fn safe_read_tallied(&self, src: &Link<N>, tally: &mut MemTally) -> *mut N {
         loop {
             // Fig. 15 line 1: q <- Read(p).
             let q = src.read();
@@ -242,12 +356,12 @@ impl<N: Managed> Arena<N> {
             // Fig. 15 line 5: still current? Then our count was acquired
             // while `src` held a (counted) pointer to `q`, so `q` was live.
             if src.read() == q {
-                StatCounters::bump(&self.counters.safe_reads);
+                tally.safe_reads += 1;
                 return q;
             }
             // Fig. 15 lines 7-8.
-            self.release(q);
-            StatCounters::bump(&self.counters.safe_read_retries);
+            self.release_into(q, tally);
+            tally.safe_read_retries += 1;
         }
     }
 
@@ -282,13 +396,21 @@ impl<N: Managed> Arena<N> {
         if p.is_null() {
             return;
         }
+        let mut tally = MemTally::new();
+        self.release_into(p, &mut tally);
+        self.counters.absorb(&mut tally);
+    }
+
+    /// Fig. 16, recording statistics into `tally` (shared by the batched
+    /// paths so a whole drain flushes once).
+    unsafe fn release_into(&self, p: *mut N, tally: &mut MemTally) {
         // The common case releases one node and touches nothing else; the
         // worklist is only needed when a reclamation cascades through the
         // dying node's outgoing links (e.g. a chain of deleted cells).
         let mut worklist: Vec<*mut N> = Vec::new();
         let mut current = p;
         loop {
-            StatCounters::bump(&self.counters.releases);
+            tally.releases += 1;
             // Fig. 16 line 1: c <- Fetch&Add(p^.refct, -1).
             let prev = (*current).header().decr_ref();
             if prev == 1 {
@@ -306,7 +428,7 @@ impl<N: Managed> Arena<N> {
                     for target in links.iter() {
                         worklist.push(target);
                     }
-                    StatCounters::bump(&self.counters.reclaims);
+                    tally.reclaims += 1;
                     self.push_free(current);
                 }
             }
@@ -317,15 +439,85 @@ impl<N: Managed> Arena<N> {
         }
     }
 
-    /// The paper's `Reclaim` (Fig. 18): pushes a claimed, drained node onto
-    /// the free list (Treiber-stack push).
+    /// Parks a counted reference in `defer` instead of releasing it now;
+    /// drains the whole buffer through ordinary [`Arena::release`]s when
+    /// it is full. Deferral can only *delay* a count reaching zero —
+    /// reclamation is postponed, never anticipated — so it is safe
+    /// wherever `release` is (see [`crate::defer`]).
+    ///
+    /// # Safety
+    ///
+    /// As [`Arena::release`]; additionally, `defer` must be drained via
+    /// [`Arena::drain_deferred`] on **this** arena before it is dropped
+    /// (the parked pointers are this arena's counted references).
+    pub unsafe fn release_deferred(&self, defer: &mut DeferredReleases<N>, p: *mut N) {
+        if p.is_null() {
+            return;
+        }
+        if defer.len == DEFER_CAP {
+            self.drain_deferred(defer);
+        }
+        defer.buf[defer.len] = p;
+        defer.len += 1;
+    }
+
+    /// Releases every reference parked in `defer` (Fig. 16 each), sharing
+    /// one statistics flush across the batch.
+    ///
+    /// # Safety
+    ///
+    /// `defer`'s parked pointers must be counted references of this arena
+    /// (they are, if they were parked by [`Arena::release_deferred`] on
+    /// this arena).
+    pub unsafe fn drain_deferred(&self, defer: &mut DeferredReleases<N>) {
+        if defer.len == 0 {
+            return;
+        }
+        let mut tally = MemTally::new();
+        for i in 0..defer.len {
+            self.release_into(defer.buf[i], &mut tally);
+        }
+        defer.len = 0;
+        self.counters.absorb(&mut tally);
+    }
+
+    /// Folds a [`MemTally`] filled by [`Arena::safe_read_tallied`] into
+    /// the shared counters and clears it. Call when the batching loop ends
+    /// (the list cursor calls it on drop).
+    pub fn flush_tally(&self, tally: &mut MemTally) {
+        if !tally.is_empty() {
+            self.counters.absorb(tally);
+        }
+    }
+
+    /// The paper's `Reclaim` (Fig. 18): returns a claimed, drained node to
+    /// the free structure. Fast path: the current thread's magazine (no
+    /// shared RMW); a busy slot falls back to the global Treiber push, and
+    /// an over-full magazine flushes half of itself to the global list in
+    /// one splice.
     fn push_free(&self, p: *mut N) {
-        // The free list's incoming pointer is a counted reference: *add* 1
-        // (never store — a store would erase a concurrent transient
+        // The free structure's incoming pointer is a counted reference:
+        // *add* 1 (never store — a store would erase a concurrent transient
         // SafeRead increment; see crate docs "corrections").
         unsafe {
             (*p).header().incr_ref();
         }
+        if let Some(mut mag) = self.slot().try_lock() {
+            mag.push(p);
+            let len = mag.len();
+            if len > MAGAZINE_CAP {
+                if let Some((h, t, _)) = mag.take_chain(len - MAGAZINE_CAP / 2) {
+                    self.splice_free_global(h, t);
+                }
+            }
+            return;
+        }
+        self.push_free_global(p);
+    }
+
+    /// Fig. 18 proper: Treiber push of one node already carrying its
+    /// free-structure count.
+    fn push_free_global(&self, p: *mut N) {
         loop {
             // Fig. 18 lines 1-3. Plain read (not SafeRead): we never
             // dereference the old head, so a stale value only costs a CAS
@@ -337,10 +529,55 @@ impl<N: Managed> Arena<N> {
             }
             if self.free_head.compare_and_swap(head, p) {
                 // Count transfer: root's count on `head` moves to
-                // `p.free_link`; root now counts `p` (the increment above).
+                // `p.free_link`; root now counts `p`.
                 break;
             }
         }
+    }
+
+    /// Splices a pre-linked chain of free nodes (each internally counted,
+    /// `chain_head` carrying the one loose count) onto the global list
+    /// with a single CAS. The chain tail's `free_link` is overwritten with
+    /// the old head *before* the CAS publishes it, so its stale value is
+    /// never observable.
+    fn splice_free_global(&self, chain_head: *mut N, chain_tail: *mut N) {
+        loop {
+            let head = self.free_head.read();
+            unsafe {
+                (*chain_tail).free_link().write(head);
+            }
+            if self.free_head.compare_and_swap(head, chain_head) {
+                // Count transfer: root's count on `head` moves to
+                // `chain_tail.free_link`; root now counts `chain_head`.
+                break;
+            }
+        }
+    }
+
+    /// Flushes every magazine it can lock back to the global free list.
+    /// Returns the number of nodes moved. Called on pool pressure before
+    /// reporting [`AllocError`]; slots busy at that instant are skipped
+    /// (their owner is mid-operation and will see the pressure itself).
+    fn scavenge(&self) -> usize {
+        let mut moved = 0;
+        for slot in self.slots.iter() {
+            if let Some(mut mag) = slot.try_lock() {
+                let len = mag.len();
+                if let Some((h, t, taken)) = mag.take_chain(len) {
+                    self.splice_free_global(h, t);
+                    moved += taken;
+                }
+            }
+        }
+        moved
+    }
+
+    /// Flushes every thread magazine back to the global free list and
+    /// returns the number of nodes moved. Quiescence/teardown hook: after
+    /// this (with no concurrent operations), every free node is reachable
+    /// from the global free head.
+    pub fn flush_thread_caches(&self) -> usize {
+        self.scavenge()
     }
 
     /// Counted-link CAS swing with automatic count transfer.
@@ -356,14 +593,14 @@ impl<N: Managed> Arena<N> {
     /// counted references on non-null `old` and `new` (this is what makes
     /// the CAS ABA-free: `old` cannot be recycled while protected).
     pub unsafe fn swing(&self, loc: &Link<N>, old: *mut N, new: *mut N) -> bool {
-        StatCounters::bump(&self.counters.swings);
+        self.counters.bump(|s| &s.swings);
         self.incr_ref(new);
         if loc.compare_and_swap(old, new) {
             self.release(old);
             true
         } else {
             self.release(new);
-            StatCounters::bump(&self.counters.swing_failures);
+            self.counters.bump(|s| &s.swing_failures);
             false
         }
     }
@@ -398,11 +635,15 @@ impl<N: Managed> Arena<N> {
     pub unsafe fn reclaim_detached(&self, p: *mut N) {
         debug_assert_eq!((*p).header().refcount(), 0);
         debug_assert!((*p).header().claim_is_set());
-        StatCounters::bump(&self.counters.reclaims);
+        self.counters.bump(|s| &s.reclaims);
         self.push_free(p);
     }
 
     /// Snapshot of the protocol counters.
+    ///
+    /// Hot paths batch events thread-locally ([`MemTally`]); counts parked
+    /// in un-flushed tallies (e.g. a still-live cursor's) are not yet
+    /// visible here.
     pub fn stats(&self) -> MemStats {
         self.counters.snapshot()
     }
@@ -628,7 +869,8 @@ mod tests {
             arena.release(last);
         }
         assert_eq!(arena.live_nodes(), 0, "all nodes reclaimed after quiesce");
-        // Every node's count must be exactly the free-list's 1.
+        // Every node's count must be exactly its free structure's 1 —
+        // whether parked on the global list or in a thread magazine.
         arena.for_each_node(|p| unsafe {
             assert_eq!((*p).header().refcount(), 1);
             assert!((*p).header().claim_is_set());
@@ -785,6 +1027,131 @@ mod tests {
             arena.release(a);
             arena.release(b);
             arena.release(fresh); // drains fresh.next -> releases b
+        }
+        assert_eq!(arena.live_nodes(), 0);
+    }
+
+    #[test]
+    fn magazine_absorbs_alloc_release_cycles_without_global_traffic() {
+        // After a warm-up alloc/release, a repeated single-node cycle runs
+        // entirely against the thread magazine: the global head is
+        // untouched, so alloc_retries stays 0 and (crucially) the same
+        // node keeps being recycled.
+        let arena = small_arena(8);
+        let p0 = arena.alloc().unwrap();
+        unsafe { arena.release(p0) };
+        for _ in 0..1000 {
+            let p = arena.alloc().unwrap();
+            assert_eq!(p, p0, "magazine must recycle LIFO");
+            unsafe { arena.release(p) };
+        }
+        let s = arena.stats();
+        assert_eq!(s.allocs, 1001);
+        assert_eq!(s.reclaims, 1001);
+        assert_eq!(s.alloc_retries, 0);
+        assert_eq!(arena.live_nodes(), 0);
+    }
+
+    #[test]
+    fn flush_thread_caches_empties_magazines() {
+        let arena = small_arena(16);
+        // Park a few nodes in this thread's magazine.
+        let held: Vec<_> = (0..4).map(|_| arena.alloc().unwrap()).collect();
+        for p in held {
+            unsafe { arena.release(p) };
+        }
+        let moved = arena.flush_thread_caches();
+        assert!(moved >= 4, "magazine held at least the 4 recycled nodes");
+        assert_eq!(arena.flush_thread_caches(), 0, "second flush finds nothing");
+        // Conservation after the flush: all 16 free, each count 1.
+        let mut free = 0;
+        arena.for_each_node(|p| unsafe {
+            assert_eq!((*p).header().refcount(), 1);
+            assert!((*p).header().claim_is_set());
+            free += 1;
+        });
+        assert_eq!(free, 16);
+    }
+
+    #[test]
+    fn capped_pool_scavenges_magazines_under_pressure() {
+        // Fill-and-release so nodes park in this thread's magazine, then
+        // demand the whole pool at once: alloc must scavenge the parked
+        // nodes back rather than report exhaustion.
+        let arena = small_arena(8);
+        let held: Vec<_> = (0..8).map(|_| arena.alloc().unwrap()).collect();
+        for p in held {
+            unsafe { arena.release(p) };
+        }
+        // All 8 nodes are somewhere between magazine and global list now.
+        let again: Vec<_> = (0..8)
+            .map(|i| arena.alloc().unwrap_or_else(|e| panic!("alloc {i}: {e}")))
+            .collect();
+        assert_eq!(arena.alloc(), Err(AllocError), "pool truly exhausted");
+        for p in again {
+            unsafe { arena.release(p) };
+        }
+        assert_eq!(arena.live_nodes(), 0);
+    }
+
+    #[test]
+    fn deferred_release_delays_but_completes_reclamation() {
+        let arena = small_arena(4);
+        let mut defer = crate::DeferredReleases::new();
+        let p = arena.alloc().unwrap();
+        unsafe { arena.release_deferred(&mut defer, p) };
+        assert_eq!(defer.len(), 1);
+        assert_eq!(
+            arena.live_nodes(),
+            1,
+            "parked reference must keep the node checked out"
+        );
+        unsafe { arena.drain_deferred(&mut defer) };
+        assert!(defer.is_empty());
+        assert_eq!(arena.live_nodes(), 0, "drain performs the release");
+    }
+
+    #[test]
+    fn deferred_release_auto_drains_at_capacity() {
+        let cap = crate::DeferredReleases::<TestNode>::CAPACITY;
+        let arena = Arena::<TestNode>::with_config(ArenaConfig::new().initial_capacity(cap + 2));
+        let mut defer = crate::DeferredReleases::new();
+        // Park CAPACITY + 1 references: the overflow push must first drain
+        // the full buffer.
+        for _ in 0..=cap {
+            let p = arena.alloc().unwrap();
+            unsafe { arena.release_deferred(&mut defer, p) };
+        }
+        assert_eq!(defer.len(), 1, "auto-drain leaves only the overflow entry");
+        assert_eq!(arena.live_nodes(), 1);
+        unsafe { arena.drain_deferred(&mut defer) };
+        assert_eq!(arena.live_nodes(), 0);
+    }
+
+    #[test]
+    fn tallied_safe_read_defers_stats_until_flush() {
+        let arena = small_arena(4);
+        let root: Link<TestNode> = Link::null();
+        let p = arena.alloc().unwrap();
+        unsafe { arena.store_link(&root, p) };
+        let base = arena.stats();
+        let mut tally = MemTally::new();
+        for _ in 0..10 {
+            let q = unsafe { arena.safe_read_tallied(&root, &mut tally) };
+            unsafe { arena.release(q) };
+        }
+        assert_eq!(
+            arena.stats().since(&base).safe_reads,
+            0,
+            "tallied reads are invisible before the flush"
+        );
+        arena.flush_tally(&mut tally);
+        assert_eq!(arena.stats().since(&base).safe_reads, 10);
+        assert!(tally.is_empty());
+        unsafe {
+            let q = root.swap(std::ptr::null_mut());
+            arena.release(q);
+            arena.release(p);
         }
         assert_eq!(arena.live_nodes(), 0);
     }

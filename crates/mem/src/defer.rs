@@ -1,0 +1,103 @@
+//! Deferred release batching: coalescing `Release` decrements.
+//!
+//! The cursor hop loop releases two or three counted references per
+//! visited item; each is a shared `Fetch&Add(refct, -1)` the moment the
+//! hop happens. A [`DeferredReleases`] buffer postpones those decrements:
+//! the owner parks the counted reference in a bounded thread-private
+//! buffer and the arena drains the whole batch later
+//! (`Arena::drain_deferred`), sharing one statistics flush and keeping the
+//! drained headers cache-hot.
+//!
+//! # Why deferral is safe
+//!
+//! A parked pointer *is* a counted reference — the buffer simply holds it
+//! a little longer. Deferring a decrement can therefore only keep a
+//! node's count **higher** for longer: reclamation (count → 0, claim,
+//! reuse) is delayed, never anticipated, so the §5 safety argument — a
+//! node is recycled only when no counted reference exists — is untouched.
+//! The corrected `RefClaim` arbitration from PR 1 is likewise unaffected:
+//! drains perform ordinary `Release` calls (Fig. 16), one per parked
+//! reference.
+//!
+//! The one observable cost is *liveness of reclamation*: nodes whose last
+//! reference sits in an undrained buffer are not yet back on the free
+//! list, so a capped pool can transiently look emptier than it is. The
+//! structure layer drains on cursor drop and retries a failed allocation
+//! after draining, restoring the paper's pool-exhaustion semantics.
+
+use std::fmt;
+
+use crate::managed::Managed;
+
+/// Buffered decrements before a drain is forced.
+#[cfg(not(loom))]
+pub(crate) const DEFER_CAP: usize = 32;
+/// Tiny buffer under the model checker so a couple of operations reach
+/// the drain path.
+#[cfg(loom)]
+pub(crate) const DEFER_CAP: usize = 2;
+
+/// A bounded thread-private buffer of counted references awaiting
+/// release.
+///
+/// Create one per long-lived traversal handle (the list cursor embeds
+/// one), park references with `Arena::release_deferred`, and drain with
+/// `Arena::drain_deferred` — at the latest when the handle is dropped.
+/// The buffer itself performs no synchronization; all shared-memory work
+/// happens at drain time.
+pub struct DeferredReleases<N: Managed> {
+    pub(crate) buf: [*mut N; DEFER_CAP],
+    pub(crate) len: usize,
+}
+
+impl<N: Managed> DeferredReleases<N> {
+    /// Maximum parked references before `release_deferred` drains.
+    pub const CAPACITY: usize = DEFER_CAP;
+
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self {
+            buf: [std::ptr::null_mut(); DEFER_CAP],
+            len: 0,
+        }
+    }
+
+    /// Parked references awaiting release.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no releases are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<N: Managed> Default for DeferredReleases<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N: Managed> Drop for DeferredReleases<N> {
+    fn drop(&mut self) {
+        // Dropping pending references leaks their counts (the nodes stay
+        // type-stable arena memory, so this is a leak, not UB). Owners
+        // must drain through the arena first; the cursor does so in its
+        // own Drop.
+        debug_assert!(
+            self.len == 0,
+            "DeferredReleases dropped with {} undrained references",
+            self.len
+        );
+    }
+}
+
+impl<N: Managed> fmt::Debug for DeferredReleases<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeferredReleases")
+            .field("len", &self.len)
+            .field("capacity", &Self::CAPACITY)
+            .finish()
+    }
+}

@@ -2,15 +2,22 @@
 //!
 //! §6 of the paper singles out `SafeRead` as "the most time consuming
 //! operation"; experiment E8 quantifies that, and E3 needs CAS retry
-//! counts. The counters here are relaxed atomics — their cost is validated
-//! to be in the noise by the `stats_overhead` Criterion bench.
+//! counts. E8 also showed the *instrumentation itself* used to be part of
+//! the problem: a single set of relaxed atomics meant every `safe_read`
+//! from every thread bumped the same cache line. The counters are now
+//! [`Sharded`] — cache-line-padded per-shard atomics with a summing read
+//! side — and the hot paths batch their events in a thread-private
+//! [`MemTally`] that is folded into the shards in one `fetch_add` per
+//! counter per batch.
 
 use std::fmt;
+
+use valois_sync::sharded::Sharded;
 use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
-/// Live counters owned by an [`Arena`](crate::Arena).
+/// One shard of the arena's counters (all nine live on one padded line).
 #[derive(Default)]
-pub struct StatCounters {
+pub(crate) struct StatShard {
     pub(crate) safe_reads: AtomicU64,
     pub(crate) safe_read_retries: AtomicU64,
     pub(crate) releases: AtomicU64,
@@ -22,31 +29,97 @@ pub struct StatCounters {
     pub(crate) grows: AtomicU64,
 }
 
+/// Sharded live counters owned by an [`Arena`](crate::Arena).
+pub struct StatCounters {
+    shards: Sharded<StatShard>,
+}
+
+impl Default for StatCounters {
+    fn default() -> Self {
+        Self {
+            shards: Sharded::new(),
+        }
+    }
+}
+
 impl StatCounters {
+    /// Adds 1 to one counter on the current thread's shard.
     #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn bump(&self, pick: impl FnOnce(&StatShard) -> &AtomicU64) {
+        pick(self.shards.get()).fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Takes a point-in-time snapshot.
-    pub fn snapshot(&self) -> MemStats {
-        MemStats {
-            safe_reads: self.safe_reads.load(Ordering::Relaxed),
-            safe_read_retries: self.safe_read_retries.load(Ordering::Relaxed),
-            releases: self.releases.load(Ordering::Relaxed),
-            allocs: self.allocs.load(Ordering::Relaxed),
-            alloc_retries: self.alloc_retries.load(Ordering::Relaxed),
-            reclaims: self.reclaims.load(Ordering::Relaxed),
-            swings: self.swings.load(Ordering::Relaxed),
-            swing_failures: self.swing_failures.load(Ordering::Relaxed),
-            grows: self.grows.load(Ordering::Relaxed),
+    /// Folds a thread-private tally into the current thread's shard and
+    /// clears it. One `fetch_add` per non-zero field, however many events
+    /// the tally batched.
+    pub(crate) fn absorb(&self, tally: &mut MemTally) {
+        let shard = self.shards.get();
+        for (count, counter) in [
+            (tally.safe_reads, &shard.safe_reads),
+            (tally.safe_read_retries, &shard.safe_read_retries),
+            (tally.releases, &shard.releases),
+            (tally.reclaims, &shard.reclaims),
+        ] {
+            if count != 0 {
+                counter.fetch_add(count, Ordering::Relaxed);
+            }
         }
+        *tally = MemTally::new();
+    }
+
+    /// Takes a point-in-time snapshot (sums every shard).
+    pub fn snapshot(&self) -> MemStats {
+        let mut s = MemStats::default();
+        for shard in self.shards.shards() {
+            s.safe_reads += shard.safe_reads.load(Ordering::Relaxed);
+            s.safe_read_retries += shard.safe_read_retries.load(Ordering::Relaxed);
+            s.releases += shard.releases.load(Ordering::Relaxed);
+            s.allocs += shard.allocs.load(Ordering::Relaxed);
+            s.alloc_retries += shard.alloc_retries.load(Ordering::Relaxed);
+            s.reclaims += shard.reclaims.load(Ordering::Relaxed);
+            s.swings += shard.swings.load(Ordering::Relaxed);
+            s.swing_failures += shard.swing_failures.load(Ordering::Relaxed);
+            s.grows += shard.grows.load(Ordering::Relaxed);
+        }
+        s
     }
 }
 
 impl fmt::Debug for StatCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.snapshot().fmt(f)
+    }
+}
+
+/// A thread-private batch of hot-path protocol events.
+///
+/// `Arena::safe_read_tallied` and the deferred-release drain record their
+/// traffic here with plain integer adds — no shared-memory RMW per event —
+/// and the owner folds the batch into the arena's sharded counters via
+/// `Arena::flush_tally` (or implicitly: `release`/`safe_read` absorb their
+/// own single-shot tallies). Until a tally is flushed its events are
+/// invisible to [`Arena::stats`](crate::Arena::stats); cursors flush on
+/// drop.
+#[derive(Debug, Clone, Default)]
+pub struct MemTally {
+    pub(crate) safe_reads: u64,
+    pub(crate) safe_read_retries: u64,
+    pub(crate) releases: u64,
+    pub(crate) reclaims: u64,
+}
+
+impl MemTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any events are batched.
+    pub fn is_empty(&self) -> bool {
+        self.safe_reads == 0
+            && self.safe_read_retries == 0
+            && self.releases == 0
+            && self.reclaims == 0
     }
 }
 
@@ -109,13 +182,48 @@ mod tests {
     #[test]
     fn snapshot_reflects_bumps() {
         let c = StatCounters::default();
-        StatCounters::bump(&c.safe_reads);
-        StatCounters::bump(&c.safe_reads);
-        StatCounters::bump(&c.allocs);
+        c.bump(|s| &s.safe_reads);
+        c.bump(|s| &s.safe_reads);
+        c.bump(|s| &s.allocs);
         let s = c.snapshot();
         assert_eq!(s.safe_reads, 2);
         assert_eq!(s.allocs, 1);
         assert_eq!(s.reclaims, 0);
+    }
+
+    #[test]
+    fn absorb_folds_and_clears_a_tally() {
+        let c = StatCounters::default();
+        let mut t = MemTally::new();
+        t.safe_reads = 5;
+        t.releases = 3;
+        t.reclaims = 1;
+        assert!(!t.is_empty());
+        c.absorb(&mut t);
+        assert!(t.is_empty(), "absorb must clear the tally");
+        let s = c.snapshot();
+        assert_eq!(s.safe_reads, 5);
+        assert_eq!(s.releases, 3);
+        assert_eq!(s.reclaims, 1);
+        // Absorbing an empty tally is a no-op.
+        c.absorb(&mut t);
+        assert_eq!(c.snapshot(), s);
+    }
+
+    #[test]
+    fn snapshot_sums_across_threads() {
+        let c = std::sync::Arc::new(StatCounters::default());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        c.bump(|s| &s.releases);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().releases, 2000);
     }
 
     #[test]

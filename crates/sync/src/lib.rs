@@ -32,12 +32,14 @@ pub mod backoff;
 pub mod pad;
 pub mod primitives;
 pub mod rng;
+pub mod sharded;
 pub mod shim;
 pub mod spinlock;
 
 pub use backoff::Backoff;
 pub use pad::CachePadded;
 pub use primitives::{CasCell, CasPtr, Counter, RefClaim, TestAndSet};
+pub use sharded::Sharded;
 pub use spinlock::{
     AndersonLock, ClhLock, Lock, LockGuard, LockKind, TasLock, TicketLock, TtasLock,
 };

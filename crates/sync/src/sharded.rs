@@ -1,0 +1,167 @@
+//! Sharded per-thread state for de-contended statistics.
+//!
+//! Experiment E8 showed that the unconditional relaxed `fetch_add` inside
+//! `Arena::safe_read` lands on the *same* cache line for every thread, so
+//! the instrumentation itself contends exactly like the protocol words it
+//! is supposed to measure. [`Sharded`] spreads such state over a small,
+//! fixed set of [`CachePadded`] shards indexed by a cheap per-thread id
+//! ([`thread_index`]): writers touch (mostly) private lines, readers sum
+//! over all shards.
+//!
+//! The shard count is a power of two so selection is a mask, and it is
+//! fixed at 1 under `--cfg loom` — the model checker's scheduler has no
+//! thread-id notion, and a single shard keeps every interleaving
+//! deterministic while still exercising the summing read side.
+//!
+//! # Example
+//!
+//! ```
+//! use valois_sync::sharded::Sharded;
+//! use valois_sync::shim::atomic::{AtomicU64, Ordering};
+//!
+//! let hits: Sharded<AtomicU64> = Sharded::new();
+//! hits.get().fetch_add(3, Ordering::Relaxed);
+//! let total: u64 = hits.shards().map(|s| s.load(Ordering::Relaxed)).sum();
+//! assert_eq!(total, 3);
+//! ```
+
+use std::fmt;
+
+use crate::pad::CachePadded;
+
+/// Default shard count (power of two). Sixteen covers typical core counts
+/// without making the summing read side expensive.
+#[cfg(not(loom))]
+const DEFAULT_SHARDS: usize = 16;
+/// Under the model checker a single shard keeps schedules deterministic
+/// (no thread-id dependence) and the state space small.
+#[cfg(loom)]
+const DEFAULT_SHARDS: usize = 1;
+
+/// A small, dense, process-wide thread index for shard selection.
+///
+/// Indices are handed out in thread-creation order starting at 0 and are
+/// stable for the thread's lifetime. They are *not* bounded by the shard
+/// count — callers mask/modulo into their shard array — so two threads can
+/// collide on a shard; sharded state must therefore remain safe (atomic or
+/// try-locked) under collisions, merely faster without them.
+#[cfg(not(loom))]
+pub fn thread_index() -> usize {
+    use crate::shim::atomic::{AtomicUsize, Ordering};
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    INDEX.with(|slot| {
+        let mut idx = slot.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed);
+            slot.set(idx);
+        }
+        idx
+    })
+}
+
+/// Under `--cfg loom` every model thread maps to index 0: the scheduler
+/// exposes no thread identity, and a constant keeps replay deterministic.
+#[cfg(loom)]
+pub fn thread_index() -> usize {
+    0
+}
+
+/// `T` replicated across cache-padded shards, selected by [`thread_index`].
+pub struct Sharded<T> {
+    shards: Box<[CachePadded<T>]>,
+}
+
+impl<T: Default> Sharded<T> {
+    /// Creates [`DEFAULT_SHARDS`] default-constructed shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates at least `n` shards (rounded up to a power of two, min 1).
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| CachePadded::new(T::default())).collect(),
+        }
+    }
+}
+
+impl<T: Default> Default for Sharded<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Sharded<T> {
+    /// The current thread's shard. Two threads may map to the same shard
+    /// (the index space is unbounded, the shard set is not), so the shard
+    /// type must tolerate concurrent access.
+    #[inline]
+    pub fn get(&self) -> &T {
+        &self.shards[thread_index() & (self.shards.len() - 1)]
+    }
+
+    /// Iterates over every shard (the summing read side).
+    pub fn shards(&self) -> impl Iterator<Item = &T> {
+        self.shards.iter().map(|s| &**s)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl<T> fmt::Debug for Sharded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sharded")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shim::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn shard_count_is_power_of_two_min_one() {
+        assert_eq!(Sharded::<AtomicU64>::with_shards(0).shard_count(), 1);
+        assert_eq!(Sharded::<AtomicU64>::with_shards(3).shard_count(), 4);
+        assert_eq!(Sharded::<AtomicU64>::with_shards(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn thread_index_is_stable_within_a_thread() {
+        assert_eq!(thread_index(), thread_index());
+    }
+
+    #[cfg(not(loom))]
+    #[test]
+    fn thread_indices_differ_across_threads() {
+        let mine = thread_index();
+        let theirs = std::thread::spawn(thread_index).join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+
+    #[test]
+    fn sum_over_shards_sees_every_add() {
+        let counters: Sharded<AtomicU64> = Sharded::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        counters.get().fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let total: u64 = counters.shards().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 4000);
+    }
+}
