@@ -1,0 +1,448 @@
+//! A small Rust lexer that keeps comments.
+//!
+//! The passes in this crate are *syntax*-aware, not line-aware: a `use`
+//! declaration split over five lines, a `/* block */` comment in the middle
+//! of an expression, or `unsafe` inside a string literal must all be seen
+//! for what they are. A full parser is not needed — every pass works on a
+//! token stream with comment trivia preserved (comments carry the
+//! `SAFETY:` / `ORDER:` / `COUNT:` / `WAIT-FREE:` contracts the passes
+//! check), plus matched-delimiter structure computed in [`crate::source`].
+//!
+//! The lexer understands exactly the token shapes that occur in Rust
+//! source: identifiers (including `r#raw`), lifetimes vs. char literals,
+//! string / raw-string / byte-string literals, numbers, nested block
+//! comments, and single-character punctuation. Multi-character operators
+//! are delivered as individual punctuation tokens (`::` is `:`, `:`);
+//! passes that care match the sequence.
+
+use std::fmt;
+
+/// Delimiter class for `Open`/`Close` tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` / `)`
+    Paren,
+    /// `[` / `]`
+    Bracket,
+    /// `{` / `}`
+    Brace,
+}
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `loop`, names, ...).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// String / char / byte / numeric literal. Text is the raw source.
+    Literal,
+    /// Single punctuation character (`:`, `.`, `=`, `#`, ...).
+    Punct,
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+    /// `// ...` comment, including `//!` and `///` doc forms.
+    Comment,
+    /// `/* ... */` comment (possibly nested), including doc forms.
+    BlockComment,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Whether this token is comment trivia.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::Comment | TokKind::BlockComment)
+    }
+
+    /// Whether this token is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub fn is_doc_comment(&self) -> bool {
+        (self.kind == TokKind::Comment
+            && (self.text.starts_with("///") || self.text.starts_with("//!")))
+            || (self.kind == TokKind::BlockComment
+                && (self.text.starts_with("/**") || self.text.starts_with("/*!")))
+    }
+
+    /// Whether this is the identifier/keyword `kw`.
+    pub fn is_ident(&self, kw: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == kw
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:?}:{}", self.line, self.kind, self.text)
+    }
+}
+
+/// Tokenizes `src`. Unterminated constructs (string, block comment) consume
+/// to end of input rather than erroring: the linter must degrade gracefully
+/// on code the compiler will reject anyway.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_lit(line),
+                'r' | 'b' if self.raw_or_byte_start() => self.raw_or_byte(line),
+                '\'' => self.lifetime_or_char(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                '(' => self.delim(TokKind::Open(Delim::Paren), line),
+                ')' => self.delim(TokKind::Close(Delim::Paren), line),
+                '[' => self.delim(TokKind::Open(Delim::Bracket), line),
+                ']' => self.delim(TokKind::Close(Delim::Bracket), line),
+                '{' => self.delim(TokKind::Open(Delim::Brace), line),
+                '}' => self.delim(TokKind::Close(Delim::Brace), line),
+                _ => {
+                    let c = self.bump().unwrap();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn delim(&mut self, kind: TokKind, line: usize) {
+        let c = self.bump().unwrap();
+        self.push(kind, c.to_string(), line);
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().unwrap());
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push(self.bump().unwrap());
+                text.push(self.bump().unwrap());
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push(self.bump().unwrap());
+                text.push(self.bump().unwrap());
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(self.bump().unwrap());
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    fn string_lit(&mut self, line: usize) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap()); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    /// True when the current `r`/`b` begins a raw / byte string rather than
+    /// an identifier: `r"`, `r#"`, `br"`, `b"`, `b'`, `br#"`, `r#raw_ident`
+    /// is *not* (that is a raw identifier, handled in `ident`).
+    fn raw_or_byte_start(&self) -> bool {
+        let c0 = self.peek(0).unwrap();
+        match c0 {
+            'b' => {
+                matches!(self.peek(1), Some('"') | Some('\''))
+                    || (self.peek(1) == Some('r') && matches!(self.peek(2), Some('"') | Some('#')))
+            }
+            'r' => {
+                match self.peek(1) {
+                    Some('"') => true,
+                    Some('#') => {
+                        // distinguish r#"raw"# from r#ident
+                        let mut i = 1;
+                        while self.peek(i) == Some('#') {
+                            i += 1;
+                        }
+                        self.peek(i) == Some('"')
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_or_byte(&mut self, line: usize) {
+        let mut text = String::new();
+        // prefix letters
+        while matches!(self.peek(0), Some('r') | Some('b')) {
+            text.push(self.bump().unwrap());
+        }
+        if self.peek(0) == Some('\'') {
+            // byte char literal b'x'
+            text.push(self.bump().unwrap());
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokKind::Literal, text, line);
+            return;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push(self.bump().unwrap());
+        }
+        if self.peek(0) == Some('"') {
+            text.push(self.bump().unwrap());
+            if hashes == 0 && text.starts_with('b') && !text.contains('r') {
+                // plain byte string b"...": escapes apply
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\\' {
+                        if let Some(e) = self.bump() {
+                            text.push(e);
+                        }
+                    } else if c == '"' {
+                        break;
+                    }
+                }
+            } else {
+                // raw string: ends at `"` followed by `hashes` hashes
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '"' {
+                        let mut seen = 0;
+                        while seen < hashes && self.peek(0) == Some('#') {
+                            text.push(self.bump().unwrap());
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    fn lifetime_or_char(&mut self, line: usize) {
+        // 'a  / 'static  -> lifetime;  'x' / '\n' -> char literal.
+        let is_lifetime = match (self.peek(1), self.peek(2)) {
+            (Some(c1), next) if c1.is_alphabetic() || c1 == '_' => next != Some('\''),
+            _ => false,
+        };
+        let mut text = String::new();
+        text.push(self.bump().unwrap()); // '
+        if is_lifetime {
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(self.bump().unwrap());
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokKind::Literal, text, line);
+        }
+    }
+
+    fn ident(&mut self, line: usize) {
+        let mut text = String::new();
+        // raw identifier prefix r#
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            text.push(self.bump().unwrap());
+            text.push(self.bump().unwrap());
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().unwrap());
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().unwrap());
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // 1.5 — but not 1..2 (range) or 1.method()
+                text.push(self.bump().unwrap());
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("use a::b;");
+        assert_eq!(toks[0], (TokKind::Ident, "use".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "a".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ":".into()));
+        assert_eq!(toks[3], (TokKind::Punct, ":".into()));
+        assert_eq!(toks[4], (TokKind::Ident, "b".into()));
+        assert_eq!(toks[5], (TokKind::Punct, ";".into()));
+    }
+
+    #[test]
+    fn comments_are_kept_with_lines() {
+        let toks = lex("// SAFETY: fine\nunsafe { }\n");
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert_eq!(toks[0].line, 1);
+        assert!(toks[1].is_ident("unsafe"));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "unsafe { std::sync::atomic }";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || !t.contains("atomic")));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = kinds("let s = r#\"has \"quotes\" inside\"#; let t = \"a\\\"b\";");
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 2);
+        assert!(lits[0].1.contains("quotes"));
+        assert!(lits[1].1.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let chars = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Literal && t.starts_with('\''))
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = lex("/* outer /* inner */ still */ fn");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[0].text.contains("inner"));
+        assert!(toks[1].is_ident("fn"));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident_not_string() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn multiline_use_spans_lines() {
+        let toks = lex("use std::sync::atomic::{\n    AtomicUsize,\n    Ordering,\n};\n");
+        assert!(toks.iter().any(|t| t.is_ident("atomic") && t.line == 1));
+        assert!(toks.iter().any(|t| t.is_ident("Ordering") && t.line == 3));
+    }
+}

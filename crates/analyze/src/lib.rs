@@ -1,0 +1,132 @@
+//! `valois-analyze`: syntax-aware static analysis for the Valois
+//! workspace, driven by `cargo xtask analyze`.
+//!
+//! The §5 SafeRead/Release protocol hangs its safety argument on
+//! conventions no type checker sees: every counted reference is released
+//! or transferred exactly once, every `unsafe` dereference is justified by
+//! the counting invariant, every CAS retry loop makes a progress argument,
+//! and every atomic flows through the loom-instrumentable shim. This crate
+//! machine-checks those conventions at the token/syntax level — not line
+//! by line — so multi-line declarations, renames, grouped imports, and
+//! comments inside expressions are all seen for what they are.
+//!
+//! Passes (rule ids):
+//!
+//! | Rule | Checks | Escape hatch |
+//! |---|---|---|
+//! | `shim-import` | atomics only via `valois_sync::shim` | shim dir itself |
+//! | `relaxed-ptr-order` | no unjustified relaxed pointer orderings | `// ORDER:` |
+//! | `unsafe-comment` | every unsafe site carries a justification | `// SAFETY:` / `# Safety` |
+//! | `refcount-pairing` | acquires are released or transferred | `// COUNT:` |
+//! | `cas-progress` | CAS retry loops back off | `// WAIT-FREE:` |
+//! | `spin-guard` | no spinlock guard across protocol calls | (baselines by path) |
+//!
+//! See `docs/ANALYSIS.md` for the comment contracts and
+//! `docs/VERIFICATION.md` for where this layer sits among the others.
+//!
+//! The crate is dependency-free (the lexer in [`lexer`] is hand-rolled):
+//! it sits on the tier-1 CI path and must build offline with nothing but
+//! the toolchain.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod passes;
+pub mod report;
+pub mod source;
+
+use std::path::{Path, PathBuf};
+
+pub use report::{render_json, render_sarif, render_text, Finding, RuleInfo, Severity, RULES};
+use source::SourceFile;
+
+/// Analyzes one file's source text with every pass, applying path-based
+/// exemptions keyed on `label` (use workspace-relative paths):
+///
+/// * `crates/sync/src/shim/**` — exempt from `shim-import` (it *is* the
+///   shim);
+/// * `crates/baseline/**` — exempt from `cas-progress` and `spin-guard`
+///   (coarse locking around whole operations is the baseline's design);
+/// * `crates/bench/**`, `crates/harness/**` — exempt from `cas-progress`
+///   and `spin-guard` (their `while !stop { ...fetch_add... }` loops are
+///   workload drivers bumping result counters, not CAS retry loops; the
+///   protocol code they exercise is linted where it lives).
+pub fn analyze_source(label: &str, content: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(label, content);
+    let norm = label.replace('\\', "/");
+    let is_shim = norm.contains("crates/sync/src/shim");
+    let progress_exempt = ["crates/baseline/", "crates/bench/", "crates/harness/"]
+        .iter()
+        .any(|p| norm.contains(p));
+    let mut out = Vec::new();
+    if !is_shim {
+        out.extend(passes::shim::run(&file));
+    }
+    out.extend(passes::ordering::run(&file));
+    out.extend(passes::unsafe_audit::run(&file));
+    out.extend(passes::refcount::run(&file));
+    if !progress_exempt {
+        out.extend(passes::progress::run(&file));
+    }
+    out
+}
+
+/// Library source roots to lint, relative to the workspace root:
+/// `src/` plus every `crates/*/src`, except `xtask` and `analyze` — the
+/// linter necessarily names the patterns it rejects and cannot lint
+/// itself. Tests and benches are exempt by scope: their `std` atomics and
+/// raw-pointer plumbing are harness bookkeeping, not protocol surface.
+pub fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut roots: Vec<PathBuf> = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            if e.file_name() == "xtask" || e.file_name() == "analyze" {
+                continue;
+            }
+            roots.push(e.path().join("src"));
+        }
+    }
+    while let Some(dir) = roots.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                roots.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Analyzes the whole workspace rooted at `root`. Findings are sorted by
+/// file, line, then rule.
+pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in source_files(root) {
+        let Ok(content) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let label = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        out.extend(analyze_source(&label, &content));
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    out
+}
+
+/// Whether `findings` should fail the run: any `Error`, or — when
+/// `deny_warnings` — any finding at all.
+pub fn should_fail(findings: &[Finding], deny_warnings: bool) -> bool {
+    findings
+        .iter()
+        .any(|f| f.severity == Severity::Error || deny_warnings)
+}

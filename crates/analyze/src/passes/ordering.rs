@@ -1,0 +1,161 @@
+//! Ordering discipline: `Ordering::Relaxed` on a pointer-valued atomic is
+//! almost always a protocol bug — the §5 counted-link protocol hangs
+//! correctness on acquire/release pairs around pointer publication. A
+//! relaxed pointer operation must carry an adjacent `// ORDER:` comment
+//! justifying it.
+//!
+//! The AST port improves on PR 1's line scan in two ways: a statement
+//! split over several lines (builder chains, wrapped arguments) is seen
+//! as one unit, and an `Ordering` renamed by `use ... as O` is still
+//! recognized via the file's use-tree.
+
+use crate::lexer::TokKind;
+use crate::passes::finding;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "relaxed-ptr-order";
+
+/// Runs the pass over one file.
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.toks;
+    let ptr_fields = pointer_atomic_fields(file);
+    let ordering_names = ordering_aliases(file);
+    let mut out = Vec::new();
+
+    for i in 0..toks.len() {
+        // Match `<OrderingAlias> :: Relaxed`.
+        if !(toks[i].kind == TokKind::Ident && ordering_names.iter().any(|n| n == &toks[i].text)) {
+            continue;
+        }
+        let Some(c1) = file.next_sig(i) else { continue };
+        let Some(c2) = file.next_sig(c1) else {
+            continue;
+        };
+        let Some(r) = file.next_sig(c2) else { continue };
+        if !(toks[c1].text == ":" && toks[c2].text == ":" && toks[r].is_ident("Relaxed")) {
+            continue;
+        }
+        if !statement_touches_pointer_atomic(file, i, &ptr_fields) {
+            continue;
+        }
+        if file.has_adjacent_marker(r, Some(toks[r].line.saturating_sub(1)), "ORDER:")
+            || file.has_adjacent_marker(r, Some(toks[r].line.saturating_sub(2)), "ORDER:")
+        {
+            continue;
+        }
+        out.push(finding(
+            RULE,
+            file,
+            toks[r].line,
+            "Ordering::Relaxed on a pointer-valued atomic without an adjacent \
+             `// ORDER:` justification"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+/// Names that refer to the `Ordering` enum in this file: `Ordering`
+/// itself plus any `use ...::Ordering as X` rename.
+fn ordering_aliases(file: &SourceFile) -> Vec<String> {
+    let mut names = vec!["Ordering".to_string()];
+    for p in file.use_paths() {
+        if p.segments.last().is_some_and(|s| s == "Ordering") {
+            if let Some(r) = &p.rename {
+                if !names.contains(r) {
+                    names.push(r.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Field/binding identifiers declared with an `AtomicPtr` type: the token
+/// pattern `ident : AtomicPtr <`.
+fn pointer_atomic_fields(file: &SourceFile) -> Vec<String> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("AtomicPtr") {
+            continue;
+        }
+        let Some(colon2) = file.prev_sig(i) else {
+            continue;
+        };
+        if toks[colon2].text != ":" {
+            continue;
+        }
+        // Skip a `::`-qualified path (`atomic::AtomicPtr`): the char
+        // before must be a single colon, i.e. its predecessor is not ':'.
+        let Some(before) = file.prev_sig(colon2) else {
+            continue;
+        };
+        let name_idx = if toks[before].text == ":" {
+            // `path :: AtomicPtr` — keep walking: `ident : path :: AtomicPtr`
+            let Some(path_start) = file.prev_sig(before) else {
+                continue;
+            };
+            let Some(colon) = file.prev_sig(path_start) else {
+                continue;
+            };
+            if toks[colon].text != ":" {
+                continue;
+            }
+            let Some(pc) = file.prev_sig(colon) else {
+                continue;
+            };
+            if toks[pc].text == ":" {
+                continue; // deeper path; give up on this shape
+            }
+            pc
+        } else {
+            before
+        };
+        if toks[name_idx].kind == TokKind::Ident {
+            let name = toks[name_idx].text.clone();
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        }
+    }
+    out
+}
+
+/// Whether the statement containing token `i` names `AtomicPtr` directly
+/// or accesses (`.field`) a tracked pointer-atomic field.
+fn statement_touches_pointer_atomic(file: &SourceFile, i: usize, fields: &[String]) -> bool {
+    let toks = &file.toks;
+    let start = file.stmt_start(i);
+    // Statement end: next `;` or brace at this nesting.
+    let mut end = i;
+    for (j, t) in toks.iter().enumerate().skip(i) {
+        match t.kind {
+            TokKind::Punct if t.text == ";" => {
+                end = j;
+                break;
+            }
+            TokKind::Open(crate::lexer::Delim::Brace)
+            | TokKind::Close(crate::lexer::Delim::Brace) => {
+                end = j;
+                break;
+            }
+            _ => end = j,
+        }
+    }
+    for j in start..=end.min(toks.len() - 1) {
+        if toks[j].is_ident("AtomicPtr") {
+            return true;
+        }
+        if toks[j].kind == TokKind::Ident
+            && fields.iter().any(|f| f == &toks[j].text)
+            && file
+                .prev_sig(j)
+                .is_some_and(|p| toks[p].kind == TokKind::Punct && toks[p].text == ".")
+        {
+            return true;
+        }
+    }
+    false
+}

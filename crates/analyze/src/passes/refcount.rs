@@ -1,0 +1,117 @@
+//! Refcount pairing: a function that *acquires* counted references
+//! (`safe_read`, `safe_read_tallied`, `alloc`) must also *release or
+//! transfer* them (`release`, `release_into`, `release_deferred`,
+//! `drain_deferred`, `reclaim_detached`, `push_free`, `push_free_global`,
+//! `splice_free_global`, `swing`, `store_link`), hand them to the caller
+//! (a raw-pointer-returning signature — the §5 convention for "returns a
+//! counted reference"), or carry an explicit `// COUNT:` comment naming
+//! where the count goes.
+//!
+//! This is a conservative intraprocedural check: it does not prove
+//! path-sensitive balance (that is the loom models' and the refcount
+//! exactness tests' job), it catches the *shape* of the bug Träff & Pöter
+//! observed in reproductions of this protocol — a counted read whose
+//! release was simply forgotten — and it forces the deferred-release and
+//! magazine transfer paths to be documented where they happen.
+//!
+//! `#[cfg(test)]` modules are exempt by scope.
+
+use crate::lexer::TokKind;
+use crate::passes::finding;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "refcount-pairing";
+
+/// Calls that acquire a counted reference.
+const ACQUIRES: &[&str] = &["safe_read", "safe_read_tallied", "alloc"];
+
+/// Calls that release or transfer counted references.
+const RELEASES: &[&str] = &[
+    "release",
+    "release_into",
+    "release_deferred",
+    "drain_deferred",
+    "reclaim_detached",
+    "push_free",
+    "push_free_global",
+    "splice_free_global",
+    "swing",
+    "store_link",
+];
+
+/// Runs the pass over one file.
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in file.fn_items() {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        if file.in_test_mod(f.fn_idx) {
+            continue;
+        }
+        let acquired: Vec<&str> = calls_in(file, open, close, ACQUIRES);
+        if acquired.is_empty() {
+            continue;
+        }
+        if !calls_in(file, open, close, RELEASES).is_empty() {
+            continue;
+        }
+        // Transfer to caller: raw-pointer-bearing return type.
+        let (rlo, rhi) = f.return_type;
+        if file.toks[rlo..rhi]
+            .iter()
+            .any(|t| t.kind == TokKind::Punct && t.text == "*")
+        {
+            continue;
+        }
+        // Explicit justification: `// COUNT:` anywhere in the body or in
+        // the item's leading comments.
+        let item_start = file.item_start(f.fn_idx);
+        let has_count = file.toks[open..=close]
+            .iter()
+            .any(|t| t.is_comment() && t.text.contains("COUNT:"))
+            || file
+                .leading_item_comments(item_start)
+                .iter()
+                .any(|t| t.text.contains("COUNT:"));
+        if has_count {
+            continue;
+        }
+        out.push(finding(
+            RULE,
+            file,
+            f.line,
+            format!(
+                "fn `{}` acquires counted references ({}) but never releases or \
+                 transfers them; release them, return the raw pointer, or add a \
+                 `// COUNT:` comment naming where the count goes",
+                f.name,
+                acquired.join(", ")
+            ),
+        ));
+    }
+    out
+}
+
+/// Distinct names from `names` that are called (`name(`) inside the token
+/// range `(open, close)`.
+fn calls_in<'a>(file: &SourceFile, open: usize, close: usize, names: &[&'a str]) -> Vec<&'a str> {
+    let toks = &file.toks;
+    let mut seen = Vec::new();
+    for i in open + 1..close {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(&name) = names.iter().find(|n| toks[i].is_ident(n)) else {
+            continue;
+        };
+        let is_call = file
+            .next_sig(i)
+            .is_some_and(|n| toks[n].kind == TokKind::Open(crate::lexer::Delim::Paren));
+        if is_call && !seen.contains(&name) {
+            seen.push(name);
+        }
+    }
+    seen
+}

@@ -1,0 +1,135 @@
+//! Shim discipline: atomics must be imported through `valois_sync::shim`,
+//! never straight from `std::sync::atomic` / `core::sync::atomic`. The
+//! shim is what lets `--cfg loom` swap every atomic for its model-checked
+//! equivalent; one stray direct import silently removes that code from
+//! the model checker's view.
+//!
+//! This is the AST port of PR 1's line-based scan, closing its three known
+//! false negatives:
+//!
+//! * **multi-line `use` items** — `use std::sync::\n    atomic::AtomicUsize;`
+//!   never put the full path on one line;
+//! * **`as` renames** — `use std::sync::atomic as a;` followed by
+//!   `a::AtomicUsize` mentioned the path only once, on a line the scanner
+//!   might have exempted;
+//! * **grouped imports** — `use std::sync::{atomic::AtomicUsize, Arc};`
+//!   hid the forbidden path inside a brace group.
+//!
+//! The lexer erases line structure and [`SourceFile::use_paths`] flattens
+//! groups and renames, so all three now resolve to the same flattened
+//! path prefix `std::sync::atomic` / `core::sync::atomic`.
+
+use crate::passes::finding;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "shim-import";
+
+/// Runs the pass over one file.
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // 1. Flattened `use` paths: any import whose path starts with
+    //    {std,core}::sync::atomic.
+    for p in file.use_paths() {
+        let segs: Vec<&str> = p.segments.iter().map(|s| s.as_str()).collect();
+        if segs.len() >= 3
+            && (segs[0] == "std" || segs[0] == "core")
+            && segs[1] == "sync"
+            && segs[2] == "atomic"
+        {
+            let shown = p.segments.join("::");
+            let rename = p
+                .rename
+                .as_deref()
+                .map(|r| format!(" (as `{r}`)"))
+                .unwrap_or_default();
+            out.push(finding(
+                RULE,
+                file,
+                p.line,
+                format!(
+                    "direct import of `{shown}`{rename}; import through \
+                     valois_sync::shim so `--cfg loom` can instrument it"
+                ),
+            ));
+        }
+    }
+
+    // 2. Inline qualified paths (`std::sync::atomic::AtomicUsize::new(..)`)
+    //    outside `use` items.
+    let use_ranges = use_item_ranges(file);
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("std") || toks[i].is_ident("core")) {
+            continue;
+        }
+        if use_ranges.iter().any(|&(lo, hi)| i >= lo && i <= hi) {
+            continue;
+        }
+        // Match the significant-token sequence `:: sync :: atomic`.
+        let mut j = i;
+        let mut matched = true;
+        for expect in ["::", "sync", "::", "atomic"] {
+            if expect == "::" {
+                for _ in 0..2 {
+                    match file.next_sig(j) {
+                        Some(n) if toks[n].text == ":" => j = n,
+                        _ => {
+                            matched = false;
+                            break;
+                        }
+                    }
+                }
+            } else {
+                match file.next_sig(j) {
+                    Some(n) if toks[n].is_ident(expect) => j = n,
+                    _ => matched = false,
+                }
+            }
+            if !matched {
+                break;
+            }
+        }
+        if matched {
+            out.push(finding(
+                RULE,
+                file,
+                toks[i].line,
+                format!(
+                    "inline qualified `{}::sync::atomic` path; import through \
+                     valois_sync::shim so `--cfg loom` can instrument it",
+                    toks[i].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Token index ranges `[use_kw, semicolon]` of every `use` item.
+fn use_item_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                use crate::lexer::{Delim, TokKind};
+                match toks[j].kind {
+                    TokKind::Open(Delim::Brace) => depth += 1,
+                    TokKind::Close(Delim::Brace) => depth = depth.saturating_sub(1),
+                    TokKind::Punct if toks[j].text == ";" && depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            out.push((i, j));
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}

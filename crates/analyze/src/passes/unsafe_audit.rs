@@ -1,0 +1,134 @@
+//! Unsafe audit: every `unsafe` block, `unsafe fn`, `unsafe impl`, and
+//! `unsafe trait` in library code must carry an adjacent justification —
+//! a `// SAFETY:` comment (block/impl/trait/fn) or, for an `unsafe fn`,
+//! a `# Safety` section in its doc comment. The §5 protocol's entire
+//! safety argument is the reference-counting invariant; the audit makes
+//! each site state *which* part of the invariant it leans on.
+//!
+//! `#[cfg(test)]` modules are exempt by scope (consistent with the other
+//! passes: tests exercise the protocol but are not part of its surface).
+
+use crate::lexer::{Delim, TokKind};
+use crate::passes::finding;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "unsafe-comment";
+
+/// Runs the pass over one file.
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("unsafe") || file.in_test_mod(i) {
+            continue;
+        }
+        let Some(mut n) = file.next_sig(i) else {
+            continue;
+        };
+        // `unsafe extern "C" fn item` — skip forward to the `fn`.
+        if toks[n].is_ident("extern") {
+            let Some(m) = file.next_sig(n) else { continue };
+            let m = if toks[m].kind == TokKind::Literal {
+                match file.next_sig(m) {
+                    Some(x) => x,
+                    None => continue,
+                }
+            } else {
+                m
+            };
+            n = m;
+        }
+        match &toks[n] {
+            t if t.kind == TokKind::Open(Delim::Brace) && !block_is_justified(file, i, n) => {
+                out.push(finding(
+                    RULE,
+                    file,
+                    toks[i].line,
+                    "unsafe block without an adjacent `// SAFETY:` comment \
+                     stating which invariant makes it sound"
+                        .to_string(),
+                ));
+            }
+            t if t.is_ident("fn") => {
+                // Skip fn-pointer types (`unsafe fn(u8)`): no name follows.
+                let named = file
+                    .next_sig(n)
+                    .is_some_and(|m| toks[m].kind == TokKind::Ident);
+                if !named {
+                    continue;
+                }
+                if !item_is_justified(file, i, &["SAFETY:", "# Safety"]) {
+                    let name = file
+                        .next_sig(n)
+                        .map(|m| toks[m].text.clone())
+                        .unwrap_or_default();
+                    out.push(finding(
+                        RULE,
+                        file,
+                        toks[i].line,
+                        format!(
+                            "unsafe fn `{name}` without a `# Safety` doc section or \
+                             `// SAFETY:` comment stating the caller's obligations"
+                        ),
+                    ));
+                }
+            }
+            t if t.is_ident("impl") || t.is_ident("trait") => {
+                let kind = toks[n].text.clone();
+                if !item_is_justified(file, i, &["SAFETY:", "# Safety"]) {
+                    out.push(finding(
+                        RULE,
+                        file,
+                        toks[i].line,
+                        format!(
+                            "unsafe {kind} without an adjacent `// SAFETY:` comment \
+                             stating why the contract holds"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// An `unsafe { ... }` block is justified by a `SAFETY:` comment attached
+/// to its statement, trailing on the `unsafe`/`{` line, or leading the
+/// block body (first tokens inside the braces).
+fn block_is_justified(file: &SourceFile, unsafe_idx: usize, open_idx: usize) -> bool {
+    let open_line = file.toks[open_idx].line;
+    if file.has_adjacent_marker(unsafe_idx, Some(open_line), "SAFETY:") {
+        return true;
+    }
+    // First comment(s) just inside the block, before any significant token.
+    for t in &file.toks[open_idx + 1..] {
+        if t.is_comment() {
+            if t.text.contains("SAFETY:") {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// An `unsafe fn`/`impl`/`trait` item is justified by any leading comment
+/// (doc run above the item, attributes skipped) containing one of
+/// `markers`, or a trailing comment on the `unsafe` keyword's line.
+fn item_is_justified(file: &SourceFile, unsafe_idx: usize, markers: &[&str]) -> bool {
+    let start = file.item_start(unsafe_idx);
+    let leading = file.leading_item_comments(start);
+    if leading
+        .iter()
+        .any(|t| markers.iter().any(|m| t.text.contains(m)))
+    {
+        return true;
+    }
+    let line = file.toks[unsafe_idx].line;
+    file.toks
+        .iter()
+        .any(|t| t.is_comment() && t.line == line && markers.iter().any(|m| t.text.contains(m)))
+}

@@ -1,0 +1,270 @@
+//! Findings, severities, and the three output formats (text, JSON, SARIF
+//! 2.1.0). The JSON encoders are hand-rolled — the linter is
+//! dependency-free by design (it sits on the tier-1 path and must build
+//! offline), and the two documents it emits are small and fixed-shape.
+
+use std::fmt;
+
+/// Lint severity. `Error` always fails the run; `Warning` fails it only
+/// under `--deny warn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, fails only under `--deny warn`.
+    Warning,
+    /// Protocol violation: always fails the run.
+    Error,
+}
+
+impl Severity {
+    /// SARIF `level` string.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `unsafe-comment`).
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: [{}] {}",
+            self.severity, self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Static description of a rule, used for SARIF rule metadata and `--help`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable identifier.
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+}
+
+/// The rule registry: every pass's rules, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "shim-import",
+        summary: "atomics must be imported through valois_sync::shim so --cfg loom \
+                  can instrument them",
+        severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "relaxed-ptr-order",
+        summary: "Ordering::Relaxed on a pointer-valued atomic requires an adjacent \
+                  // ORDER: justification",
+        severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "unsafe-comment",
+        summary: "every unsafe block/fn/impl needs an adjacent // SAFETY: comment \
+                  (or a # Safety doc section on an unsafe fn)",
+        severity: Severity::Warning,
+    },
+    RuleInfo {
+        id: "refcount-pairing",
+        summary: "a function acquiring counted references (safe_read/alloc) must \
+                  release/transfer them or carry a // COUNT: justification",
+        severity: Severity::Warning,
+    },
+    RuleInfo {
+        id: "cas-progress",
+        summary: "a CAS retry loop must invoke Backoff or carry a // WAIT-FREE: \
+                  justification",
+        severity: Severity::Warning,
+    },
+    RuleInfo {
+        id: "spin-guard",
+        summary: "a spinlock guard must not live across a call into the protocol \
+                  layer",
+        severity: Severity::Warning,
+    },
+];
+
+/// Looks up a rule's metadata by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Plain-text rendering, one finding per line (the CI log format).
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Compact JSON rendering: `{"findings": [...], "counts": {...}}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"message\": \"{}\"}}{}\n",
+            json_escape(f.rule),
+            f.severity,
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    out.push_str(&format!(
+        "  ],\n  \"counts\": {{\"errors\": {errors}, \"warnings\": {warnings}}}\n}}\n"
+    ));
+    out
+}
+
+/// SARIF 2.1.0 rendering, suitable for GitHub code-scanning upload: one
+/// run, one driver (`valois-analyze`), rule metadata from [`RULES`], one
+/// result per finding with a physical location.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"valois-analyze\",\n          \"informationUri\": \"https://example.com/valois\",\n          \"rules\": [\n",
+    );
+    for (i, r) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"defaultConfiguration\": {{\"level\": \"{}\"}}}}{}\n",
+            json_escape(r.id),
+            json_escape(r.summary),
+            r.severity.sarif_level(),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            json_escape(f.rule),
+            f.severity.sarif_level(),
+            json_escape(&f.message),
+            json_escape(&f.file.replace('\\', "/")),
+            f.line,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: "unsafe-comment",
+                severity: Severity::Warning,
+                file: "crates/core/src/list.rs".into(),
+                line: 42,
+                message: "unsafe block without `// SAFETY:`".into(),
+            },
+            Finding {
+                rule: "shim-import",
+                severity: Severity::Error,
+                file: "src/lib.rs".into(),
+                line: 7,
+                message: "direct \"std::sync::atomic\" import".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn text_lists_one_finding_per_line() {
+        let t = render_text(&sample());
+        assert_eq!(t.lines().count(), 2);
+        assert!(t.contains("crates/core/src/list.rs:42"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_counts() {
+        let j = render_json(&sample());
+        assert!(j.contains("\\\"std::sync::atomic\\\""));
+        assert!(j.contains("\"errors\": 1"));
+        assert!(j.contains("\"warnings\": 1"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let s = render_sarif(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"valois-analyze\""));
+        for r in RULES {
+            assert!(s.contains(&format!("\"id\": \"{}\"", r.id)), "{}", r.id);
+        }
+        assert!(s.contains("\"startLine\": 42"));
+        assert!(s.contains("\"level\": \"error\""));
+    }
+
+    #[test]
+    fn sarif_of_empty_findings_is_valid_shape() {
+        let s = render_sarif(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn every_rule_id_is_unique() {
+        for (i, a) in RULES.iter().enumerate() {
+            for b in &RULES[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+}

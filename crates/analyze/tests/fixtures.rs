@@ -1,0 +1,427 @@
+//! Seeded-violation fixtures: every pass must flag its known-bad snippet
+//! and stay quiet on the corresponding clean one. The three use-import
+//! evasions that defeated the PR 1 line-based lint (multi-line `use`,
+//! `as` renames, grouped imports) are pinned here as regression tests.
+
+use std::path::Path;
+
+use valois_analyze::{analyze_source, analyze_workspace, should_fail, Severity};
+
+/// A label under a linted library root: every pass runs, no exemptions.
+const LIB: &str = "crates/core/src/fixture.rs";
+
+fn rules(label: &str, src: &str) -> Vec<String> {
+    analyze_source(label, src)
+        .into_iter()
+        .map(|f| f.rule.to_string())
+        .collect()
+}
+
+fn count(label: &str, src: &str, rule: &str) -> usize {
+    rules(label, src).iter().filter(|r| *r == rule).count()
+}
+
+// ---- shim-import ---------------------------------------------------------
+
+#[test]
+fn shim_flags_single_line_import() {
+    assert_eq!(
+        count(LIB, "use std::sync::atomic::AtomicUsize;\n", "shim-import"),
+        1
+    );
+}
+
+#[test]
+fn shim_flags_core_import() {
+    assert_eq!(
+        count(LIB, "use core::sync::atomic::AtomicBool;\n", "shim-import"),
+        1
+    );
+}
+
+#[test]
+fn regression_multi_line_use_is_seen() {
+    // PR 1's line scan never saw the full path on one line.
+    let src = "use std::sync::\n    atomic::AtomicUsize;\n";
+    assert_eq!(count(LIB, src, "shim-import"), 1);
+}
+
+#[test]
+fn regression_as_rename_is_seen() {
+    // PR 1's line scan could be defeated by renaming the import.
+    let src = "use std::sync::atomic::AtomicUsize as Hidden;\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "shim-import")
+        .expect("rename must be flagged");
+    assert!(
+        f.message.contains("Hidden"),
+        "message names the rename: {}",
+        f.message
+    );
+}
+
+#[test]
+fn regression_grouped_import_is_seen() {
+    // PR 1's line scan missed paths hidden inside a brace group.
+    let src = "use std::{sync::atomic::AtomicBool, fmt};\n";
+    assert_eq!(count(LIB, src, "shim-import"), 1);
+}
+
+#[test]
+fn shim_flags_inline_qualified_path() {
+    let src = "fn f() -> usize {\n    std::sync::atomic::AtomicUsize::new(0).into_inner()\n}\n";
+    assert_eq!(count(LIB, src, "shim-import"), 1);
+}
+
+#[test]
+fn shim_accepts_the_shim_itself() {
+    let src = "use valois_sync::shim::atomic::{AtomicUsize, Ordering};\n";
+    assert_eq!(count(LIB, src, "shim-import"), 0);
+}
+
+#[test]
+fn shim_dir_is_exempt_by_path() {
+    // The shim is the one place allowed to touch std atomics directly.
+    let src = "use std::sync::atomic::AtomicUsize;\n";
+    assert_eq!(
+        count("crates/sync/src/shim/atomic.rs", src, "shim-import"),
+        0
+    );
+}
+
+// ---- relaxed-ptr-order ---------------------------------------------------
+
+const PTR_RELAXED_BAD: &str = "\
+struct S {\n\
+    head: AtomicPtr<u8>,\n\
+}\n\
+impl S {\n\
+    fn peek(&self) -> *mut u8 {\n\
+        self.head.load(Ordering::Relaxed)\n\
+    }\n\
+}\n";
+
+#[test]
+fn ordering_flags_relaxed_on_pointer_atomic() {
+    assert_eq!(count(LIB, PTR_RELAXED_BAD, "relaxed-ptr-order"), 1);
+}
+
+#[test]
+fn ordering_accepts_order_justification() {
+    let src = PTR_RELAXED_BAD.replace(
+        "self.head.load(Ordering::Relaxed)",
+        "// ORDER: racy peek; validated by the CAS that follows.\n        self.head.load(Ordering::Relaxed)",
+    );
+    assert_eq!(count(LIB, &src, "relaxed-ptr-order"), 0);
+}
+
+#[test]
+fn ordering_ignores_non_pointer_atomics() {
+    let src = "\
+struct S {\n\
+    hits: AtomicUsize,\n\
+}\n\
+impl S {\n\
+    fn bump(&self) {\n\
+        self.hits.fetch_add(1, Ordering::Relaxed);\n\
+    }\n\
+}\n";
+    assert_eq!(count(LIB, src, "relaxed-ptr-order"), 0);
+}
+
+#[test]
+fn ordering_sees_multi_line_statement() {
+    // A builder chain split over lines defeated a line-based scan.
+    let src = "\
+struct S {\n\
+    head: AtomicPtr<u8>,\n\
+}\n\
+impl S {\n\
+    fn peek(&self) -> *mut u8 {\n\
+        self.head\n\
+            .load(Ordering::Relaxed)\n\
+    }\n\
+}\n";
+    assert_eq!(count(LIB, src, "relaxed-ptr-order"), 1);
+}
+
+#[test]
+fn ordering_sees_renamed_ordering_enum() {
+    let src = "\
+use std::sync::atomic::Ordering as O;\n\
+struct S {\n\
+    head: AtomicPtr<u8>,\n\
+}\n\
+impl S {\n\
+    fn peek(&self) -> *mut u8 {\n\
+        self.head.load(O::Relaxed)\n\
+    }\n\
+}\n";
+    assert_eq!(count(LIB, src, "relaxed-ptr-order"), 1);
+}
+
+// ---- unsafe-comment ------------------------------------------------------
+
+#[test]
+fn unsafe_block_without_comment_is_flagged() {
+    let src = "fn f(p: *mut u8) {\n    unsafe {\n        *p = 0;\n    }\n}\n";
+    assert_eq!(count(LIB, src, "unsafe-comment"), 1);
+}
+
+#[test]
+fn unsafe_block_with_leading_safety_is_clean() {
+    let src = "fn f(p: *mut u8) {\n    // SAFETY: caller guarantees p is valid.\n    unsafe {\n        *p = 0;\n    }\n}\n";
+    assert_eq!(count(LIB, src, "unsafe-comment"), 0);
+}
+
+#[test]
+fn unsafe_block_with_inner_safety_is_clean() {
+    let src = "fn f(p: *mut u8) {\n    unsafe {\n        // SAFETY: caller guarantees p is valid.\n        *p = 0;\n    }\n}\n";
+    assert_eq!(count(LIB, src, "unsafe-comment"), 0);
+}
+
+#[test]
+fn unsafe_fn_without_safety_section_is_flagged() {
+    let src = "/// Does a thing.\npub unsafe fn f(p: *mut u8) {\n    *p = 0;\n}\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "unsafe-comment")
+        .expect("undocumented unsafe fn must be flagged");
+    assert!(
+        f.message.contains("`f`"),
+        "message names the fn: {}",
+        f.message
+    );
+}
+
+#[test]
+fn unsafe_fn_with_safety_doc_is_clean() {
+    let src = "/// Does a thing.\n///\n/// # Safety\n///\n/// `p` must be valid.\npub unsafe fn f(p: *mut u8) {\n    *p = 0;\n}\n";
+    assert_eq!(count(LIB, src, "unsafe-comment"), 0);
+}
+
+#[test]
+fn unsafe_impl_without_comment_is_flagged() {
+    let src = "struct S(*mut u8);\nunsafe impl Send for S {}\n";
+    assert_eq!(count(LIB, src, "unsafe-comment"), 1);
+}
+
+#[test]
+fn unsafe_impl_with_comment_is_clean() {
+    let src = "struct S(*mut u8);\n// SAFETY: the pointer is never dereferenced.\nunsafe impl Send for S {}\n";
+    assert_eq!(count(LIB, src, "unsafe-comment"), 0);
+}
+
+#[test]
+fn test_modules_are_exempt_from_unsafe_audit() {
+    let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn f(p: *mut u8) {\n\
+        unsafe {\n\
+            *p = 0;\n\
+        }\n\
+    }\n\
+}\n";
+    assert_eq!(count(LIB, src, "unsafe-comment"), 0);
+}
+
+// ---- refcount-pairing ----------------------------------------------------
+
+const LEAKY_READER: &str = "\
+impl S {\n\
+    fn peek_len(&self) -> usize {\n\
+        // SAFETY: head is a counted root.\n\
+        let p = unsafe { self.arena.safe_read(&self.head) };\n\
+        p as usize\n\
+    }\n\
+}\n";
+
+#[test]
+fn refcount_flags_acquire_without_release() {
+    let findings = analyze_source(LIB, LEAKY_READER);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "refcount-pairing")
+        .expect("unreleased safe_read must be flagged");
+    assert!(
+        f.message.contains("peek_len"),
+        "message names the fn: {}",
+        f.message
+    );
+}
+
+#[test]
+fn refcount_accepts_balanced_release() {
+    let src = LEAKY_READER.replace("p as usize", "unsafe { self.arena.release(p) };\n        0");
+    assert_eq!(count(LIB, &src, "refcount-pairing"), 0);
+}
+
+#[test]
+fn refcount_accepts_raw_pointer_transfer() {
+    // Returning a raw pointer is the §5 convention for "the caller now
+    // owns this counted reference".
+    let src = "\
+impl S {\n\
+    fn head_ref(&self) -> *mut Node {\n\
+        // SAFETY: head is a counted root.\n\
+        unsafe { self.arena.safe_read(&self.head) }\n\
+    }\n\
+}\n";
+    assert_eq!(count(LIB, src, "refcount-pairing"), 0);
+}
+
+#[test]
+fn refcount_accepts_count_comment() {
+    let src = LEAKY_READER.replace(
+        "fn peek_len",
+        "// COUNT: the count is parked in self.cache; drop() releases it.\n    fn peek_len",
+    );
+    assert_eq!(count(LIB, &src, "refcount-pairing"), 0);
+}
+
+// ---- cas-progress --------------------------------------------------------
+
+const BARE_CAS_LOOP: &str = "\
+fn bump(a: &AtomicUsize) {\n\
+    loop {\n\
+        let c = a.load(Ordering::Acquire);\n\
+        if a.compare_exchange(c, c + 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {\n\
+            return;\n\
+        }\n\
+    }\n\
+}\n";
+
+#[test]
+fn progress_flags_bare_cas_loop() {
+    assert_eq!(count(LIB, BARE_CAS_LOOP, "cas-progress"), 1);
+}
+
+#[test]
+fn progress_flags_bare_fetch_loop() {
+    let src = "\
+fn drain(a: &AtomicUsize) {\n\
+    while a.load(Ordering::Acquire) != 0 {\n\
+        a.fetch_sub(1, Ordering::AcqRel);\n\
+    }\n\
+}\n";
+    assert_eq!(count(LIB, src, "cas-progress"), 1);
+}
+
+#[test]
+fn progress_accepts_backoff() {
+    let src = BARE_CAS_LOOP.replace(
+        "return;",
+        "return;\n        }\n        backoff.spin();\n        if false {",
+    );
+    assert_eq!(count(LIB, &src, "cas-progress"), 0);
+}
+
+#[test]
+fn progress_accepts_wait_free_justification() {
+    let src = BARE_CAS_LOOP.replace(
+        "loop {",
+        "// WAIT-FREE: a failed CAS means another bump landed.\nloop {",
+    );
+    assert_eq!(count(LIB, &src, "cas-progress"), 0);
+}
+
+#[test]
+fn progress_flags_only_innermost_loop() {
+    let src = "\
+fn churn(a: &AtomicUsize) {\n\
+    loop {\n\
+        loop {\n\
+            let c = a.load(Ordering::Acquire);\n\
+            if a.compare_exchange(c, c + 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {\n\
+                break;\n\
+            }\n\
+        }\n\
+    }\n\
+}\n";
+    assert_eq!(count(LIB, src, "cas-progress"), 1);
+}
+
+#[test]
+fn progress_exempts_baseline_bench_harness_by_path() {
+    for label in [
+        "crates/baseline/src/locked.rs",
+        "crates/bench/src/bin/stress.rs",
+        "crates/harness/src/runner.rs",
+    ] {
+        assert_eq!(count(label, BARE_CAS_LOOP, "cas-progress"), 0, "{label}");
+    }
+}
+
+// ---- spin-guard ----------------------------------------------------------
+
+const GUARD_ACROSS_PROTOCOL: &str = "\
+impl S {\n\
+    fn f(&self, p: *mut Node) {\n\
+        let guard = self.spin_lock.lock();\n\
+        // SAFETY: p is a counted reference.\n\
+        unsafe { self.arena.release(p) };\n\
+        drop(guard);\n\
+    }\n\
+}\n";
+
+#[test]
+fn spin_guard_flags_protocol_call_under_lock() {
+    assert_eq!(count(LIB, GUARD_ACROSS_PROTOCOL, "spin-guard"), 1);
+}
+
+#[test]
+fn spin_guard_accepts_drop_before_protocol_call() {
+    let src = "\
+impl S {\n\
+    fn f(&self, p: *mut Node) {\n\
+        let guard = self.spin_lock.lock();\n\
+        drop(guard);\n\
+        // SAFETY: p is a counted reference.\n\
+        unsafe { self.arena.release(p) };\n\
+    }\n\
+}\n";
+    assert_eq!(count(LIB, src, "spin-guard"), 0);
+}
+
+#[test]
+fn spin_guard_ignores_non_spin_locks() {
+    let src = GUARD_ACROSS_PROTOCOL.replace("spin_lock", "segments_mutex");
+    assert_eq!(count(LIB, &src, "spin-guard"), 0);
+}
+
+// ---- severity / deny plumbing -------------------------------------------
+
+#[test]
+fn shim_violations_are_errors_and_fail_without_deny() {
+    let findings = analyze_source(LIB, "use std::sync::atomic::AtomicUsize;\n");
+    assert!(findings.iter().any(|f| f.severity == Severity::Error));
+    assert!(should_fail(&findings, false));
+}
+
+#[test]
+fn warnings_fail_only_under_deny() {
+    let findings = analyze_source(LIB, BARE_CAS_LOOP);
+    assert!(findings.iter().all(|f| f.severity == Severity::Warning));
+    assert!(!should_fail(&findings, false));
+    assert!(should_fail(&findings, true));
+}
+
+// ---- the real tree -------------------------------------------------------
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze sits two levels under the workspace root");
+    let findings = analyze_workspace(root);
+    assert!(
+        findings.is_empty(),
+        "workspace must satisfy its own lints:\n{}",
+        valois_analyze::render_text(&findings)
+    );
+}

@@ -192,6 +192,7 @@ pub struct LockedListDict<K, V, L: Lock = TtasLock> {
 
 // SAFETY: `list` is only touched while `lock` is held.
 unsafe impl<K: Send, V: Send, L: Lock> Send for LockedListDict<K, V, L> {}
+// SAFETY: as above — the lock serializes every shared access.
 unsafe impl<K: Send, V: Send, L: Lock> Sync for LockedListDict<K, V, L> {}
 
 impl<K: Ord, V> LockedListDict<K, V, TtasLock> {

@@ -53,6 +53,7 @@ pub struct NaiveList<T: Ord> {
 
 // SAFETY: nodes are leaked for the list's lifetime; all mutation is CAS.
 unsafe impl<T: Ord + Send + Sync> Send for NaiveList<T> {}
+// SAFETY: as above — no reclamation means no use-after-free to race on.
 unsafe impl<T: Ord + Send + Sync> Sync for NaiveList<T> {}
 
 impl<T: Ord + Default> NaiveList<T> {
@@ -135,6 +136,9 @@ impl<T: Ord> NaiveList<T> {
     }
 
     /// Sorted insert. Returns false if the value is already present.
+    // COUNT: this baseline has no reference counts — `alloc` leaks into the
+    // graveyard by design and the node is owned by the list (or the
+    // graveyard, on the duplicate path) forever.
     pub fn insert(&self, value: T) -> bool {
         // SAFETY: nodes are never freed while the list lives.
         unsafe {

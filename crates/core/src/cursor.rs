@@ -96,6 +96,7 @@ pub struct Cursor<'a, T: Send + Sync> {
 // (&Cursor) access is read-only (`get`, `is_at_end`, `is_valid`), so Sync
 // is sound as well.
 unsafe impl<T: Send + Sync> Send for Cursor<'_, T> {}
+// SAFETY: as above — the shared-reference surface is read-only.
 unsafe impl<T: Send + Sync> Sync for Cursor<'_, T> {}
 
 impl<'a, T: Send + Sync> Cursor<'a, T> {
@@ -115,6 +116,8 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
         cursor
     }
 
+    // COUNT: both SafeRead counts are transferred into the cursor's
+    // `pre_cell`/`pre_aux` fields; `Drop`/`seek_first` release them.
     fn seek_first_inner(&mut self) {
         let arena = self.list.arena();
         // SAFETY: the roots are counted links; `pre_cell` is held while its
@@ -175,6 +178,9 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             arena.release_deferred(&mut self.defer, self.target);
             // Fig. 5 lines 6-10: skip auxiliary nodes (dummies and cells
             // are "normal"), unlinking one of each adjacent pair.
+            // WAIT-FREE: bounded by the aux-chain length; the CSW below is
+            // one-shot per hop (a failure is not retried — someone else
+            // already unlinked), so no backoff is needed.
             while !n.is_null() && (*n).is_aux() {
                 self.ops.aux_skipped += 1;
                 // Fig. 5 line 7: CSW(pre_cell^.next, p, n). Failure just
@@ -405,6 +411,10 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             // Fig. 10 lines 17-21: swing p^.next over the whole chain,
             // giving up if p gets deleted or the chain gets extended
             // (another deleter has taken over the cleanup obligation).
+            // WAIT-FREE: a failed swing means another operation changed
+            // p^.next (system-wide progress); the loop then either
+            // re-reads once or hands the cleanup obligation off and
+            // exits, so it cannot spin against an unchanged word.
             loop {
                 amplify();
                 if arena.swing(&(*p).next, s, n) {

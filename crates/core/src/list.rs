@@ -54,6 +54,7 @@ pub struct List<T: Send + Sync> {
 // SAFETY: all shared state is managed through the arena protocol and
 // atomics; raw pointer fields are immutable after construction.
 unsafe impl<T: Send + Sync> Send for List<T> {}
+// SAFETY: as above — shared access goes through the same protocol paths.
 unsafe impl<T: Send + Sync> Sync for List<T> {}
 
 impl<T: Send + Sync> List<T> {

@@ -72,6 +72,7 @@ pub(crate) struct Node<T> {
 // counted reference and the node is a Cell), so a Node is as thread-safe as
 // T itself.
 unsafe impl<T: Send + Sync> Send for Node<T> {}
+// SAFETY: as above — shared reads require a counted reference.
 unsafe impl<T: Send + Sync> Sync for Node<T> {}
 
 impl<T> Default for Node<T> {

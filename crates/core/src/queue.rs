@@ -47,6 +47,7 @@ pub struct FifoQueue<T: Send + Sync> {
 // SAFETY: all shared state flows through the arena protocol and the two
 // counted roots.
 unsafe impl<T: Send + Sync> Send for FifoQueue<T> {}
+// SAFETY: as above — the roots arbitrate all shared mutation via CAS.
 unsafe impl<T: Send + Sync> Sync for FifoQueue<T> {}
 
 impl<T: Send + Sync> FifoQueue<T> {
@@ -92,6 +93,9 @@ impl<T: Send + Sync> FifoQueue<T> {
         unsafe {
             (*q).init_value(value);
             let mut t = self.arena.safe_read(&self.tail);
+            // WAIT-FREE: the append CAS fails only when another enqueuer
+            // linked its node first (system-wide progress); the re-walk
+            // resumes from the current position, not from the head.
             loop {
                 // Walk to the true last node (the tail hint may lag; a
                 // dequeued dummy's next persists, so the walk always
@@ -132,6 +136,8 @@ impl<T: Send + Sync> FifoQueue<T> {
     pub fn dequeue(&self) -> Option<T> {
         // SAFETY: protocol invariants as in `enqueue`.
         unsafe {
+            // WAIT-FREE: the head CAS fails only when another dequeuer won
+            // (system-wide progress); each retry re-reads a fresh head.
             loop {
                 let h = self.arena.safe_read(&self.head);
                 let next = self.arena.safe_read(&(*h).next);

@@ -43,6 +43,7 @@ use std::fmt;
 use std::mem::MaybeUninit;
 use valois_sync::shim::atomic::{AtomicU64, AtomicU8, Ordering};
 use valois_sync::shim::cell::UnsafeCell;
+use valois_sync::Backoff;
 
 use valois_mem::{Arena, ArenaConfig, Link, Managed, MemStats, NodeHeader, ReclaimedLinks};
 
@@ -82,6 +83,7 @@ struct BstNode<K, V> {
 // SAFETY: key/value slots follow the §5 ownership rules (exclusive at
 // init/drain, shared reads only while counted and kind == CELL).
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for BstNode<K, V> {}
+// SAFETY: as above — shared reads require a counted reference.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for BstNode<K, V> {}
 
 impl<K, V> Default for BstNode<K, V> {
@@ -202,6 +204,7 @@ pub struct BstDict<K: Send + Sync, V: Send + Sync> {
 // SAFETY: raw pointer fields are immutable after construction; shared
 // state flows through the arena protocol.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for BstDict<K, V> {}
+// SAFETY: as above — all shared mutation is CAS on counted links.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for BstDict<K, V> {}
 
 impl<K, V> BstDict<K, V>
@@ -257,6 +260,11 @@ where
     /// cell, or the root), collapsing adjacent aux pairs opportunistically.
     /// Returns `(terminal_aux, value)` — both counted (`value` may be
     /// null = empty subtree); `value` is a cell or the DEAD sentinel.
+    ///
+    /// # Safety
+    ///
+    /// `link` must be a counted link the caller keeps alive for the call
+    /// (a side link of a held cell, or one of the roots).
     unsafe fn walk_terminal(
         &self,
         link: &Link<BstNode<K, V>>,
@@ -264,6 +272,9 @@ where
         let mut a = self.arena.safe_read(link);
         debug_assert!(!a.is_null(), "side links always point at an aux");
         let mut v = self.arena.safe_read(&(*a).left);
+        // WAIT-FREE: bounded by the aux-chain length; the collapse CAS is
+        // one-shot per pair and its failure (someone else advanced) is
+        // ignored, never retried in place.
         while !v.is_null() && (*v).kind() == KIND_AUX {
             // Collapse one aux of the frozen pair (list Fig. 5 line 7
             // analogue); failure means someone else already advanced.
@@ -277,6 +288,10 @@ where
 
     /// Helps a stalled ≤1-child deletion: swings `in_aux`'s link from the
     /// dying `cell` to the cell's `live_side` auxiliary node.
+    ///
+    /// # Safety
+    ///
+    /// `cell` and `in_aux` must be counted references held by the caller.
     unsafe fn help_shunt(
         &self,
         cell: *mut BstNode<K, V>,
@@ -291,6 +306,11 @@ where
     }
 
     /// Descends from the root looking for `key`.
+    ///
+    /// # Safety
+    ///
+    /// The dictionary must be alive (roots counted); the returned pointers
+    /// are counted references the caller must release.
     unsafe fn search(&self, key: &K) -> Search<K, V> {
         'restart: loop {
             let (mut in_aux, mut cur) = self.walk_terminal(&self.root);
@@ -361,6 +381,7 @@ where
             self.arena.store_link(&(*cell).right, ra);
             self.arena.release(la);
             self.arena.release(ra);
+            let mut backoff = Backoff::new();
             loop {
                 let found = {
                     let key = (*cell).key();
@@ -390,6 +411,7 @@ where
                         }
                         self.arena.release(terminal);
                         self.bump_retry();
+                        backoff.spin();
                     }
                 }
             }
@@ -418,6 +440,7 @@ where
             }
             // We own cell's deletion. Classify (and reclassify if racing
             // inserts land in an empty side before we mark it).
+            let mut backoff = Backoff::new();
             loop {
                 let (lt_aux, lt) = self.walk_terminal(&(*cell).left);
                 if lt.is_null() {
@@ -432,6 +455,7 @@ where
                     }
                     self.arena.release(lt_aux);
                     self.bump_retry();
+                    backoff.spin();
                     continue; // an insert landed; reclassify
                 }
                 let (rt_aux, rt) = self.walk_terminal(&(*cell).right);
@@ -450,6 +474,7 @@ where
                     self.arena.release(lt_aux);
                     self.arena.release(lt);
                     self.bump_retry();
+                    backoff.spin();
                     continue;
                 }
                 // Two children (Fig. 14): graft our left aux under the
@@ -464,7 +489,7 @@ where
                     return true;
                 }
                 self.bump_retry();
-                valois_sync::shim::hint::spin_loop();
+                backoff.spin();
             }
         }
     }
@@ -473,6 +498,10 @@ where
     /// right subtree) and CAS its empty left terminal from null to the
     /// victim's left auxiliary node. Returns false to request a retry
     /// (successor dying or a raced CAS).
+    ///
+    /// # Safety
+    ///
+    /// `cell` must be a counted reference to the gated (DYING) victim.
     unsafe fn graft_under_successor(&self, cell: *mut BstNode<K, V>) -> bool {
         let (ra, rv) = self.walk_terminal(&(*cell).right);
         self.arena.release(ra);
@@ -482,6 +511,9 @@ where
             return false;
         }
         let mut s = rv;
+        // WAIT-FREE: pure leftward descent, bounded by tree depth; the one
+        // graft CAS is one-shot — on failure the *caller* reclassifies
+        // (and backs off) rather than this loop retrying in place.
         loop {
             if (*s).is_dying() {
                 // Successor being deleted: obstruction-free retry (the
@@ -518,12 +550,18 @@ where
     /// auxiliary node, then releases the deleter's references. Helpers may
     /// have already done the swing (≤1-child case), so a failed CAS with a
     /// changed link is success.
+    ///
+    /// # Safety
+    ///
+    /// `cell` and `in_aux` must be counted references; this call consumes
+    /// (releases) both.
     unsafe fn finish_shunt(
         &self,
         cell: *mut BstNode<K, V>,
         in_aux: *mut BstNode<K, V>,
         live_side: Side,
     ) {
+        let mut backoff = Backoff::new();
         loop {
             let other = self.arena.safe_read((*cell).side_link(live_side));
             debug_assert!(!other.is_null());
@@ -533,6 +571,7 @@ where
                 break;
             }
             self.bump_retry();
+            backoff.spin();
         }
         self.arena.release(cell);
         self.arena.release(in_aux);
@@ -585,6 +624,11 @@ where
     /// Counted in-order traversal applying `f` to every reachable cell.
     /// Iterative (explicit stack of counted references): recursion would
     /// overflow on degenerate (spine-shaped) trees.
+    ///
+    /// # Safety
+    ///
+    /// `link` must be a counted link the caller keeps alive; `f` receives
+    /// counted references valid only for the duration of each call.
     unsafe fn in_order(&self, link: &Link<BstNode<K, V>>, f: &mut impl FnMut(*mut BstNode<K, V>)) {
         enum Step<K2, V2> {
             /// Explore the subtree hanging off this (held) cell-or-root.

@@ -22,6 +22,7 @@ use std::fmt;
 use std::mem::MaybeUninit;
 use valois_sync::shim::atomic::{AtomicU64, AtomicU8, Ordering};
 use valois_sync::shim::cell::UnsafeCell;
+use valois_sync::Backoff;
 
 use valois_mem::{Arena, ArenaConfig, Link, Managed, MemStats, NodeHeader, ReclaimedLinks};
 
@@ -64,6 +65,7 @@ struct SkipNode<K, V> {
 // SAFETY: key/value slots are accessed only under the §5 ownership rules
 // (exclusive at init/drain; shared reads while counted and kind == CELL).
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipNode<K, V> {}
+// SAFETY: as above — shared reads require a counted reference.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipNode<K, V> {}
 
 impl<K, V> Default for SkipNode<K, V> {
@@ -197,6 +199,7 @@ pub struct SkipListDict<K: Send + Sync, V: Send + Sync> {
 // SAFETY: raw pointer fields are immutable after construction; all shared
 // state flows through the arena protocol.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipListDict<K, V> {}
+// SAFETY: as above — all shared mutation is CAS on counted links.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipListDict<K, V> {}
 
 impl<K, V> SkipListDict<K, V>
@@ -271,6 +274,12 @@ where
 
     /// Fig. 6 `First` at `lvl`, entering from `from` — a held cell known to
     /// be a member of level `lvl`'s list (the descent entry point).
+    ///
+    /// # Safety
+    ///
+    /// `from` must be a counted reference to a cell in level `lvl`'s list.
+    // COUNT: the counts acquired here are transferred into the returned
+    // cursor; `release_cursor` (or `next`/`update` swaps) release them.
     unsafe fn cursor_at(&self, lvl: usize, from: *mut SkipNode<K, V>) -> LevelCursor<K, V> {
         self.arena.incr_ref(from);
         let mut c = LevelCursor {
@@ -283,6 +292,10 @@ where
     }
 
     /// Fig. 5 `Update` at `lvl`.
+    ///
+    /// # Safety
+    ///
+    /// `c` must hold counted references obtained from this arena at `lvl`.
     unsafe fn update(&self, lvl: usize, c: &mut LevelCursor<K, V>) {
         if (*c.pre_aux).out_link(lvl).read() == c.target {
             return;
@@ -290,6 +303,9 @@ where
         let mut p = c.pre_aux;
         let mut n = self.arena.safe_read((*p).out_link(lvl));
         self.arena.release(c.target);
+        // WAIT-FREE: bounded by the aux-chain length; the collapse CAS is
+        // one-shot per pair and its failure (someone else advanced) is
+        // ignored, never retried in place.
         while !n.is_null() && (*n).is_aux() {
             let _ = self.arena.swing((*c.pre_cell).out_link(lvl), p, n);
             self.arena.release(p);
@@ -302,6 +318,10 @@ where
     }
 
     /// Fig. 7 `Next` at `lvl`.
+    ///
+    /// # Safety
+    ///
+    /// `c` must hold counted references obtained from this arena at `lvl`.
     unsafe fn next(&self, lvl: usize, c: &mut LevelCursor<K, V>) -> bool {
         if c.target == self.last {
             return false;
@@ -317,6 +337,10 @@ where
 
     /// Fig. 11 `FindFrom` at `lvl`: advance until target key ≥ `key`.
     /// Returns true iff the target is a cell with key == `key`.
+    ///
+    /// # Safety
+    ///
+    /// `c` must hold counted references obtained from this arena at `lvl`.
     unsafe fn find_from(&self, lvl: usize, c: &mut LevelCursor<K, V>, key: &K) -> bool {
         loop {
             if c.target == self.last {
@@ -339,6 +363,11 @@ where
 
     /// Fig. 9 `TryInsert` at `lvl`: link (already initialized) `cell` with
     /// fresh `aux` before the cursor's target.
+    ///
+    /// # Safety
+    ///
+    /// `c`, `cell`, and `aux` must be counted references; `cell` and `aux`
+    /// must be unpublished at `lvl` (this call is their only linker).
     unsafe fn try_insert(
         &self,
         lvl: usize,
@@ -352,6 +381,10 @@ where
     }
 
     /// Fig. 10 `TryDelete` at `lvl`.
+    ///
+    /// # Safety
+    ///
+    /// `c` must hold counted references obtained from this arena at `lvl`.
     unsafe fn try_delete(&self, lvl: usize, c: &mut LevelCursor<K, V>) -> bool {
         if c.target == self.last {
             return false;
@@ -394,6 +427,10 @@ where
             n = nn;
         }
         // Fig. 10 lines 17-21.
+        // WAIT-FREE: a failed swing means p's link changed — another
+        // deleter or inserter made system-wide progress — and the two
+        // guards below break out once p is itself deleted or the chain
+        // grew past n, so this loop never spins without global progress.
         loop {
             if self.arena.swing((*p).out_link(lvl), s, n) {
                 break;
@@ -417,6 +454,11 @@ where
         true
     }
 
+    /// Releases all three counted references a cursor holds.
+    ///
+    /// # Safety
+    ///
+    /// `c`'s references must be live counts on this arena's nodes.
     unsafe fn release_cursor(&self, c: LevelCursor<K, V>) {
         self.arena.release(c.target);
         self.arena.release(c.pre_aux);
@@ -431,6 +473,12 @@ where
     /// The descent entry point at each level is the previous level's
     /// `pre_cell` — a cell (or the first dummy) with key < `key` that, by
     /// the subset property, is also a member of every lower level.
+    ///
+    /// # Safety
+    ///
+    /// The dictionary must be alive (roots counted). The returned cursor —
+    /// and every pointer written into `saved` — is a counted reference the
+    /// caller must release.
     unsafe fn descend(
         &self,
         key: &K,
@@ -485,6 +533,7 @@ where
                                      // Level 0: the membership-defining insertion (Fig. 12 loop).
             let aux0 = self.arena.alloc().expect("skip-list node pool exhausted");
             (*aux0).kind.store(KIND_AUX, Ordering::Release);
+            let mut backoff = Backoff::new();
             loop {
                 if self.try_insert(0, &c0, cell, aux0) {
                     // The list links count both nodes now; drop the aux
@@ -494,6 +543,7 @@ where
                     break;
                 }
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                backoff.spin();
                 self.update(0, &mut c0);
                 if self.find_from(0, &mut c0, key) {
                     // A concurrent insert of the same key won: roll back.
@@ -513,6 +563,7 @@ where
                 let mut c = self.cursor_at(lvl, entry);
                 let aux = self.arena.alloc().expect("skip-list node pool exhausted");
                 (*aux).kind.store(KIND_AUX, Ordering::Release);
+                let mut backoff = Backoff::new();
                 loop {
                     // Don't extend a tower whose cell was already removed
                     // at level 0 by a concurrent delete.
@@ -542,6 +593,7 @@ where
                         break;
                     }
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    backoff.spin();
                     self.update(lvl, &mut c);
                 }
                 // If the cell was removed while we linked this level, undo
@@ -585,6 +637,7 @@ where
             let mut entry = self.first;
             self.arena.incr_ref(entry);
             let mut removed = false;
+            let mut backoff = Backoff::new();
             for lvl in (0..MAX_LEVELS).rev() {
                 let mut c = self.cursor_at(lvl, entry);
                 self.arena.release(entry);
@@ -599,6 +652,7 @@ where
                         break;
                     }
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    backoff.spin();
                     self.update(lvl, &mut c);
                 }
                 entry = c.pre_cell;

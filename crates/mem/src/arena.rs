@@ -152,8 +152,10 @@ impl<N: Managed + Default> Arena<N> {
         let mut tail: *mut N = std::ptr::null_mut();
         for node in segment.iter() {
             let p = node as *const N as *mut N;
-            // Fresh nodes are born detached (count 0, claim set); install
-            // the free structure's incoming-pointer count, then chain.
+            // SAFETY: the segment is freshly boxed and still private to
+            // this call. Fresh nodes are born detached (count 0, claim
+            // set); install the free structure's incoming-pointer count,
+            // then chain.
             unsafe {
                 (*p).header().incr_ref();
                 (*p).free_link().write(chain_head);
@@ -238,6 +240,8 @@ impl<N: Managed + Default> Arena<N> {
     /// counted reference, claim still set from its free life).
     fn finish_alloc(&self, p: *mut N) -> *mut N {
         self.counters.bump(|s| &s.allocs);
+        // SAFETY: `p` was just popped off a free structure with its claim
+        // still set — the caller is its sole owner until it is published.
         unsafe {
             debug_assert!((*p).header().claim_is_set(), "free node must be claimed");
             debug_assert!((*p).header().refcount() >= 1, "caller's count must exist");
@@ -272,15 +276,18 @@ impl<N: Managed + Default> Arena<N> {
     /// Returns a node carrying one counted reference (ours), claim set,
     /// `free_link` stale (its count was transferred to the head root).
     fn pop_free_global(&self, tally: &mut MemTally) -> Option<*mut N> {
+        // WAIT-FREE: a failed CSW means another allocator popped the head
+        // (or a reclaimer pushed one) — system-wide progress every retry.
         loop {
-            // Fig. 17 line 1: q <- SafeRead(Freelist). The free-list head
-            // is a counted root, so SafeRead's contract holds.
+            // Fig. 17 line 1: q <- SafeRead(Freelist).
+            // SAFETY: the free-list head is a counted root, so SafeRead's
+            // contract holds.
             let q = unsafe { self.safe_read_tallied(&self.free_head, tally) };
             if q.is_null() {
                 return None;
             }
-            // Our counted reference keeps `q` from being recycled, so its
-            // free link is stable while `q` remains the head.
+            // SAFETY: our counted reference keeps `q` from being recycled,
+            // so its free link is stable while `q` remains the head.
             let next = unsafe { (*q).free_link().read() };
             // Fig. 17 line 4: CSW(Freelist, q, q^.next).
             if self.free_head.compare_and_swap(q, next) {
@@ -289,10 +296,13 @@ impl<N: Managed + Default> Arena<N> {
                 // reference); the root now counts `next`, which
                 // simultaneously lost the count held by `q`'s free link
                 // (net zero for `next`).
+                // SAFETY: releasing the root's dead count on `q`, exactly
+                // once, on the arena that owns it.
                 unsafe { self.release_into(q, tally) };
                 return Some(q);
             }
             // Fig. 17 lines 5-6: lost the race; drop protection and retry.
+            // SAFETY: releasing the SafeRead count acquired above.
             unsafe { self.release_into(q, tally) };
             self.counters.bump(|s| &s.alloc_retries);
         }
@@ -403,12 +413,18 @@ impl<N: Managed> Arena<N> {
 
     /// Fig. 16, recording statistics into `tally` (shared by the batched
     /// paths so a whole drain flushes once).
+    ///
+    /// # Safety
+    ///
+    /// As [`Arena::release`], except `p` must be non-null.
     unsafe fn release_into(&self, p: *mut N, tally: &mut MemTally) {
         // The common case releases one node and touches nothing else; the
         // worklist is only needed when a reclamation cascades through the
         // dying node's outgoing links (e.g. a chain of deleted cells).
         let mut worklist: Vec<*mut N> = Vec::new();
         let mut current = p;
+        // WAIT-FREE: one iteration per released reference in the dying
+        // subgraph — no CAS retries (`try_claim` is one-shot per node).
         loop {
             tally.releases += 1;
             // Fig. 16 line 1: c <- Fetch&Add(p^.refct, -1).
@@ -499,6 +515,8 @@ impl<N: Managed> Arena<N> {
         // The free structure's incoming pointer is a counted reference:
         // *add* 1 (never store — a store would erase a concurrent transient
         // SafeRead increment; see crate docs "corrections").
+        // SAFETY: the caller is the unique reclaimer (claim held), so `p`
+        // is a valid, unpublished node of this arena.
         unsafe {
             (*p).header().incr_ref();
         }
@@ -518,12 +536,15 @@ impl<N: Managed> Arena<N> {
     /// Fig. 18 proper: Treiber push of one node already carrying its
     /// free-structure count.
     fn push_free_global(&self, p: *mut N) {
+        // WAIT-FREE: a failed CAS means another push or pop moved the head
+        // — system-wide progress every retry.
         loop {
             // Fig. 18 lines 1-3. Plain read (not SafeRead): we never
             // dereference the old head, so a stale value only costs a CAS
             // retry, and head-recycling ABA is harmless because re-linking
             // the *current* head is exactly what push wants.
             let head = self.free_head.read();
+            // SAFETY: `p` is unpublished (ours alone) until the CAS below.
             unsafe {
                 (*p).free_link().write(head);
             }
@@ -541,8 +562,11 @@ impl<N: Managed> Arena<N> {
     /// the old head *before* the CAS publishes it, so its stale value is
     /// never observable.
     fn splice_free_global(&self, chain_head: *mut N, chain_tail: *mut N) {
+        // WAIT-FREE: a failed CAS means another push or pop moved the head
+        // — system-wide progress every retry.
         loop {
             let head = self.free_head.read();
+            // SAFETY: the chain is private until the CAS below publishes it.
             unsafe {
                 (*chain_tail).free_link().write(head);
             }

@@ -175,6 +175,8 @@ impl BuddyAllocator {
 
     fn push(&self, order: u32, node: u32) {
         let head = &self.heads[order as usize];
+        // WAIT-FREE: a failed CAS means another push or pop moved this
+        // order's head — system-wide progress every retry.
         loop {
             let old = head.load(Ordering::Acquire);
             self.next[node as usize].store(old as u32, Ordering::Relaxed);
@@ -193,6 +195,9 @@ impl BuddyAllocator {
     /// `None` when the list is empty.
     fn pop(&self, order: u32) -> Option<u32> {
         let head = &self.heads[order as usize];
+        // WAIT-FREE: a failed head CAS means another push or pop won, and
+        // every stale-entry iteration permanently discards one lazily
+        // deleted entry — both are system-wide progress.
         loop {
             let old = head.load(Ordering::Acquire);
             let id_plus = old as u32;
@@ -279,6 +284,9 @@ impl BuddyAllocator {
         );
         self.allocated_units
             .fetch_sub(1u64 << block.order, Ordering::Relaxed);
+        // WAIT-FREE: bounded by tree height — each iteration either merges
+        // one level up (the buddy-claim CAS is one-shot per level) or
+        // publishes and returns; there is no retry at the same level.
         loop {
             let buddy = match Self::buddy_of(node) {
                 None => {

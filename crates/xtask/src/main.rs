@@ -1,195 +1,26 @@
-//! Repository automation. `cargo xtask analyze` runs two protocol-specific
-//! lints over the workspace's library sources (`crates/*/src`, `src`):
+//! Repository automation. `cargo xtask analyze` runs the `valois-analyze`
+//! syntax-aware protocol linter over the workspace's library sources
+//! (`crates/*/src`, `src/`) — see `crates/analyze` for the passes and
+//! `docs/ANALYSIS.md` for the comment contracts they enforce
+//! (`SAFETY:` / `ORDER:` / `COUNT:` / `WAIT-FREE:`).
 //!
-//! 1. **Shim discipline** — atomics must be imported through
-//!    `valois_sync::shim`, never straight from `std::sync::atomic` (or
-//!    `core::sync::atomic`). The shim is what lets `--cfg loom` swap every
-//!    atomic for its model-checked equivalent; one stray direct import
-//!    silently removes that code from the model checker's view. The shim
-//!    itself (`crates/sync/src/shim/`) is the single allowed exception.
+//! ```text
+//! cargo xtask analyze [--format text|json|sarif] [--deny warn] [--output PATH]
+//! ```
 //!
-//! 2. **Ordering discipline** — `Ordering::Relaxed` on a pointer-valued
-//!    atomic is almost always a protocol bug (the §5 counted-link protocol
-//!    hangs correctness on acquire/release pairs around pointer
-//!    publication). Any relaxed pointer operation must carry an adjacent
-//!    `// ORDER:` comment justifying it.
-//!
-//! Tests and benches are exempt by scope: they use `std` atomics for
-//! harness bookkeeping (result counters, stop flags) that deliberately
-//! stays outside the model-checked protocol surface.
+//! * `--format` — findings as human-readable text (default), compact JSON,
+//!   or SARIF 2.1.0 (what CI uploads for PR annotations);
+//! * `--deny warn` — treat warnings as errors (the CI setting; the clean
+//!   tree passes it);
+//! * `--output` — write the report to a file instead of stdout (the
+//!   human-readable summary still goes to stderr).
 
-use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// A single lint finding.
-#[derive(Debug, PartialEq, Eq)]
-struct Violation {
-    file: String,
-    line: usize,
-    message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}", self.file, self.line, self.message)
-    }
-}
-
-/// True for lines that are only commentary — doc comments and plain
-/// comments may *mention* `std::sync::atomic` freely.
-fn is_comment_line(line: &str) -> bool {
-    let t = line.trim_start();
-    t.starts_with("//") || t.starts_with("//!") || t.starts_with("///")
-}
-
-/// Lint 1: direct atomic imports. `label` is the path reported in
-/// findings; `content` the file's text.
-fn scan_atomic_imports(label: &str, content: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for (idx, line) in content.lines().enumerate() {
-        if is_comment_line(line) {
-            continue;
-        }
-        // Catch both `use std::sync::atomic::...` and inline qualified
-        // paths like `std::sync::atomic::AtomicUsize::new(..)`.
-        if line.contains("std::sync::atomic") || line.contains("core::sync::atomic") {
-            out.push(Violation {
-                file: label.to_string(),
-                line: idx + 1,
-                message: "direct std/core::sync::atomic use; import through \
-                          valois_sync::shim so `--cfg loom` can instrument it"
-                    .to_string(),
-            });
-        }
-    }
-    out
-}
-
-/// Identifiers of fields declared with an `AtomicPtr` type in `content`.
-/// A line like `ptr: AtomicPtr<T>,` (struct field) or
-/// `let head: AtomicPtr<T>` contributes `ptr` / `head`.
-fn pointer_atomic_idents(content: &str) -> Vec<String> {
-    let mut idents = Vec::new();
-    for line in content.lines() {
-        if is_comment_line(line) {
-            continue;
-        }
-        let Some(decl_pos) = line.find(": AtomicPtr<") else {
-            continue;
-        };
-        let head = &line[..decl_pos];
-        let ident: String = head
-            .chars()
-            .rev()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect::<Vec<_>>()
-            .into_iter()
-            .rev()
-            .collect();
-        if !ident.is_empty() && !idents.contains(&ident) {
-            idents.push(ident);
-        }
-    }
-    idents
-}
-
-/// Whether `line` touches a pointer-valued atomic: it names `AtomicPtr`
-/// directly, or dereferences a field this file declared as `AtomicPtr`.
-fn touches_pointer_atomic(line: &str, ptr_idents: &[String]) -> bool {
-    if line.contains("AtomicPtr") {
-        return true;
-    }
-    ptr_idents
-        .iter()
-        .any(|id| line.contains(&format!(".{id}.")) || line.contains(&format!("self.{id}")))
-}
-
-/// Lint 2: `Ordering::Relaxed` on pointer-valued atomics without an
-/// adjacent `// ORDER:` justification (same line or either of the two
-/// preceding lines).
-fn scan_relaxed_pointer_orderings(label: &str, content: &str) -> Vec<Violation> {
-    let lines: Vec<&str> = content.lines().collect();
-    let ptr_idents = pointer_atomic_idents(content);
-    let mut out = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        if is_comment_line(line) || !line.contains("Ordering::Relaxed") {
-            continue;
-        }
-        if !touches_pointer_atomic(line, &ptr_idents) {
-            continue;
-        }
-        let justified = (idx.saturating_sub(2)..=idx).any(|i| lines[i].contains("// ORDER:"));
-        if !justified {
-            out.push(Violation {
-                file: label.to_string(),
-                line: idx + 1,
-                message: "Ordering::Relaxed on a pointer-valued atomic without an \
-                          adjacent `// ORDER:` justification"
-                    .to_string(),
-            });
-        }
-    }
-    out
-}
-
-/// Library source roots to lint, relative to the workspace root.
-fn source_files(root: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    let mut roots: Vec<PathBuf> = vec![root.join("src")];
-    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        for e in entries.flatten() {
-            // The linter necessarily names the patterns it rejects; it
-            // cannot lint itself.
-            if e.file_name() == "xtask" {
-                continue;
-            }
-            roots.push(e.path().join("src"));
-        }
-    }
-    while let Some(dir) = roots.pop() {
-        let Ok(entries) = std::fs::read_dir(&dir) else {
-            continue;
-        };
-        for e in entries.flatten() {
-            let p = e.path();
-            if p.is_dir() {
-                roots.push(p);
-            } else if p.extension().is_some_and(|x| x == "rs") {
-                files.push(p);
-            }
-        }
-    }
-    files.sort();
-    files
-}
-
-/// The one directory allowed to name `std::sync::atomic`: the shim that
-/// re-exports (or model-checks) it.
-fn is_shim_path(path: &Path) -> bool {
-    path.components().collect::<Vec<_>>().windows(3).any(|w| {
-        w[0].as_os_str() == "sync" && w[1].as_os_str() == "src" && w[2].as_os_str() == "shim"
-    })
-}
-
-fn analyze(root: &Path) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    for file in source_files(root) {
-        let Ok(content) = std::fs::read_to_string(&file) else {
-            continue;
-        };
-        let label = file
-            .strip_prefix(root)
-            .unwrap_or(&file)
-            .display()
-            .to_string();
-        if !is_shim_path(&file) {
-            violations.extend(scan_atomic_imports(&label, &content));
-        }
-        violations.extend(scan_relaxed_pointer_orderings(&label, &content));
-    }
-    violations
-}
+use valois_analyze::{
+    analyze_workspace, render_json, render_sarif, render_text, should_fail, Severity,
+};
 
 fn workspace_root() -> PathBuf {
     // CARGO_MANIFEST_DIR = <root>/crates/xtask at compile time.
@@ -200,109 +31,84 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("analyze") => {
-            let root = workspace_root();
-            let violations = analyze(&root);
-            if violations.is_empty() {
-                println!("xtask analyze: OK (shim discipline + pointer-ordering discipline)");
-                ExitCode::SUCCESS
-            } else {
-                for v in &violations {
-                    eprintln!("error: {v}");
-                }
-                eprintln!("xtask analyze: {} violation(s)", violations.len());
-                ExitCode::FAILURE
-            }
-        }
-        _ => {
-            eprintln!("usage: cargo xtask analyze");
-            eprintln!();
-            eprintln!("  analyze   lint library sources for direct std::sync::atomic");
-            eprintln!("            imports (outside valois_sync::shim) and for");
-            eprintln!("            Ordering::Relaxed on pointer-valued atomics that");
-            eprintln!("            lack an adjacent `// ORDER:` comment");
-            ExitCode::FAILURE
-        }
-    }
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask analyze [--format text|json|sarif] [--deny warn] [--output PATH]"
+    );
+    eprintln!();
+    eprintln!("  analyze   run the valois-analyze protocol linter over library");
+    eprintln!("            sources: shim discipline, pointer-ordering discipline,");
+    eprintln!("            unsafe/SAFETY audit, refcount pairing, CAS-loop progress,");
+    eprintln!("            and spinlock-guard hygiene (see docs/ANALYSIS.md)");
+    eprintln!();
+    eprintln!("  --format  output format (default: text)");
+    eprintln!("  --deny    'warn' promotes warnings to failures (CI runs this)");
+    eprintln!("  --output  write the report to PATH instead of stdout");
+    ExitCode::FAILURE
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn flags_seeded_direct_atomic_import() {
-        let bad = "use std::sync::atomic::{AtomicUsize, Ordering};\n";
-        let v = scan_atomic_imports("seeded.rs", bad);
-        assert_eq!(v.len(), 1, "must reject a direct import: {v:?}");
-        assert_eq!(v[0].line, 1);
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() != Some("analyze") {
+        return usage();
     }
 
-    #[test]
-    fn flags_seeded_inline_qualified_atomic_path() {
-        let bad = "let x = std::sync::atomic::AtomicUsize::new(0);\n";
-        let v = scan_atomic_imports("seeded.rs", bad);
-        assert_eq!(v.len(), 1, "must reject inline qualified paths: {v:?}");
+    let mut format = String::from("text");
+    let mut deny_warnings = false;
+    let mut output: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if ["text", "json", "sarif"].contains(&f.as_str()) => format = f,
+                _ => return usage(),
+            },
+            "--deny" => match args.next().as_deref() {
+                Some("warn") => deny_warnings = true,
+                Some("error") => deny_warnings = false,
+                _ => return usage(),
+            },
+            "--output" => match args.next() {
+                Some(p) => output = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
     }
 
-    #[test]
-    fn allows_shim_import_and_comments() {
-        let good = "//! mentions std::sync::atomic in docs\n\
-                    /// and std::sync::atomic here too\n\
-                    use valois_sync::shim::atomic::{AtomicUsize, Ordering};\n";
-        assert!(scan_atomic_imports("ok.rs", good).is_empty());
+    let findings = analyze_workspace(&workspace_root());
+    let rendered = match format.as_str() {
+        "json" => render_json(&findings),
+        "sarif" => render_sarif(&findings),
+        _ => render_text(&findings),
+    };
+    match &output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{rendered}"),
     }
 
-    #[test]
-    fn flags_seeded_relaxed_pointer_ordering() {
-        let bad = "struct S { head: AtomicPtr<u8> }\n\
-                   fn f(s: &S) {\n\
-                   let p = s.head.load(Ordering::Relaxed);\n\
-                   }\n";
-        let v = scan_relaxed_pointer_orderings("seeded.rs", bad);
-        assert_eq!(v.len(), 1, "must reject relaxed ptr load: {v:?}");
-        assert_eq!(v[0].line, 3);
-    }
-
-    #[test]
-    fn order_comment_justifies_relaxed_pointer_ordering() {
-        let good = "struct S { head: AtomicPtr<u8> }\n\
-                    fn f(s: &S) {\n\
-                    // ORDER: read-only statistics sample; staleness is fine.\n\
-                    let p = s.head.load(Ordering::Relaxed);\n\
-                    }\n";
-        assert!(scan_relaxed_pointer_orderings("ok.rs", good).is_empty());
-    }
-
-    #[test]
-    fn relaxed_on_plain_counter_is_allowed() {
-        let good = "static HITS: AtomicU64 = AtomicU64::new(0);\n\
-                    fn bump() { HITS.fetch_add(1, Ordering::Relaxed); }\n";
-        assert!(scan_relaxed_pointer_orderings("ok.rs", good).is_empty());
-    }
-
-    #[test]
-    fn pointer_field_idents_are_discovered() {
-        let src = "struct S { ptr: AtomicPtr<T>, n: AtomicUsize }\n";
-        assert_eq!(pointer_atomic_idents(src), vec!["ptr".to_string()]);
-    }
-
-    #[test]
-    fn workspace_is_clean() {
-        // The repository must pass its own lints; a regression here means
-        // someone bypassed the shim or relaxed a pointer ordering.
-        let violations = analyze(&workspace_root());
-        assert!(
-            violations.is_empty(),
-            "workspace lint violations:\n{}",
-            violations
-                .iter()
-                .map(|v| v.to_string())
-                .collect::<Vec<_>>()
-                .join("\n")
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    if findings.is_empty() {
+        eprintln!(
+            "xtask analyze: OK (shim, ordering, unsafe-audit, refcount-pairing, \
+             cas-progress, spin-guard)"
         );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask analyze: {errors} error(s), {warnings} warning(s)");
+        if should_fail(&findings, deny_warnings) {
+            ExitCode::FAILURE
+        } else {
+            eprintln!("(warnings are not denied; pass --deny warn to fail on them)");
+            ExitCode::SUCCESS
+        }
     }
 }

@@ -126,6 +126,97 @@ fn randomized_plans_all_linearizable() {
     }
 }
 
+mod seeded {
+    //! Hand-built histories with a known verdict: the checker must reject
+    //! each seeded violation and accept each legal overlap. These pin the
+    //! checker itself — a bug that made it vacuously accept everything
+    //! would silently defang every test above.
+
+    use valois::harness::{check_linearizable, History, Op, Recorded};
+
+    fn rec(thread: usize, op: Op, result: bool, start: u64, end: u64) -> Recorded {
+        Recorded {
+            thread,
+            op,
+            result,
+            start,
+            end,
+        }
+    }
+
+    fn history(ops: Vec<Recorded>) -> History {
+        History { ops }
+    }
+
+    #[test]
+    fn stale_find_after_completed_insert_is_rejected() {
+        // Insert(9) completes before Find(9) starts, nothing removes 9,
+        // yet the find reports absent: no witness ordering exists.
+        let h = history(vec![
+            rec(0, Op::Insert(9), true, 0, 1),
+            rec(1, Op::Find(9), false, 2, 3),
+        ]);
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn successful_remove_without_insert_is_rejected() {
+        let h = history(vec![rec(0, Op::Remove(3), true, 0, 1)]);
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn lost_update_is_rejected() {
+        // Both inserts succeed, both strictly precede a find that reports
+        // absent with no remove anywhere: doubly impossible.
+        let h = history(vec![
+            rec(0, Op::Insert(1), true, 0, 1),
+            rec(1, Op::Insert(1), true, 2, 3),
+            rec(0, Op::Find(1), false, 4, 5),
+        ]);
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn overlapping_duplicate_inserts_with_one_winner_are_accepted() {
+        // The legal version of `naive_list_would_fail_here`: the racing
+        // inserts overlap and exactly one reports success.
+        let h = history(vec![
+            rec(0, Op::Insert(5), true, 0, 3),
+            rec(1, Op::Insert(5), false, 1, 4),
+        ]);
+        assert!(check_linearizable(&h));
+    }
+
+    #[test]
+    fn find_overlapping_insert_may_see_either_state() {
+        // A find contained inside an insert's interval may linearize on
+        // either side of it: both outcomes must be accepted.
+        for find_result in [false, true] {
+            let h = history(vec![
+                rec(0, Op::Insert(2), true, 0, 3),
+                rec(1, Op::Find(2), find_result, 1, 2),
+            ]);
+            assert!(
+                check_linearizable(&h),
+                "find={find_result} must have a witness:\n{h}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_remove_insert_chain_is_accepted() {
+        // Sequential chain across threads exercising state transitions.
+        let h = history(vec![
+            rec(0, Op::Insert(4), true, 0, 1),
+            rec(1, Op::Remove(4), true, 2, 3),
+            rec(0, Op::Insert(4), true, 4, 5),
+            rec(1, Op::Find(4), true, 6, 7),
+        ]);
+        assert!(check_linearizable(&h));
+    }
+}
+
 #[test]
 fn naive_list_would_fail_here() {
     // Sanity check that the checker *can* reject: a hand-built history
