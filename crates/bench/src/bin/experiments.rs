@@ -1,7 +1,7 @@
-//! CLI for the E1–E8 experiment suite.
+//! CLI for the E1–E10 experiment suite.
 //!
 //! ```text
-//! experiments [e1|e2|...|e8|all] [--quick] [--point-ms N] [--max-threads N]
+//! experiments [e1|e2|...|e10|all] [--quick] [--point-ms N] [--max-threads N]
 //! ```
 //!
 //! Run with `cargo run --release -p valois-bench --bin experiments -- all`.
@@ -38,7 +38,7 @@ fn main() {
         i += 1;
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = (1..=9).map(|n| format!("e{n}")).collect();
+        which = (1..=10).map(|n| format!("e{n}")).collect();
     }
 
     println!(
@@ -57,6 +57,7 @@ fn main() {
             "e7" => drop(experiments::e7_aux_quiescence(&cfg)),
             "e8" => drop(experiments::e8_saferead_overhead(&cfg)),
             "e9" => drop(experiments::e9_multiprogramming(&cfg)),
+            "e10" => drop(experiments::e10_resize(&cfg)),
             other => eprintln!("unknown experiment: {other}"),
         }
     }

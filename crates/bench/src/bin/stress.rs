@@ -2,7 +2,8 @@
 //! periodic invariant verification. Exits non-zero on any violation.
 //!
 //! ```text
-//! stress [--secs N] [--threads N] [--structure list|sorted|hash|skip|bst|queue|stack|pqueue|all]
+//! stress [--secs N] [--threads N]
+//!        [--structure list|sorted|hash|resizable|skip|bst|queue|stack|pqueue|all]
 //! ```
 //!
 //! Intended for long unattended runs (`cargo run --release -p valois-bench
@@ -15,7 +16,7 @@ use valois_sync::shim::atomic::{AtomicBool, AtomicU64, Ordering};
 use valois_core::adt::{PriorityQueue, Stack};
 use valois_core::queue::FifoQueue;
 use valois_core::List;
-use valois_dict::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
+use valois_dict::{BstDict, Dictionary, HashDict, ResizableHashDict, SkipListDict, SortedListDict};
 
 struct Args {
     secs: u64,
@@ -286,6 +287,29 @@ fn main() {
         soak_dict("hash", &d, args.secs, args.threads);
         d.check_invariants()
             .unwrap_or_else(|e| panic!("hash invariant violated: {e}"));
+    }
+    if want("resizable") {
+        // Start at 2 buckets so the churn (≈ 256 live keys at
+        // equilibrium) drives the table across several doublings while
+        // operations race the bucket splits.
+        let mut d: ResizableHashDict<u64, u64> = ResizableHashDict::with_initial_buckets(2);
+        soak_dict("resizable", &d, args.secs, args.threads);
+        assert!(
+            d.doublings() >= 3,
+            "resizable: churn must cross >= 3 doublings, saw {} ({} buckets)",
+            d.doublings(),
+            d.bucket_count()
+        );
+        d.check_invariants()
+            .unwrap_or_else(|e| panic!("resizable invariant violated: {e}"));
+        d.audit_refcounts()
+            .unwrap_or_else(|e| panic!("resizable refcount drift: {e}"));
+        println!(
+            "{:>12}  grew to {} buckets over {} doublings",
+            "",
+            d.bucket_count(),
+            d.doublings()
+        );
     }
     if want("skip") {
         let mut d: SkipListDict<u64, u64> = SkipListDict::new();

@@ -116,6 +116,53 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
         cursor
     }
 
+    /// A cursor visiting the first position **after** the cell a published
+    /// entry root points at (the §4.2 shortcut pattern: start an ordered
+    /// traversal from an interior cell instead of `First`). Returns `None`
+    /// if the root is unpublished (null).
+    ///
+    /// The entry cell plays the role the first dummy plays for
+    /// [`Cursor::at_first`]: it becomes `pre_cell` and the cursor is
+    /// updated to the first normal cell after it. The caller must
+    /// guarantee the entry cell is never deleted while the root is
+    /// published (bucket sentinels satisfy this by construction).
+    // COUNT: both SafeRead counts are transferred into the cursor's
+    // `pre_cell`/`pre_aux` fields; `Drop` releases them.
+    pub(crate) fn at_entry(list: &'a List<T>, root: &valois_mem::Link<Node<T>>) -> Option<Self> {
+        let mut cursor = Self {
+            list,
+            target: std::ptr::null_mut(),
+            pre_aux: std::ptr::null_mut(),
+            pre_cell: std::ptr::null_mut(),
+            defer: DeferredReleases::new(),
+            tally: MemTally::new(),
+            ops: ListTally::default(),
+        };
+        let arena = list.arena();
+        // SAFETY: `root` is a counted link of this list's arena;
+        // `pre_cell` is held while its `next` is read (as Fig. 6 does for
+        // the `First` root).
+        unsafe {
+            cursor.pre_cell = arena.safe_read_tallied(root, &mut cursor.tally);
+            if cursor.pre_cell.is_null() {
+                return None; // unpublished; cursor drop handles the nulls
+            }
+            cursor.pre_aux = arena.safe_read_tallied(&(*cursor.pre_cell).next, &mut cursor.tally);
+            debug_assert!(
+                !cursor.pre_aux.is_null(),
+                "published entry cells always have a successor"
+            );
+        }
+        cursor.update();
+        Some(cursor)
+    }
+
+    /// The raw target pointer (for [`List::publish_entry`]'s count
+    /// transfer; crate-internal).
+    pub(crate) fn target_ptr(&self) -> *mut Node<T> {
+        self.target
+    }
+
     // COUNT: both SafeRead counts are transferred into the cursor's
     // `pre_cell`/`pre_aux` fields; `Drop`/`seek_first` release them.
     fn seek_first_inner(&mut self) {

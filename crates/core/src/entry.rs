@@ -1,0 +1,163 @@
+//! Interior entry points: published counted shortcuts into a [`List`].
+//!
+//! §4.2 structures (hash tables) want to start a traversal in the middle
+//! of a list instead of at `First`. An [`EntryRoot`] is a *structure
+//! root* in the §5 sense — a counted link owned by the enclosing data
+//! structure — that, once published, points at a designated cell (a
+//! bucket sentinel). Opening a cursor from it ([`List::cursor_at`]) is
+//! Fig. 6 `First` with the entry cell in the role of the first dummy.
+//!
+//! The lifecycle mirrors the lazy bucket initialization of split-ordered
+//! hash tables:
+//!
+//! 1. the root starts null (unpublished);
+//! 2. an initializer inserts (or finds) the designated cell and calls
+//!    [`List::publish_entry`] — a counted CAS (`swing`) from null, so
+//!    when several initializers race, **exactly one** publication wins
+//!    and every loser's prospective count is released by the failed
+//!    swing (no leak, no double-link);
+//! 3. readers open cursors through [`List::cursor_at`];
+//! 4. the owner calls [`List::retire_entry`] before dropping the list,
+//!    returning the root's count.
+//!
+//! The caller must guarantee the entry cell is never deleted while the
+//! root is published; sentinels that are never removed satisfy this by
+//! construction. (A deleted entry cell would not be unsafe — the count
+//! keeps it readable, cell persistence — but cursors opened from it
+//! could start before list structure they can no longer reach.)
+
+use std::fmt;
+
+use valois_mem::Link;
+
+use crate::cursor::Cursor;
+use crate::list::List;
+use crate::node::{Node, NodeKind};
+
+/// A published, counted shortcut into a [`List`] (see the module docs).
+///
+/// Starts unpublished (null). Publication is a one-shot counted CAS via
+/// [`List::publish_entry`]; the root then owns one count on the entry
+/// cell until [`List::retire_entry`]. Dropping a still-published root
+/// without retiring it leaks that count (the root itself cannot release
+/// — it has no arena handle), so owners retire every root on teardown.
+pub struct EntryRoot<T: Send + Sync> {
+    pub(crate) link: Link<Node<T>>,
+}
+
+impl<T: Send + Sync> EntryRoot<T> {
+    /// A fresh, unpublished root.
+    pub fn new() -> Self {
+        Self { link: Link::null() }
+    }
+
+    /// Whether a publication has landed (a relaxed peek — a false
+    /// `false` only means the caller should take the initialization
+    /// path, which re-checks through the CAS).
+    pub fn is_published(&self) -> bool {
+        !self.link.read().is_null()
+    }
+}
+
+impl<T: Send + Sync> Default for EntryRoot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + Sync> fmt::Debug for EntryRoot<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EntryRoot")
+            .field("published", &self.is_published())
+            .finish()
+    }
+}
+
+impl<T: Send + Sync> List<T> {
+    /// Opens a cursor at the first position **after** the cell `root`
+    /// points at, or `None` if the root is unpublished.
+    pub fn cursor_at<'a>(&'a self, root: &EntryRoot<T>) -> Option<Cursor<'a, T>> {
+        Cursor::at_entry(self, &root.link)
+    }
+
+    /// Publishes the cell `cursor` is visiting as `root`'s entry cell:
+    /// a counted CAS from null. Returns `true` if this call's
+    /// publication won; on `false` another publication was already in
+    /// place and this call's prospective count has been released (the
+    /// loser-releases discipline of the lazy-initialization race).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cursor` belongs to a different list or does not visit
+    /// a normal cell (the end position and dummies are not publishable).
+    pub fn publish_entry(&self, root: &EntryRoot<T>, cursor: &Cursor<'_, T>) -> bool {
+        assert!(
+            std::ptr::eq(self, cursor.list()),
+            "cursor of a different list"
+        );
+        let target = cursor.target_ptr();
+        // SAFETY: the cursor holds a counted reference on `target`, so
+        // inspecting its kind is protected.
+        let is_cell = !target.is_null() && unsafe { (*target).kind() == NodeKind::Cell };
+        assert!(is_cell, "entry roots must point at a normal cell");
+        // SAFETY: `root.link` is a counted link of this arena; the cursor
+        // holds `target` so swing's increment targets a live node.
+        // COUNT: on success the root's link owns one count on `target`
+        // (released by `retire_entry`); on failure swing released the
+        // prospective count itself.
+        unsafe { self.arena().swing(&root.link, std::ptr::null_mut(), target) }
+    }
+
+    /// Reads the entry cell's value under protection, or `None` if the
+    /// root is unpublished.
+    pub fn with_entry<R>(&self, root: &EntryRoot<T>, f: impl FnOnce(&T) -> R) -> Option<R> {
+        // SAFETY: `root.link` is a counted link of this arena.
+        let p = unsafe { self.arena().safe_read(&root.link) };
+        if p.is_null() {
+            return None;
+        }
+        // SAFETY: `p` is held (counted); only publishable cells reach a
+        // root (enforced by `publish_entry`), and cells carry values.
+        let out = unsafe {
+            let out = f((*p).value());
+            self.arena().release(p);
+            out
+        };
+        Some(out)
+    }
+
+    /// Unpublishes `root` and returns its count. Idempotent; the owner's
+    /// teardown path (called before dropping the list so the root's
+    /// count does not keep the entry cell — and everything it links —
+    /// alive past the cascade).
+    pub fn retire_entry(&self, root: &EntryRoot<T>) {
+        let old = root.link.swap(std::ptr::null_mut());
+        // SAFETY: the link's count transfers to us on the swap; releasing
+        // it is the transfer's obligation. Null (never/already retired)
+        // is a no-op.
+        unsafe { self.arena().release(old) };
+    }
+
+    /// [`List::audit_refcounts`] for lists with published entry roots:
+    /// each published root legitimately holds one count on its entry
+    /// cell that the in-list sweep cannot see, so it is added to the
+    /// expected in-degree before comparing.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first mismatching node.
+    pub fn audit_refcounts_with_entries<'r>(
+        &mut self,
+        roots: impl IntoIterator<Item = &'r EntryRoot<T>>,
+    ) -> Result<(), String>
+    where
+        T: 'r,
+    {
+        let extra: Vec<*mut Node<T>> = roots
+            .into_iter()
+            .map(|r| r.link.read())
+            .filter(|p| !p.is_null())
+            .collect();
+        self.audit_refcounts_extra(&extra)
+    }
+}

@@ -39,6 +39,7 @@
 pub mod adt;
 pub mod channel;
 pub mod cursor;
+pub mod entry;
 pub mod list;
 mod node;
 pub mod queue;
@@ -46,6 +47,7 @@ mod stats;
 
 pub use adt::{PriorityQueue, Stack};
 pub use cursor::Cursor;
+pub use entry::EntryRoot;
 pub use list::{AuxChainReport, Iter, List, PreparedInsert};
 pub use queue::FifoQueue;
 pub use stats::ListStats;

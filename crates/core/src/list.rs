@@ -545,11 +545,21 @@ impl<T: Send + Sync> List<T> {
     ///
     /// Describes the first mismatching node.
     pub fn audit_refcounts(&mut self) -> Result<(), String> {
+        self.audit_refcounts_extra(&[])
+    }
+
+    /// [`List::audit_refcounts`] with additional expected counts: one per
+    /// pointer in `extra` (structure roots outside the list — published
+    /// entry roots — whose counts the in-list sweep cannot see).
+    pub(crate) fn audit_refcounts_extra(&mut self, extra: &[*mut Node<T>]) -> Result<(), String> {
         use std::collections::HashMap;
         let mut expected: HashMap<usize, u64> = HashMap::new();
         // Roots contribute one count each.
         *expected.entry(self.first as usize).or_insert(0) += 1;
         *expected.entry(self.last as usize).or_insert(0) += 1;
+        for &p in extra {
+            *expected.entry(p as usize).or_insert(0) += 1;
+        }
         // SAFETY: &mut self guarantees quiescence for all raw reads.
         unsafe {
             // Occupied nodes' links contribute counts; free nodes' `next`

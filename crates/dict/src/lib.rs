@@ -33,12 +33,14 @@
 
 pub mod bst;
 pub mod hash;
+pub mod resizable;
 pub mod skiplist;
 pub mod sorted_list;
 mod traits;
 
 pub use bst::BstDict;
 pub use hash::HashDict;
+pub use resizable::ResizableHashDict;
 pub use skiplist::SkipListDict;
 pub use sorted_list::{Entry, SortedListDict};
 pub use traits::Dictionary;

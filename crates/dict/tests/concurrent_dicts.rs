@@ -4,7 +4,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use valois_dict::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
+use valois_dict::{BstDict, Dictionary, HashDict, ResizableHashDict, SkipListDict, SortedListDict};
 
 fn threads() -> u64 {
     std::thread::available_parallelism()
@@ -246,6 +246,47 @@ mod hash {
             many <= single.max(1) * 2,
             "bucketing should not increase contention: 1 bucket {single} vs 64 buckets {many}"
         );
+    }
+}
+
+mod resizable {
+    use super::*;
+
+    #[test]
+    fn disjoint_ranges_hold() {
+        // Start tiny so the disjoint-range fill drives several doublings
+        // while the per-thread asserts race the bucket splits.
+        let d: ResizableHashDict<u64, u64> = ResizableHashDict::with_initial_buckets(2);
+        disjoint_ranges(&d);
+        assert!(
+            d.doublings() >= 3,
+            "fill must resize: {} buckets",
+            d.bucket_count()
+        );
+    }
+
+    #[test]
+    fn insert_race_single_winner() {
+        let mut d: ResizableHashDict<u64, u64> = ResizableHashDict::with_initial_buckets(2);
+        insert_races(&d);
+        d.check_invariants().unwrap();
+        d.audit_refcounts().unwrap();
+    }
+
+    #[test]
+    fn remove_race_single_winner() {
+        let mut d: ResizableHashDict<u64, u64> = ResizableHashDict::with_initial_buckets(2);
+        remove_races(&d);
+        d.check_invariants().unwrap();
+        d.audit_refcounts().unwrap();
+    }
+
+    #[test]
+    fn churn_balances() {
+        let mut d: ResizableHashDict<u64, u64> = ResizableHashDict::with_initial_buckets(2);
+        churn_conservation(&d);
+        d.check_invariants().unwrap();
+        d.audit_refcounts().unwrap();
     }
 }
 

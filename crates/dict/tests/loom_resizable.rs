@@ -1,0 +1,92 @@
+//! Model-checked verification of the resizable hash table's lazy
+//! bucket-initialization race (`--cfg loom` only), alongside the three
+//! core protocol models in `valois-core`.
+//!
+//! Two threads insert keys that hash into the *same uninitialized
+//! bucket* of a two-bucket table. Both race the whole initialization
+//! protocol: recursing to the parent bucket, inserting the bucket's
+//! sentinel into the split-ordered list (the Fig. 9 CAS decides the
+//! winner; the loser's prepared sentinel is dropped), and publishing the
+//! bucket shortcut with a `swing` from null (exactly one publication
+//! wins; the loser's SafeRead count is released by the swing protocol —
+//! no leak, no double-link). On every interleaving both items must be
+//! present, the split order must contain exactly one sentinel for the
+//! bucket, and the §5 refcounts must be exact.
+//!
+//! Run with:
+//! `RUSTFLAGS="--cfg loom" cargo test -p valois-dict --test loom_resizable`
+#![cfg(loom)]
+
+use std::hash::{BuildHasher, Hasher};
+use std::sync::Arc;
+
+use valois_core::ArenaConfig;
+use valois_dict::{Dictionary, ResizableHashDict};
+use valois_sync::shim::{thread, Builder};
+
+/// Identity hash so the model controls bucket placement exactly.
+#[derive(Clone, Default, Debug)]
+struct IdentityBuild;
+
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("model hashes u64 keys only");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+impl BuildHasher for IdentityBuild {
+    type Hasher = IdentityHasher;
+    fn build_hasher(&self) -> IdentityHasher {
+        IdentityHasher::default()
+    }
+}
+
+/// Model — two inserters race the lazy init of bucket 1.
+///
+/// Keys 1 and 3 both map to bucket 1 of a 2-bucket table (identity
+/// hash), which only exists as an unpublished shortcut slot until the
+/// first of them initializes it. The race covers both CAS sites: the
+/// sentinel's list insertion and the shortcut's null -> sentinel swing.
+#[test]
+fn racing_bucket_inits_publish_one_sentinel() {
+    let explored = Builder::new().preemption_bound(2).check(|| {
+        let dict: Arc<ResizableHashDict<u64, u64, IdentityBuild>> =
+            Arc::new(ResizableHashDict::with_settings(
+                2,
+                IdentityBuild,
+                ArenaConfig::new().initial_capacity(16).max_nodes(16),
+            ));
+
+        let mut handles = Vec::new();
+        for key in [1u64, 3] {
+            let dict = Arc::clone(&dict);
+            handles.push(thread::spawn(move || {
+                assert!(dict.insert(key, key * 10), "disjoint keys always land");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let mut dict = Arc::try_unwrap(dict).expect("all threads joined");
+        assert_eq!(dict.find(&1), Some(10));
+        assert_eq!(dict.find(&3), Some(30));
+        // Exactly one initializer won publication: buckets 0 and 1.
+        assert_eq!(dict.initialized_buckets(), 2, "one shortcut per bucket");
+        assert_eq!(dict.bucket_count(), 2, "2 items never trigger a doubling");
+        // The strict split-order walk rejects a double-linked sentinel;
+        // the refcount audit rejects a leaked loser count.
+        dict.check_invariants().expect("split-order invariants");
+        dict.audit_refcounts().expect("exact counts after the race");
+    });
+    assert!(explored > 1, "model must branch, explored {explored}");
+}

@@ -1,0 +1,107 @@
+//! Resize-grade stress for [`ResizableHashDict`]: multithreaded churn
+//! that drives the table across several doublings while finds, inserts,
+//! and removes race the bucket splits, then the extended
+//! `check_invariants()` walk (split order strictly increasing — i.e. no
+//! duplicate logical key and no duplicate sentinel — every published
+//! bucket shortcut reachable and pointing at its own sentinel) plus the
+//! §5 refcount audit.
+//!
+//! The `smoke_` twin is Miri-sized (tiny arena, two threads, short
+//! runs): CI's Miri job runs `cargo miri test -p valois-dict smoke_`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use valois_core::ArenaConfig;
+use valois_dict::{Dictionary, ResizableHashDict};
+use valois_sync::rng::SmallRng;
+
+/// Churns `keys`-sized key space with a 2:1:1 find/insert/remove mix and
+/// verifies insert/remove accounting balances against `len()`.
+fn churn(dict: &ResizableHashDict<u64, u64>, threads: u64, ops_per_thread: u64, keys: u64) {
+    let len_before = dict.len() as i64;
+    let inserted = AtomicU64::new(0);
+    let removed = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let inserted = &inserted;
+        let removed = &removed;
+        for tid in 0..threads {
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ tid);
+                for _ in 0..ops_per_thread {
+                    let x = rng.next_u64();
+                    let key = (x >> 8) % keys;
+                    match x & 3 {
+                        0 | 1 => {
+                            let _ = dict.contains(&key);
+                        }
+                        2 => {
+                            if dict.insert(key, tid) {
+                                inserted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            if dict.remove(&key) {
+                                removed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Signed: a round over a table filled by earlier rounds can remove
+    // more than it inserts.
+    let net = len_before + inserted.load(Ordering::Relaxed) as i64
+        - removed.load(Ordering::Relaxed) as i64;
+    assert_eq!(dict.len() as i64, net, "insert/remove accounting");
+}
+
+#[test]
+fn churn_across_doublings_preserves_invariants() {
+    let mut d: ResizableHashDict<u64, u64> = ResizableHashDict::with_initial_buckets(2);
+    churn(&d, 4, 20_000, 512);
+    assert!(
+        d.doublings() >= 3,
+        "churn over 512 keys from 2 buckets must double >= 3 times, saw {} ({} buckets)",
+        d.doublings(),
+        d.bucket_count()
+    );
+    d.check_invariants().unwrap();
+    d.audit_refcounts().unwrap();
+}
+
+#[test]
+fn repeated_rounds_keep_growing_table_sound() {
+    // The same table churned repeatedly: later rounds operate on a table
+    // whose buckets were all lazily initialized under races in earlier
+    // rounds, catching any corruption that only shows after growth.
+    let mut d: ResizableHashDict<u64, u64> = ResizableHashDict::with_initial_buckets(2);
+    for round in 0..4 {
+        churn(&d, 4, 5_000, 512);
+        d.check_invariants()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        d.audit_refcounts()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+    }
+    assert!(d.doublings() >= 3, "saw {} doublings", d.doublings());
+}
+
+#[test]
+fn smoke_churn_with_resize_miri_sized() {
+    // Miri-sized twin of `churn_across_doublings_preserves_invariants`:
+    // two threads, a small key space still large enough to force at least
+    // one doubling from 2 buckets (load factor 3 → >6 live items).
+    let mut d: ResizableHashDict<u64, u64> = ResizableHashDict::with_settings(
+        2,
+        std::hash::RandomState::new(),
+        ArenaConfig::default().initial_capacity(64),
+    );
+    churn(&d, 2, 150, 32);
+    // Make growth definite even if the random mix removed aggressively.
+    for k in 0..24 {
+        d.insert(1_000 + k, k);
+    }
+    assert!(d.doublings() >= 1, "saw {} doublings", d.doublings());
+    d.check_invariants().unwrap();
+    d.audit_refcounts().unwrap();
+}

@@ -20,6 +20,6 @@ pub mod workload;
 
 pub use latency::{LatencyHistogram, LatencySummary};
 pub use linearize::{check_linearizable, History, Op, Recorded};
-pub use runner::{run_throughput, RunConfig, RunResult};
+pub use runner::{run_fill, run_throughput, FillResult, RunConfig, RunResult};
 pub use table::Table;
 pub use workload::{KeyDist, OpKind, OpMix, WorkloadSpec};

@@ -218,6 +218,61 @@ pub fn run_throughput<D: Dictionary<u64, u64>>(dict: &D, config: &RunConfig) -> 
     }
 }
 
+/// Result of a growth (bulk-fill) run — see [`run_fill`].
+#[derive(Debug, Clone, Copy)]
+pub struct FillResult {
+    /// Keys inserted (each exactly once).
+    pub keys: u64,
+    /// Wall-clock time for the whole fill.
+    pub elapsed: Duration,
+}
+
+impl FillResult {
+    /// Successful insertions per second.
+    pub fn inserts_per_sec(&self) -> f64 {
+        self.keys as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+impl fmt::Display for FillResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} inserts/s ({} keys in {:?})",
+            self.inserts_per_sec(),
+            self.keys,
+            self.elapsed
+        )
+    }
+}
+
+/// The dataset-growth phase of the E-resize experiment: `threads`
+/// workers insert the keys `0..keys` (disjoint strided shards, so every
+/// insert succeeds exactly once) as fast as they can. This is the
+/// workload that punishes a fixed bucket count — the table is forced
+/// through its whole size range in one run — and the one a resizable
+/// table must absorb with doublings.
+pub fn run_fill<D: Dictionary<u64, u64>>(dict: &D, keys: u64, threads: usize) -> FillResult {
+    let threads = threads.max(1) as u64;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            s.spawn(move || {
+                let mut k = tid;
+                while k < keys {
+                    let inserted = dict.insert(k, k);
+                    debug_assert!(inserted, "shards are disjoint");
+                    k += threads;
+                }
+            });
+        }
+    });
+    FillResult {
+        keys,
+        elapsed: t0.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +315,15 @@ mod tests {
         let lat = res.latency.expect("latency requested");
         assert!(lat.samples > 0);
         assert!(lat.p50 <= lat.p99 && lat.p99 <= lat.p999);
+    }
+
+    #[test]
+    fn fill_inserts_every_key_once() {
+        let dict: SortedListDict<u64, u64> = SortedListDict::new();
+        let res = run_fill(&dict, 64, 3);
+        assert_eq!(res.keys, 64);
+        assert_eq!(dict.len(), 64);
+        assert!(res.inserts_per_sec() > 0.0);
     }
 
     #[test]

@@ -109,10 +109,12 @@ pub mod buddy;
 pub mod defer;
 pub(crate) mod magazine;
 pub mod managed;
+pub mod segtable;
 pub mod stats;
 
 pub use arena::{AllocError, Arena, ArenaConfig};
 pub use buddy::{Block, BuddyAllocator, BuddyExhausted};
 pub use defer::DeferredReleases;
 pub use managed::{Link, Managed, NodeHeader, ReclaimedLinks, MAX_LINKS};
+pub use segtable::SegmentTable;
 pub use stats::{MemStats, MemTally};

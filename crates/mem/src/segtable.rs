@@ -1,0 +1,305 @@
+//! An append-only two-level segment table: the §5 type-stable premise
+//! ("memory used for one type is never reused for another, segments are
+//! appended and never unmapped") applied to flat slot storage instead of
+//! protocol nodes.
+//!
+//! A [`SegmentTable`] is a fixed first-level directory of lazily
+//! allocated second-level segments. Slots never move once their segment
+//! is allocated — `&T` references stay valid for the table's lifetime —
+//! and segments are only ever *added*, never freed or reused, until the
+//! table itself drops. That is exactly the property a growing hash
+//! table's bucket directory needs: doubling the bucket count must not
+//! invalidate concurrent readers' references into the directory.
+//!
+//! Segment sizes are geometric (segment 0 holds `base` slots, segment
+//! `k ≥ 1` holds `base << (k-1)`), so a table that doubles its live
+//! prefix allocates one new segment per doubling and wastes at most half
+//! of the newest segment.
+
+use std::fmt;
+
+use valois_sync::shim::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Append-only, lazily allocated, type-stable slot table (see the
+/// module docs).
+///
+/// # Example
+///
+/// ```
+/// use valois_mem::SegmentTable;
+///
+/// let table: SegmentTable<u64> = SegmentTable::new(2, 1 << 10);
+/// assert!(table.get(5).is_none(), "segments allocate lazily");
+/// assert_eq!(*table.get_or_alloc(5), 0);
+/// assert!(table.get(5).is_some());
+/// ```
+pub struct SegmentTable<T> {
+    /// Slots in segment 0 (a power of two).
+    base: usize,
+    /// First-level directory: segment `k` storage, null until allocated.
+    /// The directory itself is fixed at construction — there is no
+    /// directory-growth race to manage.
+    segments: Box<[AtomicPtr<T>]>,
+    /// Total slots across all *allocatable* segments.
+    capacity: usize,
+    /// Segments allocated so far (statistics only).
+    allocated: AtomicUsize,
+}
+
+// SAFETY: slots are reached only through atomic segment pointers and
+// shared references; `T`'s own synchronization governs slot access.
+unsafe impl<T: Send + Sync> Send for SegmentTable<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send + Sync> Sync for SegmentTable<T> {}
+
+impl<T> SegmentTable<T> {
+    /// A table of up to `capacity` slots, with `base` slots in the first
+    /// segment. Both are rounded up to powers of two (minimum 1); the
+    /// directory for every possible segment is allocated eagerly (it is
+    /// a few machine words per segment), the segments themselves lazily.
+    pub fn new(base: usize, capacity: usize) -> Self {
+        let base = base.max(1).next_power_of_two();
+        let capacity = capacity.max(base).next_power_of_two();
+        // base slots in segment 0, then base<<(k-1): capacity c needs
+        // 1 + log2(c/base) segments.
+        let slots = 1 + (capacity / base).trailing_zeros() as usize;
+        let segments = (0..slots)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Self {
+            base,
+            segments,
+            capacity,
+            allocated: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total slots this table can ever hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Segments allocated so far.
+    pub fn allocated_segments(&self) -> usize {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Maps a slot index to `(segment, offset, segment_len)`.
+    fn locate(&self, index: usize) -> (usize, usize, usize) {
+        if index < self.base {
+            return (0, index, self.base);
+        }
+        // Segment k ≥ 1 covers [base << (k-1), base << k).
+        let k = ((index / self.base).ilog2() + 1) as usize;
+        let seg_start = self.base << (k - 1);
+        (k, index - seg_start, seg_start)
+    }
+
+    /// The slot at `index`, or `None` if its segment is not yet
+    /// allocated. Never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        assert!(index < self.capacity, "slot index out of capacity");
+        let (seg, off, _) = self.locate(index);
+        let p = self.segments[seg].load(Ordering::Acquire);
+        if p.is_null() {
+            return None;
+        }
+        // SAFETY: a non-null segment pointer is a published allocation of
+        // `segment_len` initialized slots (Release store below pairs with
+        // this Acquire load); segments are never freed while the table
+        // lives, so the reference is valid for `&self`'s lifetime.
+        Some(unsafe { &*p.add(off) })
+    }
+
+    /// The slot at `index`, allocating its segment (filled with
+    /// `T::default()`) if needed. When several threads race the
+    /// allocation, one segment wins the publication CAS and the losers
+    /// free theirs — slots that were ever observable never move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn get_or_alloc(&self, index: usize) -> &T
+    where
+        T: Default,
+    {
+        assert!(index < self.capacity, "slot index out of capacity");
+        let (seg, off, len) = self.locate(index);
+        let mut p = self.segments[seg].load(Ordering::Acquire);
+        if p.is_null() {
+            let fresh: Box<[T]> = (0..len).map(|_| T::default()).collect();
+            let fresh = Box::into_raw(fresh) as *mut T;
+            match self.segments[seg].compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.allocated.fetch_add(1, Ordering::Relaxed);
+                    p = fresh;
+                }
+                Err(winner) => {
+                    // Lost the race: reconstitute and drop our segment
+                    // (it was never observable).
+                    // SAFETY: `fresh` came from `Box::into_raw` of a
+                    // `len`-slot boxed slice just above and was not
+                    // published.
+                    drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(fresh, len)) });
+                    p = winner;
+                }
+            }
+        }
+        // SAFETY: as in `get` — `p` is a published (or just-won)
+        // allocation of `len` initialized slots, stable for the table's
+        // lifetime.
+        unsafe { &*p.add(off) }
+    }
+
+    /// Visits every slot in every *allocated* segment, in index order,
+    /// with its index. Slots in unallocated segments are skipped (they
+    /// do not exist yet).
+    pub fn for_each_allocated<'s>(&'s self, mut f: impl FnMut(usize, &'s T)) {
+        for seg in 0..self.segments.len() {
+            let p = self.segments[seg].load(Ordering::Acquire);
+            if p.is_null() {
+                continue;
+            }
+            let (start, len) = if seg == 0 {
+                (0, self.base)
+            } else {
+                (self.base << (seg - 1), self.base << (seg - 1))
+            };
+            for off in 0..len {
+                // SAFETY: as in `get` — published segment of `len`
+                // initialized slots, stable for the table's lifetime.
+                let slot = unsafe { &*p.add(off) };
+                f(start + off, slot);
+            }
+        }
+    }
+}
+
+impl<T> Drop for SegmentTable<T> {
+    fn drop(&mut self) {
+        for seg in 0..self.segments.len() {
+            let p = self.segments[seg].load(Ordering::Acquire);
+            if p.is_null() {
+                continue;
+            }
+            let len = if seg == 0 {
+                self.base
+            } else {
+                self.base << (seg - 1)
+            };
+            // SAFETY: `&mut self` — no readers; the pointer was produced
+            // by `Box::into_raw` of a `len`-slot boxed slice and never
+            // freed (segments are append-only while the table lives).
+            drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(p, len)) });
+        }
+    }
+}
+
+impl<T> fmt::Debug for SegmentTable<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegmentTable")
+            .field("base", &self.base)
+            .field("capacity", &self.capacity)
+            .field("allocated_segments", &self.allocated_segments())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_math_covers_the_range_without_gaps() {
+        let t: SegmentTable<u8> = SegmentTable::new(2, 64);
+        let mut seen = [false; 64];
+        t.for_each_allocated(|i, _| seen[i] = true);
+        assert!(seen.iter().all(|s| !s), "nothing allocated yet");
+        for i in 0..64 {
+            let (seg, off, len) = t.locate(i);
+            assert!(off < len, "index {i}: offset {off} out of segment {seg}");
+            // Segment start + offset must reproduce the index.
+            let start = if seg == 0 { 0 } else { 2usize << (seg - 1) };
+            assert_eq!(start + off, i);
+        }
+        for i in 0..64 {
+            t.get_or_alloc(i);
+        }
+        t.for_each_allocated(|i, _| seen[i] = true);
+        assert!(seen.iter().all(|s| *s), "every slot visited exactly once");
+    }
+
+    #[test]
+    fn lazy_allocation_and_stability() {
+        let t: SegmentTable<u64> = SegmentTable::new(4, 1 << 10);
+        assert_eq!(t.allocated_segments(), 0);
+        assert!(t.get(100).is_none());
+        let a = t.get_or_alloc(100) as *const u64;
+        assert!(t.allocated_segments() >= 1);
+        // Touching other segments must not move the slot.
+        for i in (0..1024).step_by(97) {
+            t.get_or_alloc(i);
+        }
+        let b = t.get(100).unwrap() as *const u64;
+        assert_eq!(a, b, "slots are type-stable");
+    }
+
+    #[test]
+    fn racing_allocators_agree_on_one_segment() {
+        let t: SegmentTable<AtomicUsize> = SegmentTable::new(2, 256);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..256 {
+                        t.get_or_alloc(i).fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        // If losers' segments had been published, increments would be
+        // scattered across duplicate slots.
+        let mut total = 0;
+        t.for_each_allocated(|_, v| total += v.load(Ordering::Relaxed));
+        assert_eq!(total, 4 * 256);
+    }
+
+    #[test]
+    fn drop_runs_destructors_only_for_allocated_segments() {
+        use valois_sync::shim::atomic::{AtomicUsize as DropCounter, Ordering as DropOrdering};
+        static DROPS: DropCounter = DropCounter::new(0);
+        struct Probe;
+        impl Default for Probe {
+            fn default() -> Self {
+                Probe
+            }
+        }
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, DropOrdering::Relaxed);
+            }
+        }
+        DROPS.store(0, DropOrdering::Relaxed);
+        {
+            let t: SegmentTable<Probe> = SegmentTable::new(2, 64);
+            t.get_or_alloc(0); // segment 0: 2 slots
+            t.get_or_alloc(5); // segment 2: [4, 8) = 4 slots
+        }
+        assert_eq!(DROPS.load(DropOrdering::Relaxed), 2 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn out_of_capacity_panics() {
+        let t: SegmentTable<u8> = SegmentTable::new(2, 16);
+        t.get_or_alloc(16);
+    }
+}

@@ -57,7 +57,9 @@ pub use valois_sync as sync;
 
 pub use valois_core::channel::{channel, Receiver, Sender};
 pub use valois_core::{FifoQueue, List, ListStats, PriorityQueue, Stack};
-pub use valois_dict::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
+pub use valois_dict::{
+    BstDict, Dictionary, HashDict, ResizableHashDict, SkipListDict, SortedListDict,
+};
 pub use valois_mem::{ArenaConfig, MemStats};
 pub use valois_sync::{
     AndersonLock, Backoff, ClhLock, Lock, LockKind, TasLock, TicketLock, TtasLock,

@@ -3,7 +3,7 @@
 //! ordering (exhaustive Wing–Gong search).
 
 use valois::harness::{check_linearizable, History, Op};
-use valois::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
+use valois::{BstDict, Dictionary, HashDict, ResizableHashDict, SkipListDict, SortedListDict};
 
 fn contended_plans() -> Vec<Vec<Op>> {
     // Three threads fighting over three keys: inserts, removes and finds
@@ -74,6 +74,46 @@ fn bst_histories_linearizable() {
 }
 
 #[test]
+fn resizable_histories_linearizable() {
+    let d: ResizableHashDict<u64, u64> = ResizableHashDict::with_initial_buckets(2);
+    assert_linearizable_over_rounds(&d, &contended_plans(), 100);
+    assert_linearizable_over_rounds(&d, &duel_plans(), 100);
+}
+
+#[test]
+fn resizable_histories_span_resize_boundary() {
+    // Ops racing the doubling itself: each round starts a fresh 2-bucket
+    // table prefilled to exactly the load-factor threshold (2 buckets x
+    // load factor 3 = 6 items), so the plans' very first successful
+    // insert publishes the doubling and every subsequent op runs against
+    // freshly-splitting buckets. The recorded history must still have a
+    // linearization witness.
+    for round in 0..100 {
+        let d: ResizableHashDict<u64, u64> = ResizableHashDict::with_initial_buckets(2);
+        for k in 100..106u64 {
+            assert!(d.insert(k, k));
+        }
+        assert_eq!(d.doublings(), 0, "round {round}: prefill must not resize");
+        // Plan keys are disjoint from the prefill (the checker's model
+        // starts empty, so plans may only touch keys it can account for).
+        let plans = vec![
+            vec![Op::Insert(1), Op::Find(2), Op::Insert(2), Op::Remove(1)],
+            vec![Op::Insert(3), Op::Remove(2), Op::Find(3), Op::Insert(4)],
+            vec![Op::Find(1), Op::Insert(5), Op::Remove(3), Op::Find(5)],
+        ];
+        let history = History::record(&d, &plans);
+        assert!(
+            check_linearizable(&history),
+            "round {round}: non-linearizable across resize:\n{history}"
+        );
+        assert!(
+            d.doublings() >= 1,
+            "round {round}: the history must cross a doubling"
+        );
+    }
+}
+
+#[test]
 fn randomized_plans_all_linearizable() {
     // Fuzz: random 3-thread plans over 4 keys, checked exhaustively.
     use valois::sync::rng::SmallRng;
@@ -83,12 +123,14 @@ fn randomized_plans_all_linearizable() {
         HashDict<u64, u64>,
         SkipListDict<u64, u64>,
         BstDict<u64, u64>,
+        ResizableHashDict<u64, u64>,
     );
     let dicts: Fixture = (
         SortedListDict::new(),
         HashDict::with_buckets(2),
         SkipListDict::new(),
         BstDict::new(),
+        ResizableHashDict::with_initial_buckets(2),
     );
     for round in 0..60 {
         let plans: Vec<Vec<Op>> = (0..3)
@@ -123,6 +165,7 @@ fn randomized_plans_all_linearizable() {
         check!(&dicts.1, "hash");
         check!(&dicts.2, "skip");
         check!(&dicts.3, "bst");
+        check!(&dicts.4, "resizable");
     }
 }
 
@@ -202,6 +245,50 @@ mod seeded {
                 "find={find_result} must have a witness:\n{h}"
             );
         }
+    }
+
+    #[test]
+    fn item_lost_by_bucket_split_is_rejected() {
+        // The signature history of a broken split: item 8 is inserted and
+        // completes, a later insert (the growth trigger) completes, and a
+        // reader arriving through the freshly-split bucket then reports 8
+        // absent. No remove exists, so no witness ordering does either —
+        // the checker must reject what a split that dropped items between
+        // sentinel and successor would produce.
+        let h = history(vec![
+            rec(0, Op::Insert(8), true, 0, 1),
+            rec(1, Op::Insert(16), true, 2, 3),
+            rec(2, Op::Find(8), false, 4, 5),
+        ]);
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn duplicate_key_across_split_is_rejected() {
+        // A split that re-linked an item under the new sentinel while
+        // leaving the original reachable would let two non-overlapping
+        // inserts of one key both succeed. Strictly sequential here, so —
+        // unlike the legal overlapping race above — rejection is forced.
+        let h = history(vec![
+            rec(0, Op::Insert(5), true, 0, 1),
+            rec(1, Op::Insert(5), true, 2, 3),
+        ]);
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn ops_straddling_the_split_era_are_accepted() {
+        // The legal shape of ops racing a doubling: a find nested inside
+        // the racing insert's interval sees it (linearizes after it), the
+        // remove lands once the insert is done, and a late reader through
+        // the finer bucket sees absence. A witness ordering exists.
+        let h = history(vec![
+            rec(0, Op::Insert(8), true, 0, 3),
+            rec(1, Op::Find(8), true, 1, 2),
+            rec(1, Op::Remove(8), true, 4, 5),
+            rec(2, Op::Find(8), false, 6, 7),
+        ]);
+        assert!(check_linearizable(&h));
     }
 
     #[test]

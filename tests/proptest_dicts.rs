@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use valois::sync::rng::SmallRng;
-use valois::{BstDict, Dictionary, HashDict, SkipListDict, SortedListDict};
+use valois::{BstDict, Dictionary, HashDict, ResizableHashDict, SkipListDict, SortedListDict};
 
 #[derive(Debug, Clone)]
 enum DictOp {
@@ -82,6 +82,55 @@ fn hash_matches_btreemap() {
         let ops = random_ops(&mut rng, 200);
         let d: HashDict<u64, u64> = HashDict::with_buckets(4);
         run_against_model(&d, &ops, case);
+    }
+}
+
+/// Insert-heavy scripts over a wider key space, for the resizable table:
+/// enough distinct live keys that a table starting at 2 buckets is forced
+/// through several doublings mid-script.
+fn insert_heavy_ops(rng: &mut SmallRng, max_len: usize) -> Vec<DictOp> {
+    let len = rng.gen_range(max_len / 2..max_len);
+    (0..len)
+        .map(|_| match rng.gen_range(0..8u8) {
+            0..=4 => DictOp::Insert(rng.gen_range(0..128u8), rng.next_u64() as u16),
+            5 => DictOp::Remove(rng.gen_range(0..128u8)),
+            6 => DictOp::Find(rng.gen_range(0..128u8)),
+            _ => DictOp::Len,
+        })
+        .collect()
+}
+
+#[test]
+fn resizable_matches_btreemap() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_000A ^ (case * 0x9E37));
+        let ops = random_ops(&mut rng, 200);
+        let d: ResizableHashDict<u64, u64> = ResizableHashDict::new();
+        run_against_model(&d, &ops, case);
+    }
+}
+
+#[test]
+fn resizable_matches_btreemap_across_doublings() {
+    // The resize-specific oracle: start at 2 buckets and insert far past
+    // the doubling threshold, so every script crosses several doublings
+    // while run_against_model checks every single operation's result.
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1C7_000B ^ (case * 0x9E37));
+        let ops = insert_heavy_ops(&mut rng, 320);
+        let mut d: ResizableHashDict<u64, u64> = ResizableHashDict::with_initial_buckets(2);
+        run_against_model(&d, &ops, case);
+        assert!(
+            d.doublings() >= 3,
+            "case {case}: expected >= 3 doublings, saw {} ({} buckets, {} items)",
+            d.doublings(),
+            d.bucket_count(),
+            d.len()
+        );
+        d.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        d.audit_refcounts()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }
 
