@@ -20,6 +20,7 @@
 //! | `refcount-pairing` | acquires are released or transferred | `// COUNT:` |
 //! | `cas-progress` | CAS retry loops back off | `// WAIT-FREE:` |
 //! | `spin-guard` | no spinlock guard across protocol calls | (baselines by path) |
+//! | `probe-discipline` | probes via `valois_trace::probe!`, never bare `record` calls | trace crate itself |
 //!
 //! See `docs/ANALYSIS.md` for the comment contracts and
 //! `docs/VERIFICATION.md` for where this layer sits among the others.
@@ -45,6 +46,11 @@ use source::SourceFile;
 ///
 /// * `crates/sync/src/shim/**` — exempt from `shim-import` (it *is* the
 ///   shim);
+/// * `crates/trace/**` — exempt from `shim-import` (the flight recorder
+///   sits *below* `valois-sync` in the dependency DAG, so it cannot
+///   import the shim; its rings are deliberately un-modeled — recording
+///   must never perturb the schedule being modeled) and from
+///   `probe-discipline` (it defines `record` and the `probe!` macro);
 /// * `crates/baseline/**` — exempt from `cas-progress` and `spin-guard`
 ///   (coarse locking around whole operations is the baseline's design);
 /// * `crates/bench/**`, `crates/harness/**` — exempt from `cas-progress`
@@ -54,12 +60,13 @@ use source::SourceFile;
 pub fn analyze_source(label: &str, content: &str) -> Vec<Finding> {
     let file = SourceFile::parse(label, content);
     let norm = label.replace('\\', "/");
+    let is_trace = norm.contains("crates/trace/");
     let is_shim = norm.contains("crates/sync/src/shim");
     let progress_exempt = ["crates/baseline/", "crates/bench/", "crates/harness/"]
         .iter()
         .any(|p| norm.contains(p));
     let mut out = Vec::new();
-    if !is_shim {
+    if !is_shim && !is_trace {
         out.extend(passes::shim::run(&file));
     }
     out.extend(passes::ordering::run(&file));
@@ -67,6 +74,9 @@ pub fn analyze_source(label: &str, content: &str) -> Vec<Finding> {
     out.extend(passes::refcount::run(&file));
     if !progress_exempt {
         out.extend(passes::progress::run(&file));
+    }
+    if !is_trace {
+        out.extend(passes::probes::run(&file));
     }
     out
 }

@@ -5,6 +5,7 @@
 //! testable on bare snippets.
 
 pub mod ordering;
+pub mod probes;
 pub mod progress;
 pub mod refcount;
 pub mod shim;

@@ -1,0 +1,89 @@
+//! Probe discipline: flight-recorder probes must go through the
+//! `valois_trace::probe!` macro, never a direct `valois_trace::record`
+//! call. The macro expands to `if valois_trace::ENABLED { record(..) }`
+//! with `ENABLED` a `const` of the *defining* crate, so with the
+//! `recorder` feature off the branch — and every argument expression —
+//! folds away to nothing. A bare `record(...)` call defeats exactly that:
+//! its arguments (pointer casts, counter reads) are evaluated on the hot
+//! path even when the recorder is compiled out, which is how a
+//! "zero-cost when off" observability layer quietly stops being one.
+//!
+//! Flagged forms:
+//!
+//! * `use valois_trace::record;` (any import of the function, renames
+//!   included) — an imported `record` is about to be called bare;
+//! * the inline qualified call path `valois_trace::record(...)`.
+//!
+//! The macro definition itself lives in `crates/trace`, which the driver
+//! exempts by path.
+
+use crate::passes::finding;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "probe-discipline";
+
+/// Runs the pass over one file.
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // 1. Flattened `use` paths: any import of `valois_trace::record`.
+    for p in file.use_paths() {
+        let segs: Vec<&str> = p.segments.iter().map(|s| s.as_str()).collect();
+        if segs == ["valois_trace", "record"] {
+            let rename = p
+                .rename
+                .as_deref()
+                .map(|r| format!(" (as `{r}`)"))
+                .unwrap_or_default();
+            out.push(finding(
+                RULE,
+                file,
+                p.line,
+                format!(
+                    "import of `valois_trace::record`{rename}; hot-path probes \
+                     must use the `valois_trace::probe!` macro so probe \
+                     arguments are not evaluated when the recorder is off"
+                ),
+            ));
+        }
+    }
+
+    // 2. Inline qualified calls: the significant-token sequence
+    //    `valois_trace :: record` outside `use` items (imports were
+    //    already reported above).
+    let use_ranges = crate::passes::shim::use_item_ranges(file);
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("valois_trace") {
+            continue;
+        }
+        if use_ranges.iter().any(|&(lo, hi)| i >= lo && i <= hi) {
+            continue;
+        }
+        let mut j = i;
+        let mut matched = true;
+        for expect in [":", ":", "record"] {
+            match file.next_sig(j) {
+                Some(n) if expect == ":" && toks[n].text == ":" => j = n,
+                Some(n) if expect != ":" && toks[n].is_ident(expect) => j = n,
+                _ => {
+                    matched = false;
+                    break;
+                }
+            }
+        }
+        if matched {
+            out.push(finding(
+                RULE,
+                file,
+                toks[i].line,
+                "direct call to `valois_trace::record`; hot-path probes must \
+                 use the `valois_trace::probe!` macro so probe arguments are \
+                 not evaluated when the recorder is off"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}

@@ -107,8 +107,10 @@ pub fn run(file: &SourceFile) -> Vec<Finding> {
     out
 }
 
-/// Token index ranges `[use_kw, semicolon]` of every `use` item.
-fn use_item_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
+/// Token index ranges `[use_kw, semicolon]` of every `use` item (shared
+/// with the `probe-discipline` pass, which needs the same "already
+/// reported as an import" suppression).
+pub(crate) fn use_item_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let toks = &file.toks;
     let mut i = 0;

@@ -108,6 +108,12 @@ pub const RULES: &[RuleInfo] = &[
                   layer",
         severity: Severity::Warning,
     },
+    RuleInfo {
+        id: "probe-discipline",
+        summary: "flight-recorder probes must use the zero-cost valois_trace::probe! \
+                  macro, never a direct valois_trace::record call",
+        severity: Severity::Error,
+    },
 ];
 
 /// Looks up a rule's metadata by id.

@@ -393,6 +393,64 @@ fn spin_guard_ignores_non_spin_locks() {
     assert_eq!(count(LIB, &src, "spin-guard"), 0);
 }
 
+// ---- probe-discipline ----------------------------------------------------
+
+#[test]
+fn probe_flags_direct_record_call() {
+    // The seeded violation: a bare `record` call behind the feature gate
+    // evaluates its arguments (the pointer casts here) on the hot path
+    // even with the recorder compiled out.
+    let src = "fn hot(p: *mut u8, q: *mut u8) {\n\
+               \x20   valois_trace::record(valois_trace::EventKind::CasAttempt, p as u64, q as u64, 0);\n\
+               }\n";
+    assert_eq!(count(LIB, src, "probe-discipline"), 1);
+}
+
+#[test]
+fn probe_flags_record_import_and_rename() {
+    assert_eq!(
+        count(LIB, "use valois_trace::record;\n", "probe-discipline"),
+        1
+    );
+    let findings = analyze_source(LIB, "use valois_trace::record as log_event;\n");
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "probe-discipline")
+        .expect("rename must be flagged");
+    assert!(
+        f.message.contains("log_event"),
+        "message names the rename: {}",
+        f.message
+    );
+}
+
+#[test]
+fn probe_accepts_the_macro_form() {
+    let src = "fn hot(p: *mut u8, q: *mut u8) {\n\
+               \x20   valois_trace::probe!(CasAttempt, p as usize, q as usize);\n\
+               }\n";
+    assert_eq!(count(LIB, src, "probe-discipline"), 0);
+}
+
+#[test]
+fn probe_accepts_other_valois_trace_items() {
+    // snapshot/dump/arm_panic_dump are cold-path API, not probes.
+    let src = "fn summary() {\n\
+               \x20   let m = valois_trace::snapshot();\n\
+               \x20   valois_trace::arm_panic_dump();\n\
+               \x20   let _ = m;\n\
+               }\n";
+    assert_eq!(count(LIB, src, "probe-discipline"), 0);
+}
+
+#[test]
+fn probe_trace_crate_is_exempt_by_path() {
+    // The macro's own expansion necessarily names `record`.
+    let src = "pub fn record(kind: EventKind, a: u64, b: u64, c: u64) {}\n\
+               fn test_helper() { valois_trace::record(EventKind::Alloc, 0, 0, 0); }\n";
+    assert_eq!(count("crates/trace/src/lib.rs", src, "probe-discipline"), 0);
+}
+
 // ---- severity / deny plumbing -------------------------------------------
 
 #[test]

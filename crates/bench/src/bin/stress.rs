@@ -4,7 +4,13 @@
 //! ```text
 //! stress [--secs N] [--threads N]
 //!        [--structure list|sorted|hash|resizable|skip|bst|queue|stack|pqueue|all]
+//!        [--inject-failure]
 //! ```
+//!
+//! `--inject-failure` panics after the soak finishes — it exists to
+//! exercise the flight-recorder post-mortem path end-to-end (with
+//! `--features trace` the panic must leave a *.vtrace file behind; see
+//! docs/OBSERVABILITY.md).
 //!
 //! Intended for long unattended runs (`cargo run --release -p valois-bench
 //! --bin stress -- --secs 300`); the CI-sized default is 5 seconds per
@@ -22,6 +28,7 @@ struct Args {
     secs: u64,
     threads: usize,
     structure: String,
+    inject_failure: bool,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +39,7 @@ fn parse_args() -> Args {
             .unwrap_or(4)
             .clamp(2, 16),
         structure: "all".into(),
+        inject_failure: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -48,6 +56,9 @@ fn parse_args() -> Args {
             "--structure" => {
                 i += 1;
                 args.structure = argv[i].to_ascii_lowercase();
+            }
+            "--inject-failure" => {
+                args.inject_failure = true;
             }
             other => panic!("unknown argument {other}"),
         }
@@ -265,6 +276,11 @@ fn soak_stack_pqueue(secs: u64, threads: usize) {
 }
 
 fn main() {
+    // With `--features trace`, any panic (an invariant assertion firing)
+    // writes a merged time-ordered flight-recorder post-mortem to a
+    // *.vtrace file before unwinding; render it with
+    // `cargo xtask trace-dump <file>`. Without the feature this is a no-op.
+    valois_trace::arm_panic_dump();
     let args = parse_args();
     let t0 = Instant::now();
     println!(
@@ -329,5 +345,17 @@ fn main() {
     if want("stack") || want("pqueue") {
         soak_stack_pqueue(args.secs, args.threads);
     }
+    // Flight-recorder summary (non-empty only with `--features trace`):
+    // protocol-level counters and histograms aggregated across all soak
+    // threads — CAS failure rate, SafeRead/Release traffic per hop,
+    // backoff and batch-size distributions.
+    let metrics = valois_trace::snapshot();
+    if !metrics.is_empty() {
+        println!("--- flight recorder ---\n{metrics}");
+    }
+    assert!(
+        !args.inject_failure,
+        "injected failure (--inject-failure): exercising the post-mortem dump path"
+    );
     println!("soak complete in {:?} — all invariants held", t0.elapsed());
 }

@@ -272,6 +272,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
         }
         self.update(); // Fig. 7 line 7
         self.ops.next_steps += 1;
+        valois_trace::probe!(CursorHop, self.pre_cell as usize, self.target as usize);
         true
     }
 
@@ -343,9 +344,11 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             amplify();
             if arena.swing(&(*self.pre_aux).next, self.target, q) {
                 self.ops.insert_successes += 1;
+                valois_trace::probe!(TryInsertOk, self.pre_aux as usize, q as usize);
                 prepared.consume();
                 Ok(())
             } else {
+                valois_trace::probe!(TryInsertFail, self.pre_aux as usize, q as usize);
                 Err(prepared)
             }
         }
@@ -417,9 +420,11 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             if !arena.swing(&(*self.pre_aux).next, d, n) {
                 // Fig. 10 lines 4-5.
                 arena.release(n);
+                valois_trace::probe!(TryDeleteFail, self.pre_aux as usize, d as usize);
                 return false;
             }
             self.ops.delete_successes += 1;
+            valois_trace::probe!(TryDeleteOk, self.pre_aux as usize, d as usize);
             amplify();
             // Fig. 10 line 6: record the back link. We won the deletion
             // CAS, so we are the unique writer of d's back_link.

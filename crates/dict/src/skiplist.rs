@@ -20,7 +20,7 @@
 
 use std::fmt;
 use std::mem::MaybeUninit;
-use valois_sync::shim::atomic::{AtomicU64, AtomicU8, Ordering};
+use valois_sync::shim::atomic::{fence, AtomicU64, AtomicU8, Ordering};
 use valois_sync::shim::cell::UnsafeCell;
 use valois_sync::Backoff;
 
@@ -508,7 +508,18 @@ where
     }
 
     fn insert_impl(&self, key: K, value: V) -> bool {
-        let height = self.random_level();
+        self.insert_with_height(key, value, self.random_level())
+    }
+
+    /// Inserts with an explicit tower height instead of a random one.
+    ///
+    /// This is a test hook: the shim/loom models need deterministic tower
+    /// heights to pin the insert-vs-remove interleaving (`random_level`
+    /// draws from a thread-local stream the scheduler cannot replay).
+    /// `height` is clamped to `1..=MAX_LEVELS`.
+    #[doc(hidden)]
+    pub fn insert_with_height(&self, key: K, value: V, height: usize) -> bool {
+        let height = height.clamp(1, MAX_LEVELS);
         // SAFETY: protocol invariants as documented on each helper.
         unsafe {
             let mut saved: Vec<*mut SkipNode<K, V>> = Vec::new();
@@ -521,6 +532,7 @@ where
             if self.find_from(0, &mut c0, &key) {
                 self.release_cursor(c0);
                 release_saved(&saved);
+                valois_trace::probe!(DictInsert, 0u64, 0u64);
                 return false;
             }
             // Allocate and initialize the tower cell.
@@ -540,6 +552,7 @@ where
                     // allocation reference (the cell's is dropped at the
                     // end, after the upper levels are linked).
                     self.arena.release(aux0);
+                    valois_trace::probe!(TowerLink, cell as usize, 0u64);
                     break;
                 }
                 self.retries.fetch_add(1, Ordering::Relaxed);
@@ -551,6 +564,7 @@ where
                     release_saved(&saved);
                     self.arena.release(cell); // drains key/value + aux0 link
                     self.arena.release(aux0);
+                    valois_trace::probe!(DictInsert, 0u64, 0u64);
                     return false;
                 }
             }
@@ -590,6 +604,7 @@ where
                     }
                     if self.try_insert(lvl, &c, cell, aux) {
                         self.arena.release(aux);
+                        valois_trace::probe!(TowerLink, cell as usize, lvl);
                         break;
                     }
                     self.retries.fetch_add(1, Ordering::Relaxed);
@@ -598,6 +613,18 @@ where
                 }
                 // If the cell was removed while we linked this level, undo
                 // our own link (the remover may have already passed lvl).
+                //
+                // ORDER: SeqCst fence between the level-`lvl` link CAS
+                // above and the `back_link[0]` read below — pairs with the
+                // remover's fence in `sweep_orphan_tower`. In the SC total
+                // order one fence precedes the other, so either the read
+                // below observes the level-0 deletion (we undo our link
+                // here), or the remover's sweep observes our link (it
+                // unlinks `cell` at this level). Without the fences both
+                // sides can miss the other's store and the level-`lvl`
+                // entry is orphaned. See docs/PROTOCOL.md, "The
+                // orphan-tower race".
+                fence(Ordering::SeqCst);
                 if !(*cell).back_link[0].read().is_null() {
                     let mut cc = self.cursor_at(lvl, self.first);
                     loop {
@@ -611,6 +638,7 @@ where
                             continue;
                         }
                         if self.try_delete(lvl, &mut cc) {
+                            valois_trace::probe!(TowerUndo, cell as usize, lvl);
                             break;
                         }
                         self.update(lvl, &mut cc);
@@ -625,6 +653,7 @@ where
             // the cell now).
             self.arena.release(cell);
             release_saved(&saved);
+            valois_trace::probe!(DictInsert, cell as usize, 1u64);
             true
         }
     }
@@ -647,7 +676,14 @@ where
                     }
                     if self.try_delete(lvl, &mut c) {
                         if lvl == 0 {
+                            // The membership-defining deletion won. Sweep
+                            // the upper levels again: a racing bottom-up
+                            // inserter may have linked (or may yet link)
+                            // this cell above after our top-down pass went
+                            // by. `c.target` is still counted here (the
+                            // cursor releases it below).
                             removed = true;
+                            self.sweep_orphan_tower(c.target);
                         }
                         break;
                     }
@@ -660,7 +696,72 @@ where
                 self.release_cursor(c);
             }
             self.arena.release(entry);
+            valois_trace::probe!(DictRemove, removed as u64);
             removed
+        }
+    }
+
+    /// Post-delete sweep: after winning the level-0 (membership) deletion
+    /// of `d`, unlink `d` from every upper level it may still occupy.
+    ///
+    /// The top-down pass already cleaned the levels where `d` was visible
+    /// *before* it reached level 0 — but a concurrent bottom-up inserter
+    /// can link `d` into an upper level after the pass went by (its
+    /// `back_link[0]` checks raced the level-0 deletion). The inserter
+    /// self-undoes when its post-link check observes the deletion; this
+    /// sweep covers the complementary interleaving where that check fired
+    /// first and observed nothing. The paired SeqCst fences (here and at
+    /// the inserter's post-link check) guarantee at least one of the two
+    /// mechanisms sees the other side's store — see docs/PROTOCOL.md,
+    /// "The orphan-tower race".
+    ///
+    /// Matching is by pointer identity, not key: a newer tower reusing the
+    /// same key must survive the sweep.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold a counted reference on `d` (so it cannot be
+    /// reclaimed mid-sweep), and `d`'s level-0 deletion must have set its
+    /// `back_link[0]`.
+    unsafe fn sweep_orphan_tower(&self, d: *mut SkipNode<K, V>) {
+        // ORDER: SeqCst fence after the level-0 `back_link[0]` write (in
+        // `try_delete`) and before the upper-level reads below — the
+        // remover half of the pairing described above.
+        fence(Ordering::SeqCst);
+        let height = (*d).level.load(Ordering::Acquire) as usize;
+        if height <= 1 {
+            return;
+        }
+        let key = (*d).key();
+        for lvl in 1..height {
+            let mut c = self.cursor_at(lvl, self.first);
+            // WAIT-FREE: each failed `try_delete` means another actor
+            // changed this level's chain around `d` (system-wide
+            // progress), and at most one other actor ever targets `d`
+            // here (its inserter's self-undo) — once either side's
+            // unlink wins, `find_from` stops seeing `d` and the loop
+            // exits, so retries are bounded, not contended.
+            loop {
+                if !self.find_from(lvl, &mut c, key) {
+                    break;
+                }
+                if c.target != d {
+                    // A different (newer) same-key tower; step past it.
+                    if !self.next(lvl, &mut c) {
+                        break;
+                    }
+                    continue;
+                }
+                if self.try_delete(lvl, &mut c) {
+                    valois_trace::probe!(TowerSweep, d as usize, lvl);
+                    break;
+                }
+                // Lost the unlink race at this level (the inserter's
+                // self-undo, most likely); re-examine from a fresh view.
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                self.update(lvl, &mut c);
+            }
+            self.release_cursor(c);
         }
     }
 

@@ -324,11 +324,24 @@ mod skiplist {
     fn single_key_insert_remove_hammer_leaves_no_orphans() {
         // The hardest skip-list race: one key inserted and removed
         // concurrently. A remover passing level L before the inserter
-        // links L would orphan the tower there; the inserter's
-        // back_link[0] check + self-undo must prevent any orphan
-        // surviving quiescence (check_invariants verifies the level
-        // subset property).
-        for round in 0..30 {
+        // links L would orphan the tower there. Two mechanisms prevent
+        // any orphan surviving quiescence (check_invariants verifies the
+        // level subset property): the inserter's fenced back_link[0]
+        // check + self-undo, and the remover's post-delete
+        // sweep_orphan_tower — see docs/PROTOCOL.md, "The orphan-tower
+        // race", and the deterministic loom_skiplist model that pins the
+        // interleaving this hammer used to lose to.
+        //
+        // VALOIS_HAMMER_ROUNDS overrides the round count (the nightly CI
+        // job runs 500 consecutive rounds); with the `trace` feature on,
+        // a failure dumps a merged .vtrace post-mortem for the artifact
+        // upload.
+        valois_trace::arm_panic_dump();
+        let rounds: u64 = std::env::var("VALOIS_HAMMER_ROUNDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30);
+        for round in 0..rounds {
             let mut d: SkipListDict<u64, u64> = SkipListDict::new();
             std::thread::scope(|s| {
                 let d = &d;

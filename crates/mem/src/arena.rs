@@ -240,6 +240,7 @@ impl<N: Managed + Default> Arena<N> {
     /// counted reference, claim still set from its free life).
     fn finish_alloc(&self, p: *mut N) -> *mut N {
         self.counters.bump(|s| &s.allocs);
+        valois_trace::probe!(Alloc, p as usize);
         // SAFETY: `p` was just popped off a free structure with its claim
         // still set — the caller is its sole owner until it is published.
         unsafe {
@@ -263,12 +264,17 @@ impl<N: Managed + Default> Arena<N> {
         tally: &mut MemTally,
     ) -> Option<*mut N> {
         let first = self.pop_free_global(tally)?;
+        let mut refilled = 0u64;
         for _ in 1..REFILL_BATCH {
             match self.pop_free_global(tally) {
-                Some(p) => mag.push(p),
+                Some(p) => {
+                    mag.push(p);
+                    refilled += 1;
+                }
                 None => break,
             }
         }
+        valois_trace::probe!(MagRefill, refilled);
         Some(first)
     }
 
@@ -362,11 +368,12 @@ impl<N: Managed> Arena<N> {
             // recycled — but it is always a valid node of this type-stable
             // arena, so the increment is memory-safe; the re-read below
             // rejects stale protections and `release` undoes the count.
-            (*q).header().incr_ref();
+            let prev = (*q).header().incr_ref();
             // Fig. 15 line 5: still current? Then our count was acquired
             // while `src` held a (counted) pointer to `q`, so `q` was live.
             if src.read() == q {
                 tally.safe_reads += 1;
+                valois_trace::probe!(SafeRead, q as usize, prev);
                 return q;
             }
             // Fig. 15 lines 7-8.
@@ -429,6 +436,7 @@ impl<N: Managed> Arena<N> {
             tally.releases += 1;
             // Fig. 16 line 1: c <- Fetch&Add(p^.refct, -1).
             let prev = (*current).header().decr_ref();
+            valois_trace::probe!(Release, current as usize, prev);
             if prev == 1 {
                 // Count hit zero: Fig. 16 lines 4-7 — claim arbitration,
                 // with the Michael & Scott correction: the claim CAS
@@ -489,6 +497,7 @@ impl<N: Managed> Arena<N> {
         if defer.len == 0 {
             return;
         }
+        valois_trace::probe!(DeferFlush, defer.len);
         let mut tally = MemTally::new();
         for i in 0..defer.len {
             self.release_into(defer.buf[i], &mut tally);
@@ -512,6 +521,7 @@ impl<N: Managed> Arena<N> {
     /// an over-full magazine flushes half of itself to the global list in
     /// one splice.
     fn push_free(&self, p: *mut N) {
+        valois_trace::probe!(Reclaim, p as usize);
         // The free structure's incoming pointer is a counted reference:
         // *add* 1 (never store — a store would erase a concurrent transient
         // SafeRead increment; see crate docs "corrections").
@@ -524,8 +534,9 @@ impl<N: Managed> Arena<N> {
             mag.push(p);
             let len = mag.len();
             if len > MAGAZINE_CAP {
-                if let Some((h, t, _)) = mag.take_chain(len - MAGAZINE_CAP / 2) {
+                if let Some((h, t, taken)) = mag.take_chain(len - MAGAZINE_CAP / 2) {
                     self.splice_free_global(h, t);
+                    valois_trace::probe!(MagFlush, taken);
                 }
             }
             return;
@@ -589,6 +600,7 @@ impl<N: Managed> Arena<N> {
                 let len = mag.len();
                 if let Some((h, t, taken)) = mag.take_chain(len) {
                     self.splice_free_global(h, t);
+                    valois_trace::probe!(MagFlush, taken);
                     moved += taken;
                 }
             }

@@ -122,8 +122,11 @@ impl Backoff {
             for _ in 0..iters {
                 crate::shim::hint::spin_loop();
             }
+            valois_trace::probe!(BackoffDone, iters);
         } else {
             crate::shim::thread::yield_now();
+            // A yield's wall time is the scheduler's; record the envelope.
+            valois_trace::probe!(BackoffDone, 1u64 << self.exponent);
         }
         if self.exponent < MAX_EXPONENT {
             self.exponent += 1;

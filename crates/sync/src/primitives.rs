@@ -140,12 +140,38 @@ impl<T> CasPtr<T> {
 
     /// Fig. 1 `Compare&Swap` on a pointer word.
     pub fn compare_and_swap(&self, old: *mut T, new: *mut T) -> bool {
+        valois_trace::probe!(
+            CasAttempt,
+            self as *const Self as usize,
+            old as usize,
+            new as usize
+        );
         // ORDER: AcqRel — a successful swing publishes `new` (Release)
         // and observes everything published before `old` was installed
         // (Acquire); failure still acquires the competing publication.
-        self.ptr
+        match self
+            .ptr
             .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+        {
+            Ok(_) => {
+                valois_trace::probe!(
+                    CasSuccess,
+                    self as *const Self as usize,
+                    old as usize,
+                    new as usize
+                );
+                true
+            }
+            Err(found) => {
+                valois_trace::probe!(
+                    CasFailure,
+                    self as *const Self as usize,
+                    old as usize,
+                    found as usize
+                );
+                false
+            }
+        }
     }
 
     /// Unconditional atomic exchange; returns the previous value.

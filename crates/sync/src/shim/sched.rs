@@ -81,8 +81,27 @@ struct SchedState {
     current: usize,
     preemptions: usize,
     steps: usize,
+    /// Random-schedule state; `None` selects the deterministic DFS
+    /// default (extend with index 0).
+    rand: Option<RandState>,
     /// First failure message; once set, every thread unwinds.
     abort: Option<String>,
+}
+
+/// Per-execution state for random exploration (see [`Builder::random`]):
+/// a PCT-style schedule — run the current thread until a pre-drawn
+/// *change point* (a step index), then switch to a uniformly random other
+/// runnable thread.
+struct RandState {
+    rng: u64,
+    change_points: Vec<usize>,
+}
+
+fn xorshift64(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
 }
 
 struct Model {
@@ -148,7 +167,26 @@ impl Model {
                     .copied()
                     .unwrap_or(0)
                     .min(choices.len() - 1),
-                None => 0,
+                None => match st.rand.as_mut() {
+                    // PCT-style extension: keep running the current thread
+                    // (`choices[0]` at a switch point) unless this step is a
+                    // pre-drawn change point, in which case preempt to a
+                    // uniformly random *other* thread. Forced hand-offs
+                    // (current thread blocked/finished, so not in `choices`)
+                    // pick uniformly.
+                    Some(r) => {
+                        if choices[0] == st.current {
+                            if r.change_points.contains(&st.steps) {
+                                1 + (xorshift64(&mut r.rng) as usize) % (choices.len() - 1)
+                            } else {
+                                0
+                            }
+                        } else {
+                            (xorshift64(&mut r.rng) as usize) % choices.len()
+                        }
+                    }
+                    None => 0,
+                },
             };
             st.schedule.push(Decision {
                 choices: choices.clone(),
@@ -549,6 +587,24 @@ pub struct Builder {
     pub max_steps: usize,
     /// Limit on the number of explored schedules.
     pub max_iterations: u64,
+    /// Programmatic forced schedule (the `chosen_idx` sequence of a
+    /// failing run). Takes precedence over `VALOIS_SCHED_REPLAY`.
+    pub replay: Option<Vec<usize>>,
+    /// Random-schedule exploration: `(schedules, seed)`. Instead of the
+    /// DFS sweep, run this many independent PCT-style schedules: each run
+    /// draws `preemption_bound` random *change points* (step indices) up
+    /// front, runs the current thread until a change point, then switches
+    /// to a random other thread (forced hand-offs stay uniform). For
+    /// models whose DFS frontier is much wider than the bug's window —
+    /// e.g. two ~500-step threads where the failure needs a preemption in
+    /// one specific ~20-step region — a random schedule hits the window
+    /// with probability ≈ 20/500 per draw, i.e. in O(10²–10³) runs, while
+    /// DFS order may visit O(10⁵) schedules first. (Per-decision coin
+    /// flips would be far worse: the chance of running one thread for the
+    /// ~200 uninterrupted steps the window needs decays exponentially.)
+    /// Failures still print a `VALOIS_SCHED_REPLAY` vector and are
+    /// exactly reproducible from `(seed, preemption_bound)`.
+    pub random: Option<(u64, u64)>,
 }
 
 impl Default for Builder {
@@ -557,6 +613,8 @@ impl Default for Builder {
             preemption_bound: DEFAULT_PREEMPTION_BOUND,
             max_steps: DEFAULT_MAX_STEPS,
             max_iterations: DEFAULT_MAX_ITERATIONS,
+            replay: None,
+            random: None,
         }
     }
 }
@@ -570,6 +628,22 @@ impl Builder {
     /// Sets the preemption budget.
     pub fn preemption_bound(mut self, bound: usize) -> Self {
         self.preemption_bound = bound;
+        self
+    }
+
+    /// Replays exactly one schedule: the `chosen_idx` vector printed with
+    /// a failing run (the same numbers `VALOIS_SCHED_REPLAY` accepts, but
+    /// usable from test code without touching process-global env vars —
+    /// `std::env::set_var` would race with concurrently running tests).
+    pub fn replay_schedule(mut self, schedule: &[usize]) -> Self {
+        self.replay = Some(schedule.to_vec());
+        self
+    }
+
+    /// Switches to seeded random-walk exploration of `schedules` runs
+    /// (see [`Builder::random`] for when this beats the DFS sweep).
+    pub fn random_walks(mut self, schedules: u64, seed: u64) -> Self {
+        self.random = Some((schedules, seed));
         self
     }
 
@@ -589,20 +663,27 @@ impl Builder {
         // Replay support: `VALOIS_SCHED_REPLAY=0,0,1,...` (the chosen_idx
         // sequence printed with a failing schedule) runs exactly that one
         // schedule with per-step tracing; `VALOIS_SCHED_TRACE=1` traces a
-        // normal exploration.
-        let forced: Option<Vec<usize>> = std::env::var("VALOIS_SCHED_REPLAY").ok().map(|s| {
-            s.split(',')
-                .map(str::trim)
-                .filter(|t| !t.is_empty())
-                .map(|t| {
-                    t.parse()
-                        .expect("VALOIS_SCHED_REPLAY: comma-separated indices")
-                })
-                .collect()
+        // normal exploration. A programmatic `replay_schedule` wins over
+        // the env var so committed regression tests stay hermetic.
+        let forced: Option<Vec<usize>> = self.replay.clone().or_else(|| {
+            std::env::var("VALOIS_SCHED_REPLAY").ok().map(|s| {
+                s.split(',')
+                    .map(str::trim)
+                    .filter(|t| !t.is_empty())
+                    .map(|t| {
+                        t.parse()
+                            .expect("VALOIS_SCHED_REPLAY: comma-separated indices")
+                    })
+                    .collect()
+            })
         });
         let trace = forced.is_some() || std::env::var_os("VALOIS_SCHED_TRACE").is_some();
         let mut schedule: Vec<Decision> = Vec::new();
         let mut iterations: u64 = 0;
+        // Rolling estimate of a run's step count (random mode only): the
+        // first run's change points use the seed value below; later runs
+        // use the measured length of the run before them.
+        let mut est_steps: usize = 256;
         loop {
             iterations += 1;
             assert!(
@@ -610,6 +691,24 @@ impl Builder {
                 "exceeded {} explored schedules — shrink the model",
                 self.max_iterations
             );
+            // Per-schedule deterministic RNG: failures reproduce from
+            // (seed, iteration) alone, independent of earlier schedules.
+            // Change points are drawn uniformly over the previous run's
+            // step count, so preemptions land anywhere in the execution
+            // rather than clustering at the start.
+            let rand = match (&forced, self.random) {
+                (None, Some((_, seed))) => {
+                    let mut rng = seed
+                        .wrapping_add(iterations)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        | 1;
+                    let change_points = (0..self.preemption_bound)
+                        .map(|_| (xorshift64(&mut rng) as usize % est_steps) + 1)
+                        .collect();
+                    Some(RandState { rng, change_points })
+                }
+                _ => None,
+            };
             let model = Arc::new(Model {
                 state: StdMutex::new(SchedState {
                     schedule: std::mem::take(&mut schedule),
@@ -618,6 +717,7 @@ impl Builder {
                     current: 0,
                     preemptions: 0,
                     steps: 0,
+                    rand,
                     abort: None,
                 }),
                 cv: Condvar::new(),
@@ -641,6 +741,7 @@ impl Builder {
             }
             let (mut sched, abort) = {
                 let mut st = model.state.lock().unwrap();
+                est_steps = st.steps.max(64);
                 (std::mem::take(&mut st.schedule), st.abort.take())
             };
             if let Some(msg) = abort {
@@ -666,6 +767,13 @@ impl Builder {
                     sched.len()
                 );
                 return iterations;
+            }
+            if let Some((schedules, _)) = self.random {
+                // Random-walk mode: independent schedules, no backtrack.
+                if iterations >= schedules {
+                    return iterations;
+                }
+                continue;
             }
             // Depth-first backtrack: advance the deepest decision with an
             // unexplored alternative; exploration is complete when none

@@ -1,8 +1,10 @@
-//! Repository automation. `cargo xtask analyze` runs the `valois-analyze`
-//! syntax-aware protocol linter over the workspace's library sources
-//! (`crates/*/src`, `src/`) — see `crates/analyze` for the passes and
-//! `docs/ANALYSIS.md` for the comment contracts they enforce
-//! (`SAFETY:` / `ORDER:` / `COUNT:` / `WAIT-FREE:`).
+//! Repository automation.
+//!
+//! `cargo xtask analyze` runs the `valois-analyze` syntax-aware protocol
+//! linter over the workspace's library sources (`crates/*/src`, `src/`) —
+//! see `crates/analyze` for the passes and `docs/ANALYSIS.md` for the
+//! comment contracts they enforce (`SAFETY:` / `ORDER:` / `COUNT:` /
+//! `WAIT-FREE:`).
 //!
 //! ```text
 //! cargo xtask analyze [--format text|json|sarif] [--deny warn] [--output PATH]
@@ -14,6 +16,11 @@
 //!   tree passes it);
 //! * `--output` — write the report to a file instead of stdout (the
 //!   human-readable summary still goes to stderr).
+//!
+//! `cargo xtask trace-dump <file.vtrace>` renders a flight-recorder
+//! post-mortem (written by `valois_trace::dump` when an invariant fails
+//! under `--features trace`) as a human-readable, time-ordered event log
+//! plus the counter summary — see `docs/OBSERVABILITY.md`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -35,22 +42,82 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask analyze [--format text|json|sarif] [--deny warn] [--output PATH]"
     );
+    eprintln!("       cargo xtask trace-dump <file.vtrace>");
     eprintln!();
-    eprintln!("  analyze   run the valois-analyze protocol linter over library");
-    eprintln!("            sources: shim discipline, pointer-ordering discipline,");
-    eprintln!("            unsafe/SAFETY audit, refcount pairing, CAS-loop progress,");
-    eprintln!("            and spinlock-guard hygiene (see docs/ANALYSIS.md)");
+    eprintln!("  analyze     run the valois-analyze protocol linter over library");
+    eprintln!("              sources: shim discipline, pointer-ordering discipline,");
+    eprintln!("              unsafe/SAFETY audit, refcount pairing, CAS-loop progress,");
+    eprintln!("              probe discipline, and spinlock-guard hygiene");
+    eprintln!("              (see docs/ANALYSIS.md)");
     eprintln!();
-    eprintln!("  --format  output format (default: text)");
-    eprintln!("  --deny    'warn' promotes warnings to failures (CI runs this)");
-    eprintln!("  --output  write the report to PATH instead of stdout");
+    eprintln!("  --format    output format (default: text)");
+    eprintln!("  --deny      'warn' promotes warnings to failures (CI runs this)");
+    eprintln!("  --output    write the report to PATH instead of stdout");
+    eprintln!();
+    eprintln!("  trace-dump  render a flight-recorder post-mortem (*.vtrace) as a");
+    eprintln!("              merged, time-ordered event log (see docs/OBSERVABILITY.md)");
     ExitCode::FAILURE
+}
+
+/// Renders one `*.vtrace` post-mortem to stdout.
+fn trace_dump(path: &Path) -> ExitCode {
+    let tf = match valois_trace::TraceFile::read(path) {
+        Ok(tf) => tf,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("# post-mortem: {}", path.display());
+    println!("# reason: {}", tf.reason);
+    println!(
+        "# events: {} (merged across lanes, time-ordered)",
+        tf.events.len()
+    );
+    println!();
+    for ev in &tf.events {
+        let (name, arg_names) = match valois_trace::EventKind::from_u8(ev.kind) {
+            Some(k) => (k.name(), k.arg_names()),
+            None => ("?unknown", ["a", "b", "c"]),
+        };
+        print!("{:>10}  lane {:>2}  {:<20}", ev.seq, ev.lane, name);
+        for (arg_name, value) in arg_names.iter().zip(ev.args) {
+            if arg_name.is_empty() {
+                continue;
+            }
+            // `@`-prefixed argument names carry pointers: render as hex.
+            match arg_name.strip_prefix('@') {
+                Some(n) => print!("  {n}=0x{value:x}"),
+                None => print!("  {arg_name}={value}"),
+            }
+        }
+        println!();
+    }
+    println!();
+    println!("# counters");
+    for (kind, &count) in tf.counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let name = valois_trace::EventKind::from_u8(kind as u8)
+            .map(valois_trace::EventKind::name)
+            .unwrap_or("?unknown");
+        println!("{name:<20} {count}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    if args.next().as_deref() != Some("analyze") {
-        return usage();
+    match args.next().as_deref() {
+        Some("analyze") => {}
+        Some("trace-dump") => {
+            return match (args.next(), args.next()) {
+                (Some(p), None) => trace_dump(Path::new(&p)),
+                _ => usage(),
+            };
+        }
+        _ => return usage(),
     }
 
     let mut format = String::from("text");
@@ -99,7 +166,7 @@ fn main() -> ExitCode {
     if findings.is_empty() {
         eprintln!(
             "xtask analyze: OK (shim, ordering, unsafe-audit, refcount-pairing, \
-             cas-progress, spin-guard)"
+             cas-progress, spin-guard, probe-discipline)"
         );
         ExitCode::SUCCESS
     } else {
