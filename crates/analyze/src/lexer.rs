@@ -347,13 +347,27 @@ impl Lexer {
         self.push(TokKind::Ident, text, line);
     }
 
+    /// Whether the previous significant token was a `.` punct — i.e. the
+    /// digits about to be lexed are a tuple-field index (`pair.0`), not a
+    /// numeric literal. Without this check `x.0.1` lexes as `x` `.` `0.1`
+    /// (a float), which breaks place-expression recognition in the parser.
+    fn after_field_dot(&self) -> bool {
+        self.out
+            .iter()
+            .rev()
+            .find(|t| !t.is_comment())
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == ".")
+    }
+
     fn number(&mut self, line: usize) {
+        let field_index = self.after_field_dot();
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c.is_alphanumeric() || c == '_' {
                 text.push(self.bump().unwrap());
-            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
-                // 1.5 — but not 1..2 (range) or 1.method()
+            } else if c == '.' && !field_index && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // 1.5 — but not 1..2 (range), 1.method(), or the second
+                // index of a tuple-field chain (`x.0.1`).
                 text.push(self.bump().unwrap());
             } else {
                 break;
@@ -437,6 +451,103 @@ mod tests {
         assert!(toks
             .iter()
             .any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn raw_string_edge_cases() {
+        // Empty raw string.
+        let toks = kinds(r####"let s = r#""#;"####);
+        assert_eq!(toks[3], (TokKind::Literal, r####"r#""#"####.into()));
+        assert_eq!(toks[4], (TokKind::Punct, ";".into()));
+        // Guard-count mismatch inside the literal: `"#` does not terminate
+        // an `r##`-guarded string.
+        let toks = kinds(r####"let s = r##"has "# inside"##;"####);
+        assert_eq!(
+            toks[3],
+            (TokKind::Literal, r####"r##"has "# inside"##"####.into())
+        );
+        // Byte-raw prefix.
+        let toks = kinds(r####"br#"x"#"####);
+        assert_eq!(toks[0], (TokKind::Literal, r####"br#"x"#"####.into()));
+        // Multi-line raw string: following tokens get the right line.
+        let toks = lex("let s = r#\"a\nb\"#; fn g(){}");
+        assert_eq!(toks[3].kind, TokKind::Literal);
+        assert_eq!(toks[3].line, 1);
+        assert!(toks.iter().any(|t| t.is_ident("fn") && t.line == 2));
+        // `r` / `b` as plain identifiers are not literal prefixes.
+        let toks = kinds("let r = 1; let b = 2;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "b"));
+    }
+
+    #[test]
+    fn nested_block_comment_edge_cases() {
+        // Quotes inside a comment are trivia; nesting still balances.
+        let toks = lex("/* a /* \"inner\" */ b */ fn f(){}");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[1].is_ident("fn"));
+        // Immediately adjacent open/close pairs.
+        let toks = lex("/*/* */*/ fn");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[1].is_ident("fn"));
+        // Comments are NOT string-aware (same as rustc): a `/*` inside a
+        // quoted string inside a comment still opens a nesting level, so
+        // this input is unterminated and must degrade by consuming to EOF
+        // instead of panicking or emitting phantom tokens.
+        let toks = lex("/* a /* \"inner /*\" */ b */ fn f(){}");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn lifetime_vs_char_edge_cases() {
+        // Loop labels are lifetimes on both definition and break.
+        let toks = kinds("'outer: loop { break 'outer; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        // Escaped-quote char literals.
+        let toks = kinds(r"let a = '\''; let b = '\\'; let c = b'\'';");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Literal)
+            .collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0].1, r"'\''");
+        assert_eq!(chars[1].1, r"'\\'");
+        assert_eq!(chars[2].1, r"b'\''");
+        // `'_'` is the underscore char, `'_` is the anonymous lifetime.
+        let toks = kinds("let c = '_'; fn f(x: &'_ u8) {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "'_'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'_"));
+        // Unicode escape.
+        let toks = kinds(r"let c = '\u{1F}';");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == r"'\u{1F}'"));
+    }
+
+    #[test]
+    fn tuple_field_chain_is_not_a_float() {
+        // `x.0.1` is two field accesses; `0.1` alone is a float.
+        let toks = kinds("let v = x.0.1;");
+        assert_eq!(toks[4], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokKind::Literal, "0".into()));
+        assert_eq!(toks[6], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[7], (TokKind::Literal, "1".into()));
+        let toks = kinds("let f = 0.1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "0.1"));
+        // Ranges and method calls on integers still split at the dot.
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "10"));
     }
 
     #[test]

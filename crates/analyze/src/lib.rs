@@ -21,6 +21,10 @@
 //! | `cas-progress` | CAS retry loops back off | `// WAIT-FREE:` |
 //! | `spin-guard` | no spinlock guard across protocol calls | (baselines by path) |
 //! | `probe-discipline` | probes via `valois_trace::probe!`, never bare `record` calls | trace crate itself |
+//! | `refcount-balance` | per-path dataflow proof of acquire/release balance | `// COUNT:` (checked) |
+//! | `order-pairing` | Release writes pair with Acquire reads per location | `// ORDER:` |
+//! | `seqcst-fence` | SeqCst ops documented; fences cite an invariant | `// ORDER:` + `// INVARIANT:` |
+//! | `invariant-ref` | `// INVARIANT: I<n>` resolves in docs/PROTOCOL.md | (none) |
 //!
 //! See `docs/ANALYSIS.md` for the comment contracts and
 //! `docs/VERIFICATION.md` for where this layer sits among the others.
@@ -31,15 +35,98 @@
 
 #![warn(missing_docs)]
 
+pub mod cfg;
+pub mod dataflow;
 pub mod lexer;
 pub mod passes;
 pub mod report;
 pub mod source;
+pub mod syntax;
 
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
-pub use report::{render_json, render_sarif, render_text, Finding, RuleInfo, Severity, RULES};
+pub use report::{
+    render_json, render_sarif, render_text, Finding, Related, RuleInfo, Severity, RULES,
+};
 use source::SourceFile;
+
+/// Workspace-level analysis context: what the dataflow passes need beyond
+/// one file's tokens.
+pub struct Context {
+    /// Invariant numbers defined in `docs/PROTOCOL.md` (the `**I<n>`
+    /// headers). `None` when no PROTOCOL.md is available — the
+    /// `invariant-ref` check is skipped, not vacuously failed.
+    pub invariants: Option<BTreeSet<u32>>,
+    /// Call-graph consumption summaries for the balance pass.
+    pub summaries: dataflow::Summaries,
+}
+
+impl Context {
+    /// A context with no workspace knowledge: invariant cross-references
+    /// unchecked, no cross-function consumption. Used by fixtures and the
+    /// single-file [`analyze_source`] entry point.
+    pub fn empty() -> Context {
+        Context {
+            invariants: None,
+            summaries: dataflow::Summaries::default(),
+        }
+    }
+
+    /// Builds the full context for the workspace at `root`: parses
+    /// `docs/PROTOCOL.md` for defined invariants and summarizes every
+    /// source file's consumption behavior.
+    pub fn for_workspace(root: &Path) -> Context {
+        let invariants = std::fs::read_to_string(root.join("docs/PROTOCOL.md"))
+            .ok()
+            .map(|text| protocol_invariants(&text));
+        let mut parsed = Vec::new();
+        for path in source_files(root) {
+            let Ok(content) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            let file = SourceFile::parse(&label, &content);
+            let ast = syntax::parse(&file);
+            parsed.push((file, ast));
+        }
+        let summaries = dataflow::Summaries::build(parsed.iter().map(|(f, a)| (f, a)));
+        Context {
+            invariants,
+            summaries,
+        }
+    }
+}
+
+/// Invariant numbers defined in PROTOCOL.md text: every `**I<digits>`
+/// occurrence (the doc's header convention, e.g. `> **I8 (fence
+/// pairing).**`).
+pub fn protocol_invariants(text: &str) -> BTreeSet<u32> {
+    let mut out = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 3 < bytes.len() {
+        if &bytes[i..i + 2] == b"**" && bytes[i + 2] == b'I' && bytes[i + 3].is_ascii_digit() {
+            let mut end = i + 3;
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
+            }
+            if let Ok(n) = text[i + 3..end].parse() {
+                out.insert(n);
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
 
 /// Analyzes one file's source text with every pass, applying path-based
 /// exemptions keyed on `label` (use workspace-relative paths):
@@ -58,27 +145,109 @@ use source::SourceFile;
 ///   workload drivers bumping result counters, not CAS retry loops; the
 ///   protocol code they exercise is linted where it lives).
 pub fn analyze_source(label: &str, content: &str) -> Vec<Finding> {
+    analyze_source_with(label, content, &Context::empty())
+}
+
+/// [`analyze_source`] with a workspace [`Context`]: enables the
+/// cross-function consumption summaries of `refcount-balance`, the
+/// `invariant-ref` cross-check, and collects sites for the workspace
+/// `order-pairing` graph (returned separately by [`analyze_workspace`]).
+pub fn analyze_source_with(label: &str, content: &str, ctx: &Context) -> Vec<Finding> {
+    let mut timings = BTreeMap::new();
+    let (findings, _) = analyze_file(label, content, ctx, &mut timings);
+    findings
+}
+
+/// Path-keyed exemptions for one file. The shim directory is additionally
+/// exempt from the ordering-graph rules: its wrappers forward caller
+/// orderings verbatim, so its `Ordering` mentions are parameters, not
+/// protocol decisions. Same for the trace crate's internal rings, which
+/// are deliberately un-modeled (recording must not perturb the schedule).
+struct Exemptions {
+    is_shim: bool,
+    is_trace: bool,
+    progress_exempt: bool,
+}
+
+impl Exemptions {
+    fn for_label(label: &str) -> Exemptions {
+        let norm = label.replace('\\', "/");
+        Exemptions {
+            is_shim: norm.contains("crates/sync/src/shim"),
+            is_trace: norm.contains("crates/trace/"),
+            progress_exempt: ["crates/baseline/", "crates/bench/", "crates/harness/"]
+                .iter()
+                .any(|p| norm.contains(p)),
+        }
+    }
+    fn order_graph_exempt(&self) -> bool {
+        self.is_shim || self.is_trace
+    }
+}
+
+/// Runs every per-file pass, timing each, and returns the findings plus
+/// this file's ordering-graph sites (for the workspace pairing check).
+fn analyze_file(
+    label: &str,
+    content: &str,
+    ctx: &Context,
+    timings: &mut BTreeMap<&'static str, Duration>,
+) -> (Vec<Finding>, Vec<passes::order_graph::OpSite>) {
+    fn timed(
+        timings: &mut BTreeMap<&'static str, Duration>,
+        name: &'static str,
+        out: &mut Vec<Finding>,
+        f: impl FnOnce() -> Vec<Finding>,
+    ) {
+        let t0 = Instant::now();
+        out.extend(f());
+        *timings.entry(name).or_default() += t0.elapsed();
+    }
+    let t0 = Instant::now();
     let file = SourceFile::parse(label, content);
-    let norm = label.replace('\\', "/");
-    let is_trace = norm.contains("crates/trace/");
-    let is_shim = norm.contains("crates/sync/src/shim");
-    let progress_exempt = ["crates/baseline/", "crates/bench/", "crates/harness/"]
-        .iter()
-        .any(|p| norm.contains(p));
+    let ast = syntax::parse(&file);
+    *timings.entry("parse").or_default() += t0.elapsed();
+    let ex = Exemptions::for_label(label);
     let mut out = Vec::new();
-    if !is_shim && !is_trace {
-        out.extend(passes::shim::run(&file));
+    if !ex.is_shim && !ex.is_trace {
+        timed(timings, "shim-import", &mut out, || {
+            passes::shim::run(&file)
+        });
     }
-    out.extend(passes::ordering::run(&file));
-    out.extend(passes::unsafe_audit::run(&file));
-    out.extend(passes::refcount::run(&file));
-    if !progress_exempt {
-        out.extend(passes::progress::run(&file));
+    timed(timings, "relaxed-ptr-order", &mut out, || {
+        passes::ordering::run(&file)
+    });
+    timed(timings, "unsafe-comment", &mut out, || {
+        passes::unsafe_audit::run(&file)
+    });
+    timed(timings, "refcount-pairing", &mut out, || {
+        passes::refcount::run(&file)
+    });
+    if !ex.progress_exempt {
+        timed(timings, "cas-progress/spin-guard", &mut out, || {
+            passes::progress::run(&file)
+        });
     }
-    if !is_trace {
-        out.extend(passes::probes::run(&file));
+    if !ex.is_trace {
+        timed(timings, "probe-discipline", &mut out, || {
+            passes::probes::run(&file)
+        });
     }
-    out
+    timed(timings, "refcount-balance", &mut out, || {
+        passes::balance::run(&file, &ast, &ctx.summaries)
+    });
+    let mut sites = Vec::new();
+    if !ex.order_graph_exempt() {
+        let t0 = Instant::now();
+        sites = passes::order_graph::collect(&file);
+        out.extend(passes::order_graph::seqcst_findings(&sites));
+        out.extend(passes::order_graph::invariant_findings(
+            &file,
+            ctx.invariants.as_ref(),
+        ));
+        *timings.entry("order-graph").or_default() += t0.elapsed();
+    }
+    (out, sites)
 }
 
 /// Library source roots to lint, relative to the workspace root:
@@ -114,10 +283,34 @@ pub fn source_files(root: &Path) -> Vec<PathBuf> {
     files
 }
 
+/// Aggregate per-pass wall-clock timings from one workspace run, for
+/// `cargo xtask analyze --stats`.
+#[derive(Debug, Default)]
+pub struct PassStats {
+    /// `(pass name, total duration across all files)`, sorted by name.
+    pub timings: Vec<(&'static str, Duration)>,
+    /// Files analyzed.
+    pub files: usize,
+    /// Total wall-clock for the whole run (context build included).
+    pub total: Duration,
+}
+
 /// Analyzes the whole workspace rooted at `root`. Findings are sorted by
 /// file, line, then rule.
 pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
+    analyze_workspace_timed(root).0
+}
+
+/// [`analyze_workspace`] plus per-pass timing statistics.
+pub fn analyze_workspace_timed(root: &Path) -> (Vec<Finding>, PassStats) {
+    let run0 = Instant::now();
+    let t0 = Instant::now();
+    let ctx = Context::for_workspace(root);
+    let mut timings: BTreeMap<&'static str, Duration> = BTreeMap::new();
+    timings.insert("context-build", t0.elapsed());
     let mut out = Vec::new();
+    let mut all_sites = Vec::new();
+    let mut files = 0usize;
     for file in source_files(root) {
         let Ok(content) = std::fs::read_to_string(&file) else {
             continue;
@@ -127,10 +320,21 @@ pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
             .unwrap_or(&file)
             .display()
             .to_string();
-        out.extend(analyze_source(&label, &content));
+        let (findings, sites) = analyze_file(&label, &content, &ctx, &mut timings);
+        out.extend(findings);
+        all_sites.extend(sites);
+        files += 1;
     }
+    let t0 = Instant::now();
+    out.extend(passes::order_graph::pairing_findings(&all_sites));
+    *timings.entry("order-graph").or_default() += t0.elapsed();
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    out
+    let stats = PassStats {
+        timings: timings.into_iter().collect(),
+        files,
+        total: run0.elapsed(),
+    };
+    (out, stats)
 }
 
 /// Whether `findings` should fail the run: any `Error`, or — when

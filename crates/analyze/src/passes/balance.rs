@@ -1,0 +1,140 @@
+//! `refcount-balance`: the dataflow-backed successor to the heuristic
+//! `refcount-pairing` pass. Where the old pass asks "does this function
+//! *mention* a release or carry a comment?", this one lowers the body to
+//! a CFG and proves per path that every count acquired by
+//! `safe_read`/`safe_read_tallied`/`alloc` is released, transferred to
+//! the caller through a raw-pointer return, stored into the structure,
+//! or covered by a `// COUNT:` contract. It also checks the contract
+//! text itself: a function-level `// COUNT: ... transfers to caller ...`
+//! whose signature has no raw-pointer return cannot be honored and is
+//! reported (`declared-transfer-not-returned`).
+//!
+//! Both passes run; this one is the stricter superset and reports at
+//! `Error` severity because a leaked count permanently wedges Fig. 17's
+//! reclamation (the cell never reaches refcount 1 again).
+
+use crate::cfg;
+use crate::dataflow::{fn_count_contract, FlowAnalysis, Summaries};
+use crate::report::{Finding, Related};
+use crate::source::SourceFile;
+use crate::syntax::Ast;
+
+/// Runs the balance analysis over every non-test function in `file`.
+/// `summaries` must come from [`Summaries::build`] over the whole
+/// workspace so cross-crate consumers (e.g. `release_deferred`) are seen.
+pub fn run(file: &SourceFile, ast: &Ast, summaries: &Summaries) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for def in &ast.fns {
+        if file.in_test_mod(def.item.fn_idx) {
+            continue;
+        }
+        // A function-level COUNT contract replaces path analysis with a
+        // contract check: a declared transfer-to-caller must be
+        // realizable, i.e. the return type carries a raw pointer.
+        if let Some(text) = fn_count_contract(file, def) {
+            let lower = text.to_lowercase();
+            let (rlo, rhi) = def.item.return_type;
+            let ret_raw = file.toks[rlo..rhi.min(file.toks.len())]
+                .iter()
+                .any(|t| t.text == "*");
+            if lower.contains("transfer") && lower.contains("caller") && !ret_raw {
+                out.push(super::finding(
+                    "refcount-balance",
+                    file,
+                    def.item.line,
+                    format!(
+                        "fn `{}` declares `// COUNT: ... transfers to caller ...` but \
+                         its return type carries no raw pointer; the §5 transfer \
+                         convention cannot hold",
+                        def.item.name
+                    ),
+                ));
+            }
+            continue;
+        }
+        if def.item.body.is_none() {
+            continue;
+        }
+        let Some(graph) = cfg::build(file, def) else {
+            continue;
+        };
+        let analysis = FlowAnalysis::new(file, def, summaries);
+        for f in analysis.run(&graph) {
+            let related = f
+                .related
+                .into_iter()
+                .map(|(line, note)| Related {
+                    file: file.label.clone(),
+                    line,
+                    note,
+                })
+                .collect();
+            out.push(super::finding_with_related(
+                "refcount-balance",
+                file,
+                f.line,
+                f.message,
+                related,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("t.rs", src);
+        let ast = syntax::parse(&file);
+        let summaries = Summaries::build([(&file, &ast)]);
+        run(&file, &ast, &summaries)
+    }
+
+    #[test]
+    fn declared_transfer_without_raw_return_is_reported() {
+        let src = "\
+        // COUNT: transfers to caller.\n\
+        fn f(&self) -> u32 {\n\
+            self.arena.safe_read(&self.head) as u32\n\
+        }";
+        let findings = run_on(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("cannot hold"));
+    }
+
+    #[test]
+    fn declared_transfer_with_raw_return_is_fine() {
+        let src = "\
+        // COUNT: transfers to caller.\n\
+        fn f(&self) -> *mut Node {\n\
+            self.arena.safe_read(&self.head)\n\
+        }";
+        assert_eq!(run_on(src), vec![]);
+    }
+
+    #[test]
+    fn leak_findings_carry_acquire_site_relation() {
+        let src = "fn f(&self) {\n\
+            let h = self.arena.safe_read(&self.head);\n\
+            if self.flip() { self.arena.release(h); }\n\
+        }";
+        let findings = run_on(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "refcount-balance");
+        assert_eq!(findings[0].related.len(), 1);
+        assert_eq!(findings[0].related[0].line, 2);
+    }
+
+    #[test]
+    fn test_mod_functions_are_skipped() {
+        let src = "\
+        #[cfg(test)]\n\
+        mod tests {\n\
+            fn f(&self) { let h = self.arena.safe_read(&self.head); let _ = h; }\n\
+        }";
+        assert_eq!(run_on(src), vec![]);
+    }
+}

@@ -11,7 +11,10 @@ pub mod refcount;
 pub mod shim;
 pub mod unsafe_audit;
 
-use crate::report::{rule_info, Finding};
+pub mod balance;
+pub mod order_graph;
+
+use crate::report::{rule_info, Finding, Related};
 use crate::source::SourceFile;
 
 /// Builds a finding for `rule` with its registered severity.
@@ -28,5 +31,19 @@ pub(crate) fn finding(
         file: file.label.clone(),
         line,
         message,
+        related: Vec::new(),
     }
+}
+
+/// Builds a finding with secondary locations attached.
+pub(crate) fn finding_with_related(
+    rule: &'static str,
+    file: &SourceFile,
+    line: usize,
+    message: String,
+    related: Vec<Related>,
+) -> Finding {
+    let mut f = finding(rule, file, line, message);
+    f.related = related;
+    f
 }

@@ -1,0 +1,594 @@
+//! The acquire/release ordering graph (`order-pairing`, `seqcst-fence`,
+//! `invariant-ref`).
+//!
+//! The §5 protocol publishes counted links with Release writes and
+//! re-reads them with Acquire loads; the safety argument is precisely
+//! that those two sides *pair* on each atomic location. This pass makes
+//! the graph explicit: it collects every atomic operation and fence with
+//! its `Ordering` literal, groups operations workspace-wide by the
+//! location they touch (the field name receiving the `.store`/`.load`
+//! call), and reports:
+//!
+//! * `order-pairing` — a location written with Release (or stronger) but
+//!   never read with Acquire anywhere in the workspace, or read with
+//!   Acquire but never written with Release, while the other side *does*
+//!   access it with a weaker ordering. Grouping by field name is
+//!   deliberately coarse — distinct fields sharing a name are merged,
+//!   which only ever *suppresses* findings, never invents them.
+//! * `seqcst-fence` — a SeqCst fence or atomic op with no adjacent
+//!   `// ORDER:` justification; a fence must *additionally* cite the
+//!   PROTOCOL.md invariant it enforces via `// INVARIANT: I<n>` (PR 5's
+//!   I8 fence-pairing argument becomes a machine-checked cross-reference).
+//! * `invariant-ref` — any `// INVARIANT: I<n>` comment whose number does
+//!   not resolve to an invariant actually defined in docs/PROTOCOL.md.
+//!
+//! An adjacent `// ORDER:` comment exempts a site from the pairing and
+//! SeqCst rules (the author has made the argument in prose); the
+//! invariant cross-reference is never exempt — a stale reference is
+//! always an error.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Delim, TokKind};
+use crate::report::{rule_info, Finding, Related};
+use crate::source::SourceFile;
+
+/// Methods that publish (write) a value into an atomic location.
+const WRITE_METHODS: &[&str] = &[
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+];
+
+/// Methods that observe (read) an atomic location. RMWs appear in both
+/// lists: they carry both sides of a pairing.
+const READ_METHODS: &[&str] = &[
+    "load",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+];
+
+/// One atomic operation or fence site, as collected per file.
+#[derive(Debug, Clone)]
+pub struct OpSite {
+    /// Workspace-relative file label.
+    pub file: String,
+    /// 1-based line of the `Ordering::X` literal.
+    pub line: usize,
+    /// Location name: the field/binding receiving the call, or
+    /// `"<fence>"` for fences, `"<free>"` when no receiver is visible.
+    pub location: String,
+    /// Method name (`store`, `load`, `fence`, ...).
+    pub method: String,
+    /// Ordering literal (`Relaxed`, `Acquire`, `Release`, `AcqRel`,
+    /// `SeqCst`).
+    pub ordering: String,
+    /// An adjacent `// ORDER:` justification exists.
+    pub has_order: bool,
+    /// `I<n>` numbers cited by adjacent `// INVARIANT:` comments.
+    pub invariants: Vec<u32>,
+}
+
+impl OpSite {
+    fn is_fence(&self) -> bool {
+        self.method == "fence"
+    }
+    fn writes_release(&self) -> bool {
+        WRITE_METHODS.contains(&self.method.as_str())
+            && matches!(self.ordering.as_str(), "Release" | "AcqRel" | "SeqCst")
+    }
+    fn reads_acquire(&self) -> bool {
+        READ_METHODS.contains(&self.method.as_str())
+            && matches!(self.ordering.as_str(), "Acquire" | "AcqRel" | "SeqCst")
+    }
+    fn writes(&self) -> bool {
+        WRITE_METHODS.contains(&self.method.as_str())
+    }
+    fn reads(&self) -> bool {
+        READ_METHODS.contains(&self.method.as_str())
+    }
+}
+
+/// Names aliasing the `Ordering` enum in this file.
+fn ordering_aliases(file: &SourceFile) -> Vec<String> {
+    let mut names = vec!["Ordering".to_string()];
+    for p in file.use_paths() {
+        if p.segments.last().is_some_and(|s| s == "Ordering") {
+            if let Some(r) = &p.rename {
+                if !names.contains(r) {
+                    names.push(r.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Collects every atomic-op/fence site in `file` (test modules skipped).
+pub fn collect(file: &SourceFile) -> Vec<OpSite> {
+    let toks = &file.toks;
+    let aliases = ordering_aliases(file);
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Ident && aliases.iter().any(|n| n == &toks[i].text)) {
+            continue;
+        }
+        if file.in_test_mod(i) {
+            continue;
+        }
+        let Some(c1) = file.next_sig(i) else { continue };
+        let Some(c2) = file.next_sig(c1) else {
+            continue;
+        };
+        let Some(o) = file.next_sig(c2) else { continue };
+        if !(toks[c1].text == ":" && toks[c2].text == ":" && toks[o].kind == TokKind::Ident) {
+            continue;
+        }
+        let ordering = toks[o].text.clone();
+        if !matches!(
+            ordering.as_str(),
+            "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+        ) {
+            continue;
+        }
+        let Some((method_idx, _open)) = enclosing_call(file, i) else {
+            continue;
+        };
+        let method = toks[method_idx].text.clone();
+        let location = if method == "fence" {
+            "<fence>".to_string()
+        } else {
+            receiver_of(file, method_idx).unwrap_or_else(|| "<free>".to_string())
+        };
+        // Adjacency: comments attached to the call statement, plus the
+        // one or two lines above the ordering literal (multi-line calls).
+        let line = toks[o].line;
+        let attached = file.attached_comments(method_idx, Some(line));
+        let mut text: String = attached
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        for extra in [line.saturating_sub(1), line.saturating_sub(2)] {
+            for t in toks.iter().filter(|t| t.is_comment() && t.line == extra) {
+                text.push(' ');
+                text.push_str(&t.text);
+            }
+        }
+        let has_order = text.contains("ORDER:");
+        let invariants = invariant_numbers(&text);
+        out.push(OpSite {
+            file: file.label.clone(),
+            line,
+            location,
+            method,
+            ordering,
+            has_order,
+            invariants,
+        });
+    }
+    out
+}
+
+/// The innermost call enclosing token `i`: returns the callee-name token
+/// and the opening paren.
+fn enclosing_call(file: &SourceFile, i: usize) -> Option<(usize, usize)> {
+    let toks = &file.toks;
+    let mut depth = 0usize;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].kind {
+            TokKind::Close(Delim::Paren) => depth += 1,
+            TokKind::Open(Delim::Paren) => {
+                if depth == 0 {
+                    let name = file.prev_sig(j)?;
+                    if toks[name].kind == TokKind::Ident {
+                        return Some((name, j));
+                    }
+                    return None;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The receiver of a `.method(...)` call: the identifier just before the
+/// dot (e.g. `head` in `self.head.store(..)`, `next` in
+/// `(*p).next.load(..)`). An index expression names its base (`slots` in
+/// `self.slots[me].load(..)` — the slot *array* is the location, the
+/// index picks an element of it); a call result names the callee.
+fn receiver_of(file: &SourceFile, method_idx: usize) -> Option<String> {
+    let toks = &file.toks;
+    let dot = file.prev_sig(method_idx)?;
+    if !(toks[dot].kind == TokKind::Punct && toks[dot].text == ".") {
+        return None;
+    }
+    let mut r = file.prev_sig(dot)?;
+    // Jump over trailing `[index]` / `(args)` groups to the base.
+    while let TokKind::Close(_) = toks[r].kind {
+        let open = (0..r).rev().find(|&j| file.partner[j] == Some(r))?;
+        r = file.prev_sig(open)?;
+    }
+    (toks[r].kind == TokKind::Ident).then(|| toks[r].text.clone())
+}
+
+/// `I<n>` numbers cited after `INVARIANT:` markers in `text`. Byte-wise
+/// scan (comments may contain any UTF-8): every `I<digits>` occurrence
+/// after the first marker counts — citations routinely name the partner
+/// invariant too (`I9 ... preserves I8`).
+fn invariant_numbers(text: &str) -> Vec<u32> {
+    let Some(pos) = text.find("INVARIANT:") else {
+        return Vec::new();
+    };
+    let bytes = &text.as_bytes()[pos + "INVARIANT:".len()..];
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k < bytes.len() {
+        if bytes[k] == b'I' && k + 1 < bytes.len() && bytes[k + 1].is_ascii_digit() {
+            let mut n = 0u32;
+            k += 1;
+            while k < bytes.len() && bytes[k].is_ascii_digit() {
+                n = n
+                    .saturating_mul(10)
+                    .saturating_add((bytes[k] - b'0') as u32);
+                k += 1;
+            }
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        } else {
+            k += 1;
+        }
+    }
+    out
+}
+
+fn mk_finding(rule: &'static str, file: &str, line: usize, message: String) -> Finding {
+    let info = rule_info(rule).expect("registered rule");
+    Finding {
+        rule,
+        severity: info.severity,
+        file: file.to_string(),
+        line,
+        message,
+        related: Vec::new(),
+    }
+}
+
+/// Per-site SeqCst checks (run per file; no workspace context needed).
+pub fn seqcst_findings(sites: &[OpSite]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for s in sites {
+        if s.ordering != "SeqCst" {
+            continue;
+        }
+        if s.is_fence() {
+            if !s.has_order {
+                out.push(mk_finding(
+                    "seqcst-fence",
+                    &s.file,
+                    s.line,
+                    "undocumented SeqCst fence: add an adjacent `// ORDER:` comment \
+                     stating which two accesses it globally orders"
+                        .into(),
+                ));
+            } else if s.invariants.is_empty() {
+                out.push(mk_finding(
+                    "seqcst-fence",
+                    &s.file,
+                    s.line,
+                    "SeqCst fence cites no protocol invariant: add \
+                     `// INVARIANT: I<n>` referencing the docs/PROTOCOL.md invariant \
+                     this fence enforces"
+                        .into(),
+                ));
+            }
+        } else if !s.has_order {
+            out.push(mk_finding(
+                "seqcst-fence",
+                &s.file,
+                s.line,
+                format!(
+                    "`{}` uses Ordering::SeqCst without an adjacent `// ORDER:` \
+                     justification; prefer Acquire/Release with an argument, or \
+                     document why sequential consistency is required",
+                    s.method
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Checks every `// INVARIANT: I<n>` comment in `file` against the set of
+/// invariants defined in docs/PROTOCOL.md. `None` (no PROTOCOL.md found)
+/// skips the check — unit tests and fixtures run without a docs tree.
+pub fn invariant_findings(file: &SourceFile, defined: Option<&BTreeSet<u32>>) -> Vec<Finding> {
+    let Some(defined) = defined else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for t in file.toks.iter().filter(|t| t.is_comment()) {
+        if !t.text.contains("INVARIANT:") {
+            continue;
+        }
+        let cited = invariant_numbers(&t.text);
+        if cited.is_empty() {
+            out.push(mk_finding(
+                "invariant-ref",
+                &file.label,
+                t.line,
+                "`// INVARIANT:` comment cites no `I<n>` number; reference the \
+                 docs/PROTOCOL.md invariant it relies on"
+                    .into(),
+            ));
+        }
+        for n in cited {
+            if !defined.contains(&n) {
+                out.push(mk_finding(
+                    "invariant-ref",
+                    &file.label,
+                    t.line,
+                    format!(
+                        "stale invariant reference: `I{n}` is not defined in \
+                         docs/PROTOCOL.md (defined: {})",
+                        defined
+                            .iter()
+                            .map(|i| format!("I{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Workspace-wide pairing check over every collected site.
+pub fn pairing_findings(sites: &[OpSite]) -> Vec<Finding> {
+    let mut by_loc: BTreeMap<&str, Vec<&OpSite>> = BTreeMap::new();
+    for s in sites {
+        if s.is_fence() || s.location == "<free>" {
+            continue;
+        }
+        by_loc.entry(&s.location).or_default().push(s);
+    }
+    let mut out = Vec::new();
+    for (loc, group) in by_loc {
+        let has_acquire_read = group.iter().any(|s| s.reads_acquire());
+        let has_release_write = group.iter().any(|s| s.writes_release());
+        let reads: Vec<&&OpSite> = group.iter().filter(|s| s.reads()).collect();
+        let writes: Vec<&&OpSite> = group.iter().filter(|s| s.writes()).collect();
+        if !has_acquire_read && !reads.is_empty() {
+            // Release writes exist, readers exist, none acquires.
+            if let Some(w) = group.iter().find(|s| s.writes_release() && !s.has_order) {
+                let mut f = mk_finding(
+                    "order-pairing",
+                    &w.file,
+                    w.line,
+                    format!(
+                        "atomic location `{loc}` is written with {} here but no read \
+                         of `{loc}` anywhere in the workspace uses Acquire; the \
+                         release publication is never synchronized with",
+                        w.ordering
+                    ),
+                );
+                f.related = reads
+                    .iter()
+                    .take(3)
+                    .map(|r| Related {
+                        file: r.file.clone(),
+                        line: r.line,
+                        note: format!("`{loc}` read with {} here", r.ordering),
+                    })
+                    .collect();
+                out.push(f);
+            }
+        }
+        if !has_release_write && !writes.is_empty() {
+            // Acquire reads exist, writers exist, none releases.
+            if let Some(r) = group.iter().find(|s| s.reads_acquire() && !s.has_order) {
+                let mut f = mk_finding(
+                    "order-pairing",
+                    &r.file,
+                    r.line,
+                    format!(
+                        "atomic location `{loc}` is read with {} here but no write \
+                         of `{loc}` anywhere in the workspace uses Release; there is \
+                         no publication for this acquire to pair with",
+                        r.ordering
+                    ),
+                );
+                f.related = writes
+                    .iter()
+                    .take(3)
+                    .map(|w| Related {
+                        file: w.file.clone(),
+                        line: w.line,
+                        note: format!("`{loc}` written with {} here", w.ordering),
+                    })
+                    .collect();
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(src: &str) -> Vec<OpSite> {
+        collect(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn collects_receiver_method_and_ordering() {
+        let s = sites(
+            "fn f(&self) {\n\
+                self.head.store(p, Ordering::Release);\n\
+                let v = self.head.load(Ordering::Acquire);\n\
+            }",
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].location, "head");
+        assert_eq!(s[0].method, "store");
+        assert_eq!(s[0].ordering, "Release");
+        assert_eq!(s[1].method, "load");
+        assert_eq!(s[1].ordering, "Acquire");
+    }
+
+    #[test]
+    fn fence_and_order_comment_are_recognized() {
+        let s = sites(
+            "fn f() {\n\
+                // ORDER: pairs the retire-side list walk. INVARIANT: I8.\n\
+                fence(Ordering::SeqCst);\n\
+            }",
+        );
+        assert_eq!(s.len(), 1);
+        assert!(s[0].is_fence());
+        assert!(s[0].has_order);
+        assert_eq!(s[0].invariants, vec![8]);
+        assert_eq!(seqcst_findings(&s), vec![]);
+    }
+
+    #[test]
+    fn undocumented_seqcst_fence_is_reported() {
+        let s = sites("fn f() { fence(Ordering::SeqCst); }");
+        let f = seqcst_findings(&s);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("undocumented SeqCst fence"));
+    }
+
+    #[test]
+    fn documented_fence_without_invariant_is_reported() {
+        let s = sites(
+            "fn f() {\n\
+                // ORDER: global order with the other fence.\n\
+                fence(Ordering::SeqCst);\n\
+            }",
+        );
+        let f = seqcst_findings(&s);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("INVARIANT"));
+    }
+
+    #[test]
+    fn unpaired_release_is_reported_with_related_reads() {
+        let s = sites(
+            "fn f(&self) {\n\
+                self.flag.store(true, Ordering::Release);\n\
+                let v = self.flag.load(Ordering::Relaxed);\n\
+            }",
+        );
+        let f = pairing_findings(&s);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "order-pairing");
+        assert!(f[0].message.contains("never synchronized"));
+        assert_eq!(f[0].related.len(), 1);
+        assert_eq!(f[0].related[0].line, 3);
+    }
+
+    #[test]
+    fn paired_release_acquire_is_clean() {
+        let s = sites(
+            "fn f(&self) {\n\
+                self.flag.store(true, Ordering::Release);\n\
+                let v = self.flag.load(Ordering::Acquire);\n\
+            }",
+        );
+        assert_eq!(pairing_findings(&s), vec![]);
+    }
+
+    #[test]
+    fn unpaired_acquire_is_reported() {
+        let s = sites(
+            "fn f(&self) {\n\
+                self.flag.store(true, Ordering::Relaxed);\n\
+                let v = self.flag.load(Ordering::Acquire);\n\
+            }",
+        );
+        let f = pairing_findings(&s);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no publication"));
+    }
+
+    #[test]
+    fn order_comment_exempts_pairing() {
+        let s = sites(
+            "fn f(&self) {\n\
+                // ORDER: counter, not a publication; readers are statistical.\n\
+                self.flag.store(true, Ordering::Release);\n\
+                let v = self.flag.load(Ordering::Relaxed);\n\
+            }",
+        );
+        assert_eq!(pairing_findings(&s), vec![]);
+    }
+
+    #[test]
+    fn stale_invariant_reference_is_reported() {
+        let file = SourceFile::parse(
+            "t.rs",
+            "fn f() {\n\
+                // INVARIANT: I99 keeps this sound.\n\
+                let x = 1;\n\
+            }",
+        );
+        let defined: BTreeSet<u32> = (1..=8).collect();
+        let f = invariant_findings(&file, Some(&defined));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "invariant-ref");
+        assert!(f[0].message.contains("I99"));
+    }
+
+    #[test]
+    fn valid_invariant_reference_is_clean() {
+        let file = SourceFile::parse("t.rs", "// INVARIANT: I8.\nfn f() {}\n");
+        let defined: BTreeSet<u32> = (1..=8).collect();
+        assert_eq!(invariant_findings(&file, Some(&defined)), vec![]);
+    }
+
+    #[test]
+    fn rmw_counts_as_both_sides() {
+        let s = sites(
+            "fn f(&self) {\n\
+                let old = self.count.fetch_add(1, Ordering::AcqRel);\n\
+            }",
+        );
+        assert_eq!(pairing_findings(&s), vec![]);
+    }
+
+    #[test]
+    fn test_mod_sites_are_skipped() {
+        let s = sites(
+            "#[cfg(test)]\n\
+            mod tests {\n\
+                fn f(&self) { self.flag.store(true, Ordering::Release); }\n\
+            }",
+        );
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -34,6 +34,19 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A secondary location attached to a finding — e.g. the acquire site of
+/// a leaked count, or the other half of a release/acquire pairing.
+/// Rendered as SARIF `relatedLocations` and as indented notes in text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What this location contributes to the finding.
+    pub note: String,
+}
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -47,6 +60,9 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Secondary locations (acquire sites, pairing partners). Empty for
+    /// most rules.
+    pub related: Vec<Related>,
 }
 
 impl fmt::Display for Finding {
@@ -114,6 +130,32 @@ pub const RULES: &[RuleInfo] = &[
                   macro, never a direct valois_trace::record call",
         severity: Severity::Error,
     },
+    RuleInfo {
+        id: "refcount-balance",
+        summary: "dataflow proof that every count acquired by safe_read/alloc is \
+                  released, transferred via raw-pointer return, or covered by a \
+                  // COUNT: contract on every path",
+        severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "order-pairing",
+        summary: "an atomic location written with Release must also be read with \
+                  Acquire somewhere in the workspace (and vice versa), or carry an \
+                  // ORDER: justification",
+        severity: Severity::Warning,
+    },
+    RuleInfo {
+        id: "seqcst-fence",
+        summary: "a SeqCst fence or atomic op needs an adjacent // ORDER: comment; \
+                  fences additionally need an // INVARIANT: I<n> cross-reference",
+        severity: Severity::Warning,
+    },
+    RuleInfo {
+        id: "invariant-ref",
+        summary: "every // INVARIANT: I<n> reference must resolve to an invariant \
+                  actually defined in docs/PROTOCOL.md",
+        severity: Severity::Error,
+    },
 ];
 
 /// Looks up a rule's metadata by id.
@@ -139,11 +181,15 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Plain-text rendering, one finding per line (the CI log format).
+/// Related locations follow as indented `note:` lines.
 pub fn render_text(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in findings {
         out.push_str(&f.to_string());
         out.push('\n');
+        for r in &f.related {
+            out.push_str(&format!("    note: {}:{}: {}\n", r.file, r.line, r.note));
+        }
     }
     out
 }
@@ -152,14 +198,32 @@ pub fn render_text(findings: &[Finding]) -> String {
 pub fn render_json(findings: &[Finding]) -> String {
     let mut out = String::from("{\n  \"findings\": [\n");
     for (i, f) in findings.iter().enumerate() {
+        let related = if f.related.is_empty() {
+            String::new()
+        } else {
+            let items: Vec<String> = f
+                .related
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"file\": \"{}\", \"line\": {}, \"note\": \"{}\"}}",
+                        json_escape(&r.file),
+                        r.line,
+                        json_escape(&r.note)
+                    )
+                })
+                .collect();
+            format!(", \"related\": [{}]", items.join(", "))
+        };
         out.push_str(&format!(
             "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
-             \"line\": {}, \"message\": \"{}\"}}{}\n",
+             \"line\": {}, \"message\": \"{}\"{}}}{}\n",
             json_escape(f.rule),
             f.severity,
             json_escape(&f.file),
             f.line,
             json_escape(&f.message),
+            related,
             if i + 1 < findings.len() { "," } else { "" }
         ));
     }
@@ -193,15 +257,37 @@ pub fn render_sarif(findings: &[Finding]) -> String {
     }
     out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
     for (i, f) in findings.iter().enumerate() {
+        let related = if f.related.is_empty() {
+            String::new()
+        } else {
+            let items: Vec<String> = f
+                .related
+                .iter()
+                .enumerate()
+                .map(|(id, r)| {
+                    format!(
+                        "{{\"id\": {}, \"physicalLocation\": {{\"artifactLocation\": \
+                         {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}, \
+                         \"message\": {{\"text\": \"{}\"}}}}",
+                        id,
+                        json_escape(&r.file.replace('\\', "/")),
+                        r.line,
+                        json_escape(&r.note)
+                    )
+                })
+                .collect();
+            format!(", \"relatedLocations\": [{}]", items.join(", "))
+        };
         out.push_str(&format!(
             "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \
              \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
-             \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+             \"region\": {{\"startLine\": {}}}}}}}]{}}}{}\n",
             json_escape(f.rule),
             f.severity.sarif_level(),
             json_escape(&f.message),
             json_escape(&f.file.replace('\\', "/")),
             f.line,
+            related,
             if i + 1 < findings.len() { "," } else { "" }
         ));
     }
@@ -221,6 +307,7 @@ mod tests {
                 file: "crates/core/src/list.rs".into(),
                 line: 42,
                 message: "unsafe block without `// SAFETY:`".into(),
+                related: vec![],
             },
             Finding {
                 rule: "shim-import",
@@ -228,6 +315,11 @@ mod tests {
                 file: "src/lib.rs".into(),
                 line: 7,
                 message: "direct \"std::sync::atomic\" import".into(),
+                related: vec![Related {
+                    file: "src/lib.rs".into(),
+                    line: 3,
+                    note: "shim re-export is here".into(),
+                }],
             },
         ]
     }
@@ -235,8 +327,9 @@ mod tests {
     #[test]
     fn text_lists_one_finding_per_line() {
         let t = render_text(&sample());
-        assert_eq!(t.lines().count(), 2);
+        assert_eq!(t.lines().count(), 3);
         assert!(t.contains("crates/core/src/list.rs:42"));
+        assert!(t.contains("    note: src/lib.rs:3: shim re-export is here"));
     }
 
     #[test]

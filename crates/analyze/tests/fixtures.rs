@@ -483,3 +483,230 @@ fn real_workspace_is_clean() {
         valois_analyze::render_text(&findings)
     );
 }
+
+// ---- refcount-balance (v2 dataflow) --------------------------------------
+
+#[test]
+fn balance_flags_leak_via_early_return() {
+    let src = "fn f(&self) -> bool {\n\
+        let h = self.arena.safe_read(&self.head);\n\
+        if self.stopped() {\n\
+            return false;\n\
+        }\n\
+        self.arena.release(h);\n\
+        true\n\
+    }\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "refcount-balance")
+        .expect("early-return leak must be flagged");
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.message.contains("leaked"), "{}", f.message);
+    // The SARIF related-location points at the acquire site.
+    assert_eq!(f.related.len(), 1, "{:?}", f.related);
+    assert_eq!(f.related[0].line, 2);
+}
+
+#[test]
+fn balance_flags_leak_via_branch_divergence() {
+    let src = "fn f(&self) {\n\
+        let h = self.arena.safe_read(&self.head);\n\
+        if self.fast_path() {\n\
+            self.arena.release(h);\n\
+        } else {\n\
+            self.note_slow();\n\
+        }\n\
+    }\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "refcount-balance")
+        .expect("branch-divergence leak must be flagged");
+    assert!(f.message.contains("at least one path"), "{}", f.message);
+}
+
+#[test]
+fn balance_flags_declared_transfer_not_returned() {
+    let src = "// COUNT: transfers to caller; release when done.\n\
+    fn f(&self) -> usize {\n\
+        self.arena.safe_read(&self.head) as usize\n\
+    }\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "refcount-balance")
+        .expect("declared transfer without raw return must be flagged");
+    assert!(f.message.contains("cannot hold"), "{}", f.message);
+}
+
+#[test]
+fn balance_accepts_balanced_traversal() {
+    let src = "fn f(&self) {\n\
+        let mut t = self.arena.safe_read(&self.head);\n\
+        loop {\n\
+            let next = self.arena.safe_read(&(*t).next);\n\
+            if next.is_null() {\n\
+                break;\n\
+            }\n\
+            self.arena.release(t);\n\
+            t = next;\n\
+        }\n\
+        self.arena.release(t);\n\
+    }\n";
+    assert_eq!(count(LIB, src, "refcount-balance"), 0);
+}
+
+#[test]
+fn balance_accepts_raw_pointer_transfer() {
+    let src = "fn f(&self) -> *mut Node {\n\
+        self.arena.safe_read(&self.head)\n\
+    }\n";
+    assert_eq!(count(LIB, src, "refcount-balance"), 0);
+}
+
+// ---- order-graph: pairing, SeqCst, invariants ----------------------------
+
+#[test]
+fn order_graph_flags_unpaired_release() {
+    use valois_analyze::passes::order_graph::{collect, pairing_findings};
+    use valois_analyze::source::SourceFile;
+    let src = "fn f(&self) {\n\
+        self.flag.store(true, Ordering::Release);\n\
+        let seen = self.flag.load(Ordering::Relaxed);\n\
+    }\n";
+    let file = SourceFile::parse(LIB, src);
+    let findings = pairing_findings(&collect(&file));
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "order-pairing")
+        .expect("unpaired Release must be flagged");
+    assert!(f.message.contains("never synchronized"), "{}", f.message);
+    // Related locations list the non-acquire readers.
+    assert_eq!(f.related.len(), 1, "{:?}", f.related);
+}
+
+#[test]
+fn order_graph_accepts_paired_release_acquire() {
+    use valois_analyze::passes::order_graph::{collect, pairing_findings};
+    use valois_analyze::source::SourceFile;
+    let src = "fn f(&self) {\n\
+        self.flag.store(true, Ordering::Release);\n\
+        let seen = self.flag.load(Ordering::Acquire);\n\
+    }\n";
+    let file = SourceFile::parse(LIB, src);
+    assert!(pairing_findings(&collect(&file)).is_empty());
+}
+
+#[test]
+fn order_graph_flags_undocumented_seqcst_fence() {
+    let src = "fn f(&self) {\n\
+        fence(Ordering::SeqCst);\n\
+    }\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "seqcst-fence")
+        .expect("undocumented SeqCst fence must be flagged");
+    assert!(
+        f.message.contains("undocumented SeqCst fence"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn order_graph_requires_invariant_citation_on_fences() {
+    // ORDER alone is not enough for a fence: the invariant it enforces
+    // must be cited.
+    let src = "fn f(&self) {\n\
+        // ORDER: pairs with the other fence in the remove path.\n\
+        fence(Ordering::SeqCst);\n\
+    }\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "seqcst-fence")
+        .expect("fence without INVARIANT citation must be flagged");
+    assert!(f.message.contains("INVARIANT"), "{}", f.message);
+}
+
+#[test]
+fn order_graph_accepts_fully_documented_fence() {
+    let src = "fn f(&self) {\n\
+        // ORDER: pairs with the sweep fence. INVARIANT: I9.\n\
+        fence(Ordering::SeqCst);\n\
+    }\n";
+    assert_eq!(count(LIB, src, "seqcst-fence"), 0);
+}
+
+#[test]
+fn invariant_ref_flags_stale_reference() {
+    use valois_analyze::{analyze_source_with, Context};
+    let src = "fn f(&self) {\n\
+        // INVARIANT: I99 makes this sound.\n\
+        let x = 1;\n\
+    }\n";
+    let ctx = Context {
+        invariants: Some((1..=9).collect()),
+        summaries: Default::default(),
+    };
+    let findings = analyze_source_with(LIB, src, &ctx);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "invariant-ref")
+        .expect("stale invariant reference must be flagged");
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.message.contains("I99"), "{}", f.message);
+}
+
+#[test]
+fn invariant_ref_accepts_resolvable_reference() {
+    use valois_analyze::{analyze_source_with, Context};
+    let src = "fn f(&self) {\n\
+        // INVARIANT: I5 guarantees a single in-pointer.\n\
+        let x = 1;\n\
+    }\n";
+    let ctx = Context {
+        invariants: Some((1..=9).collect()),
+        summaries: Default::default(),
+    };
+    let findings = analyze_source_with(LIB, src, &ctx);
+    assert!(findings.iter().all(|f| f.rule != "invariant-ref"));
+}
+
+#[test]
+fn protocol_invariants_are_parsed_from_the_real_doc() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let text =
+        std::fs::read_to_string(root.join("docs/PROTOCOL.md")).expect("docs/PROTOCOL.md exists");
+    let defined = valois_analyze::protocol_invariants(&text);
+    // I1..=I9 are the currently documented invariants; a renumbering must
+    // update every // INVARIANT: citation (the invariant-ref pass checks
+    // the code side, this pins the doc side).
+    for n in 1..=9 {
+        assert!(defined.contains(&n), "I{n} missing from PROTOCOL.md");
+    }
+}
+
+#[test]
+fn sarif_related_locations_round_trip() {
+    let src = "fn f(&self) -> bool {\n\
+        let h = self.arena.safe_read(&self.head);\n\
+        if self.stopped() {\n\
+            return false;\n\
+        }\n\
+        self.arena.release(h);\n\
+        true\n\
+    }\n";
+    let findings: Vec<_> = analyze_source(LIB, src)
+        .into_iter()
+        .filter(|f| f.rule == "refcount-balance")
+        .collect();
+    let sarif = valois_analyze::render_sarif(&findings);
+    assert!(sarif.contains("relatedLocations"), "{sarif}");
+    assert!(sarif.contains("acquires its count here"), "{sarif}");
+}

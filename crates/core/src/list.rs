@@ -127,6 +127,9 @@ impl<T: Send + Sync> List<T> {
     /// [`List::prepare_insert`] that hands the value back on failure, so
     /// callers holding reclaimable references (a cursor with parked
     /// deferred releases) can free nodes and retry without losing it.
+    // COUNT: the two fresh Alloc counts transfer into the returned
+    // `PreparedInsert { cell, aux }`; its Drop (abandon) or publication
+    // (try_insert) consumes them.
     pub(crate) fn try_prepare_insert(
         &self,
         value: T,

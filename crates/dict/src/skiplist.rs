@@ -624,6 +624,8 @@ where
                 // sides can miss the other's store and the level-`lvl`
                 // entry is orphaned. See docs/PROTOCOL.md, "The
                 // orphan-tower race".
+                // INVARIANT: I9 (fence pairing) — partner is the sweep
+                // fence in `sweep_orphan_tower`; preserves I8.
                 fence(Ordering::SeqCst);
                 if !(*cell).back_link[0].read().is_null() {
                     let mut cc = self.cursor_at(lvl, self.first);
@@ -727,7 +729,13 @@ where
         // ORDER: SeqCst fence after the level-0 `back_link[0]` write (in
         // `try_delete`) and before the upper-level reads below — the
         // remover half of the pairing described above.
+        // INVARIANT: I9 (fence pairing) — partner is the inserter's
+        // post-link fence in `insert`; preserves I8.
         fence(Ordering::SeqCst);
+        // ORDER: Acquire is belt-and-braces — `level` is only ever
+        // written before the node is published (the Release link CAS and
+        // the counted reference we hold already order it); no `level`
+        // store needs Release to pair with this.
         let height = (*d).level.load(Ordering::Acquire) as usize;
         if height <= 1 {
             return;

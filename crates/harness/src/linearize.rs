@@ -63,12 +63,17 @@ impl History {
                     s.spawn(move || {
                         let mut out = Vec::with_capacity(plan.len());
                         for &op in plan {
+                            // ORDER: SeqCst — the shared clock must give
+                            // all threads' start/end stamps one total
+                            // order; the linearizability check compares
+                            // stamps across threads.
                             let start = clock.fetch_add(1, Ordering::SeqCst);
                             let result = match op {
                                 Op::Insert(k) => dict.insert(k, k),
                                 Op::Remove(k) => dict.remove(&k),
                                 Op::Find(k) => dict.contains(&k),
                             };
+                            // ORDER: SeqCst — same total order as `start`.
                             let end = clock.fetch_add(1, Ordering::SeqCst);
                             out.push(Recorded {
                                 thread: tid,

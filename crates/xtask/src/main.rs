@@ -7,7 +7,7 @@
 //! `WAIT-FREE:`).
 //!
 //! ```text
-//! cargo xtask analyze [--format text|json|sarif] [--deny warn] [--output PATH]
+//! cargo xtask analyze [--format text|json|sarif] [--deny warn] [--output PATH] [--stats]
 //! ```
 //!
 //! * `--format` — findings as human-readable text (default), compact JSON,
@@ -15,7 +15,9 @@
 //! * `--deny warn` — treat warnings as errors (the CI setting; the clean
 //!   tree passes it);
 //! * `--output` — write the report to a file instead of stdout (the
-//!   human-readable summary still goes to stderr).
+//!   human-readable summary still goes to stderr);
+//! * `--stats` — print per-pass wall-clock timings to stderr so analyzer
+//!   cost stays visible as the engine grows.
 //!
 //! `cargo xtask trace-dump <file.vtrace>` renders a flight-recorder
 //! post-mortem (written by `valois_trace::dump` when an invariant fails
@@ -26,7 +28,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use valois_analyze::{
-    analyze_workspace, render_json, render_sarif, render_text, should_fail, Severity,
+    analyze_workspace_timed, render_json, render_sarif, render_text, should_fail, Severity,
 };
 
 fn workspace_root() -> PathBuf {
@@ -40,19 +42,23 @@ fn workspace_root() -> PathBuf {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo xtask analyze [--format text|json|sarif] [--deny warn] [--output PATH]"
+        "usage: cargo xtask analyze [--format text|json|sarif] [--deny warn] [--output PATH] \
+         [--stats]"
     );
     eprintln!("       cargo xtask trace-dump <file.vtrace>");
     eprintln!();
     eprintln!("  analyze     run the valois-analyze protocol linter over library");
     eprintln!("              sources: shim discipline, pointer-ordering discipline,");
-    eprintln!("              unsafe/SAFETY audit, refcount pairing, CAS-loop progress,");
-    eprintln!("              probe discipline, and spinlock-guard hygiene");
+    eprintln!("              unsafe/SAFETY audit, refcount pairing + dataflow balance,");
+    eprintln!("              CAS-loop progress, probe discipline, spinlock-guard");
+    eprintln!("              hygiene, the acquire/release ordering graph, and");
+    eprintln!("              PROTOCOL.md invariant cross-references");
     eprintln!("              (see docs/ANALYSIS.md)");
     eprintln!();
     eprintln!("  --format    output format (default: text)");
     eprintln!("  --deny      'warn' promotes warnings to failures (CI runs this)");
     eprintln!("  --output    write the report to PATH instead of stdout");
+    eprintln!("  --stats     print per-pass timings to stderr");
     eprintln!();
     eprintln!("  trace-dump  render a flight-recorder post-mortem (*.vtrace) as a");
     eprintln!("              merged, time-ordered event log (see docs/OBSERVABILITY.md)");
@@ -123,6 +129,7 @@ fn main() -> ExitCode {
     let mut format = String::from("text");
     let mut deny_warnings = false;
     let mut output: Option<PathBuf> = None;
+    let mut stats = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next() {
@@ -138,11 +145,21 @@ fn main() -> ExitCode {
                 Some(p) => output = Some(PathBuf::from(p)),
                 None => return usage(),
             },
+            "--stats" => stats = true,
             _ => return usage(),
         }
     }
 
-    let findings = analyze_workspace(&workspace_root());
+    let (findings, pass_stats) = analyze_workspace_timed(&workspace_root());
+    if stats {
+        eprintln!(
+            "xtask analyze: {} file(s) in {:.1?}",
+            pass_stats.files, pass_stats.total
+        );
+        for (name, dur) in &pass_stats.timings {
+            eprintln!("  {name:<24} {dur:>10.1?}");
+        }
+    }
     let rendered = match format.as_str() {
         "json" => render_json(&findings),
         "sarif" => render_sarif(&findings),
@@ -166,7 +183,8 @@ fn main() -> ExitCode {
     if findings.is_empty() {
         eprintln!(
             "xtask analyze: OK (shim, ordering, unsafe-audit, refcount-pairing, \
-             cas-progress, spin-guard, probe-discipline)"
+             cas-progress, spin-guard, probe-discipline, refcount-balance, \
+             order-graph, invariant-refs)"
         );
         ExitCode::SUCCESS
     } else {
