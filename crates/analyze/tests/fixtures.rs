@@ -283,6 +283,64 @@ fn refcount_accepts_count_comment() {
     assert_eq!(count(LIB, &src, "refcount-pairing"), 0);
 }
 
+#[test]
+fn refcount_accepts_backlink_resume_handoff() {
+    // The PR 7 resume shape: a back_link walk that swaps counted hops
+    // (release the old anchor, keep the new) and hands the final count
+    // to the cursor via a `// COUNT:` transfer contract.
+    let src = "\
+impl S {\n\
+    // COUNT: consumes the caller's count on `from`; the returned\n\
+    // pointer carries one count that transfers to the caller.\n\
+    fn backtrack(&self, from: *mut Node) -> *mut Node {\n\
+        let mut p = from;\n\
+        loop {\n\
+            // SAFETY: p is counted-held, so back_link is readable.\n\
+            let q = unsafe { self.arena.safe_read(&(*p).back_link) };\n\
+            if q.is_null() {\n\
+                return p;\n\
+            }\n\
+            // SAFETY: swap the held count from p to q.\n\
+            unsafe { self.arena.release(p) };\n\
+            p = q;\n\
+        }\n\
+    }\n\
+}\n";
+    assert_eq!(count(LIB, src, "refcount-pairing"), 0);
+}
+
+#[test]
+fn refcount_flags_leaked_resumed_cursor() {
+    // Seeded violation: the walk keeps acquiring back_link hops but
+    // never releases the superseded anchor and never documents a
+    // transfer — every hop leaks one count.
+    let src = "\
+impl S {\n\
+    fn resume_leaky(&self, from: *mut Node) {\n\
+        let mut p = from;\n\
+        loop {\n\
+            // SAFETY: p is counted-held, so back_link is readable.\n\
+            let q = unsafe { self.arena.safe_read(&(*p).back_link) };\n\
+            if q.is_null() {\n\
+                break;\n\
+            }\n\
+            p = q;\n\
+        }\n\
+        self.anchor.store(p);\n\
+    }\n\
+}\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "refcount-pairing")
+        .expect("leaked resume walk must be flagged");
+    assert!(
+        f.message.contains("resume_leaky"),
+        "message names the fn: {}",
+        f.message
+    );
+}
+
 // ---- cas-progress --------------------------------------------------------
 
 const BARE_CAS_LOOP: &str = "\

@@ -163,6 +163,35 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
         self.target
     }
 
+    /// The raw `pre_cell` pointer (for [`List::cache_entry`]'s count
+    /// transfer; crate-internal).
+    pub(crate) fn pre_cell_ptr(&self) -> *mut Node<T> {
+        self.pre_cell
+    }
+
+    /// Reads the value of the cursor's *anchor* — the nearest preceding
+    /// normal cell (`pre_cell`) — or `None` when the anchor is a dummy
+    /// (the cursor is at the start of the list).
+    ///
+    /// The anchor may have been deleted by a concurrent operation; cell
+    /// persistence (§2.2) keeps its value readable either way. Dictionary
+    /// layers use this to decide whether a cached cursor's position is
+    /// at-or-before a search key without re-walking the list.
+    pub fn with_anchor<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        if self.pre_cell.is_null() {
+            return None;
+        }
+        // SAFETY: `pre_cell` is a held counted reference; only Cell nodes
+        // carry values.
+        unsafe {
+            if (*self.pre_cell).kind() == crate::node::NodeKind::Cell {
+                Some(f((*self.pre_cell).value()))
+            } else {
+                None
+            }
+        }
+    }
+
     // COUNT: both SafeRead counts are transferred into the cursor's
     // `pre_cell`/`pre_aux` fields; `Drop`/`seek_first` release them.
     fn seek_first_inner(&mut self) {
@@ -244,6 +273,86 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             self.pre_aux = p;
             self.target = n;
         }
+    }
+
+    /// Fig. 10 lines 7-11, promoted to a shared primitive: walks
+    /// `back_link`s from `from` to the nearest cell that has not itself
+    /// been deleted (as of each link read) and returns it.
+    ///
+    /// # Safety
+    ///
+    /// `from` must carry a counted reference owned by the caller.
+    // COUNT: consumes the caller's count on `from`; the returned pointer
+    // carries one count that transfers to the caller.
+    unsafe fn backtrack(&mut self, from: *mut Node<T>) -> *mut Node<T> {
+        let arena = self.list.arena();
+        let mut p = from;
+        while !(*p).back_link.read().is_null() {
+            let q = arena.safe_read(&(*p).back_link);
+            if q.is_null() {
+                break; // back_links are never cleared while p is held
+            }
+            self.ops.backlink_hops += 1;
+            arena.release(p);
+            p = q;
+        }
+        p
+    }
+
+    /// Backlink-guided retry resumption (the Fomitchev–Ruppert search
+    /// pattern over the paper's §3 `back_link`s): if the cursor's anchor
+    /// cell (`pre_cell`) was deleted by a concurrent operation, walk its
+    /// `back_link` chain to the nearest predecessor that had not itself
+    /// been deleted, re-enter the list there, and revalidate with
+    /// [`Cursor::update`].
+    ///
+    /// This is the public retry protocol: after a failed
+    /// [`Cursor::try_insert`]/[`Cursor::try_delete`] — or when reopening
+    /// a cached cursor whose neighbourhood may have changed — call
+    /// `resume()` instead of discarding the cursor and restarting from
+    /// `First`. The cost is O(distance-to-conflict) back-link hops
+    /// instead of an O(n) walk from the head; when the anchor is still
+    /// live this is exactly an `update()` (no extra cost).
+    ///
+    /// Landing on a back-walked predecessor is consistent: the resumed
+    /// position is at-or-before every position the cursor could need,
+    /// and the forward revalidation cannot skip a concurrently present
+    /// cell.
+    // INVARIANT: I10
+    pub fn resume(&mut self) {
+        // SAFETY: `pre_cell` is a held counted reference; its `back_link`
+        // is written exactly once (by the winning deleter, after the
+        // deletion CAS) and never cleared while the cell is held, so a
+        // non-null read is a stable "this anchor was deleted" signal.
+        let deleted = unsafe { !(*self.pre_cell).back_link.read().is_null() };
+        if !deleted {
+            // Anchor still undeleted: plain Fig. 5 revalidation suffices.
+            self.update();
+            return;
+        }
+        self.ops.resumes += 1;
+        let before = self.ops.backlink_hops;
+        let arena = self.list.arena();
+        // SAFETY: all three fields hold counted references; the back-walk
+        // takes over `pre_cell`'s count and hands back one count on the
+        // landing cell, and the superseded `pre_aux`/`target` counts are
+        // parked for a deferred drain (delaying a decrement never
+        // anticipates reclamation).
+        // COUNT: `backtrack` consumes the count on the old `pre_cell` and
+        // its returned count is stored into `pre_cell` (released on
+        // `Drop`); the SafeRead count lands in `pre_aux` likewise.
+        unsafe {
+            let p = self.backtrack(self.pre_cell);
+            self.pre_cell = p;
+            arena.release_deferred(&mut self.defer, self.pre_aux);
+            self.pre_aux = arena.safe_read_tallied(&(*p).next, &mut self.tally);
+            arena.release_deferred(&mut self.defer, self.target);
+            self.target = std::ptr::null_mut();
+        }
+        let hops = self.ops.backlink_hops - before;
+        self.ops.resume_hops += hops;
+        valois_trace::probe!(CursorResume, hops as usize, self.pre_cell as usize);
+        self.update();
     }
 
     /// Fig. 7 `Next`: advances to the next position. Returns `false` when
@@ -432,18 +541,11 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             arena.incr_ref(self.pre_cell);
             (*d).back_link.write(self.pre_cell);
             // Fig. 10 lines 7-11: walk back links to the nearest cell that
-            // has not itself been deleted.
-            let mut p = self.pre_cell;
-            arena.incr_ref(p);
-            while !(*p).back_link.read().is_null() {
-                let q = arena.safe_read(&(*p).back_link);
-                if q.is_null() {
-                    break; // back_links are never cleared while p is held
-                }
-                self.ops.backlink_hops += 1;
-                arena.release(p);
-                p = q;
-            }
+            // has not itself been deleted (shared with `resume`).
+            // COUNT: the incr_ref's count is consumed by `backtrack`,
+            // which hands back one count on `p` (released at the end).
+            arena.incr_ref(self.pre_cell);
+            let p = self.backtrack(self.pre_cell);
             // Fig. 10 line 12.
             let mut s = arena.safe_read(&(*p).next);
             // Fig. 10 lines 13-16: advance n to the end of the auxiliary

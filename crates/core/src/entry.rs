@@ -108,6 +108,45 @@ impl<T: Send + Sync> List<T> {
         unsafe { self.arena().swing(&root.link, std::ptr::null_mut(), target) }
     }
 
+    /// Re-points `root` at the cursor's current anchor (`pre_cell`) — the
+    /// Träff & Pöter cached-cursor pattern: a per-thread slot remembers
+    /// the last visited neighbourhood so the next operation can start
+    /// there instead of at `First`. Returns `false` (slot untouched) when
+    /// the anchor is a dummy, i.e. the cursor sits at the start of the
+    /// list and caching would buy nothing.
+    ///
+    /// Unlike [`List::publish_entry`] this *overwrites*: the slot's
+    /// previous count is released after the swap. Unlike bucket
+    /// sentinels, a cached anchor **may be deleted** while the slot
+    /// points at it — cell persistence keeps it (and its `back_link`
+    /// chain) readable, and a cursor reopened from the slot must call
+    /// [`Cursor::resume`] before use so it re-enters the live list at an
+    /// undeleted predecessor (invariant I10 in docs/PROTOCOL.md).
+    // INVARIANT: I10
+    pub fn cache_entry(&self, root: &EntryRoot<T>, cursor: &Cursor<'_, T>) -> bool {
+        assert!(
+            std::ptr::eq(self, cursor.list()),
+            "cursor of a different list"
+        );
+        let anchor = cursor.pre_cell_ptr();
+        // SAFETY: the cursor holds a counted reference on its `pre_cell`,
+        // so inspecting its kind is protected.
+        if anchor.is_null() || unsafe { (*anchor).kind() } != NodeKind::Cell {
+            return false;
+        }
+        // SAFETY: `anchor` is held by the cursor, so incr_ref targets a
+        // live node; the link's previous count transfers to us on the
+        // swap and releasing it is the transfer's obligation.
+        // COUNT: the incr_ref's count transfers to the slot's link
+        // (released by the next `cache_entry`/`retire_entry`).
+        unsafe {
+            self.arena().incr_ref(anchor);
+            let old = root.link.swap(anchor);
+            self.arena().release(old);
+        }
+        true
+    }
+
     /// Reads the entry cell's value under protection, or `None` if the
     /// root is unpublished.
     pub fn with_entry<R>(&self, root: &EntryRoot<T>, f: impl FnOnce(&T) -> R) -> Option<R> {

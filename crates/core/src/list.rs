@@ -126,14 +126,17 @@ impl<T: Send + Sync> List<T> {
 
     /// [`List::prepare_insert`] that hands the value back on failure, so
     /// callers holding reclaimable references (a cursor with parked
-    /// deferred releases) can free nodes and retry without losing it.
+    /// deferred releases, a cached-cursor slot pinning an anchor) can
+    /// free nodes and retry without losing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value together with the [`AllocError`] when the node
+    /// pool is exhausted and capped.
     // COUNT: the two fresh Alloc counts transfer into the returned
     // `PreparedInsert { cell, aux }`; its Drop (abandon) or publication
     // (try_insert) consumes them.
-    pub(crate) fn try_prepare_insert(
-        &self,
-        value: T,
-    ) -> Result<PreparedInsert<'_, T>, (T, AllocError)> {
+    pub fn try_prepare_insert(&self, value: T) -> Result<PreparedInsert<'_, T>, (T, AllocError)> {
         let cell = match self.arena.alloc() {
             Ok(cell) => cell,
             Err(e) => return Err((value, e)),

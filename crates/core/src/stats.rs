@@ -12,7 +12,7 @@ use std::fmt;
 use valois_sync::sharded::Sharded;
 use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
-/// One shard of the list's counters (all ten live on one padded line).
+/// One shard of the list's counters (all twelve live on one padded line).
 #[derive(Default)]
 pub(crate) struct ListShard {
     pub(crate) updates: AtomicU64,
@@ -25,6 +25,8 @@ pub(crate) struct ListShard {
     pub(crate) delete_successes: AtomicU64,
     pub(crate) backlink_hops: AtomicU64,
     pub(crate) chain_cleanup_retries: AtomicU64,
+    pub(crate) resumes: AtomicU64,
+    pub(crate) resume_hops: AtomicU64,
 }
 
 /// Sharded live counters owned by a [`List`](crate::List).
@@ -64,6 +66,8 @@ impl ListCounters {
             (tally.delete_successes, &shard.delete_successes),
             (tally.backlink_hops, &shard.backlink_hops),
             (tally.chain_cleanup_retries, &shard.chain_cleanup_retries),
+            (tally.resumes, &shard.resumes),
+            (tally.resume_hops, &shard.resume_hops),
         ] {
             if count != 0 {
                 counter.fetch_add(count, Ordering::Relaxed);
@@ -86,6 +90,8 @@ impl ListCounters {
             s.delete_successes += shard.delete_successes.load(Ordering::Relaxed);
             s.backlink_hops += shard.backlink_hops.load(Ordering::Relaxed);
             s.chain_cleanup_retries += shard.chain_cleanup_retries.load(Ordering::Relaxed);
+            s.resumes += shard.resumes.load(Ordering::Relaxed);
+            s.resume_hops += shard.resume_hops.load(Ordering::Relaxed);
         }
         s
     }
@@ -113,6 +119,8 @@ pub(crate) struct ListTally {
     pub(crate) delete_successes: u64,
     pub(crate) backlink_hops: u64,
     pub(crate) chain_cleanup_retries: u64,
+    pub(crate) resumes: u64,
+    pub(crate) resume_hops: u64,
 }
 
 impl ListTally {
@@ -128,6 +136,8 @@ impl ListTally {
             delete_successes,
             backlink_hops,
             chain_cleanup_retries,
+            resumes,
+            resume_hops,
         } = *self;
         updates
             | aux_unlinked
@@ -139,6 +149,8 @@ impl ListTally {
             | delete_successes
             | backlink_hops
             | chain_cleanup_retries
+            | resumes
+            | resume_hops
             == 0
     }
 }
@@ -177,6 +189,15 @@ pub struct ListStats {
     /// CAS retries in `TryDelete`'s auxiliary-chain cleanup loop
     /// (Fig. 10 lines 17–21).
     pub chain_cleanup_retries: u64,
+    /// [`Cursor::resume`](crate::Cursor::resume) calls that actually
+    /// found a deleted predecessor and back-walked (cheap revalidations
+    /// that fell through to `Update` are not counted).
+    pub resumes: u64,
+    /// Back-link hops performed by [`Cursor::resume`](crate::Cursor::resume)
+    /// — the "resume distance". `resume_hops / resumes` is the mean
+    /// distance-to-conflict, the quantity that replaces O(n)
+    /// restart-from-head walks.
+    pub resume_hops: u64,
 }
 
 impl ListStats {
@@ -209,6 +230,8 @@ impl ListStats {
             chain_cleanup_retries: self
                 .chain_cleanup_retries
                 .saturating_sub(earlier.chain_cleanup_retries),
+            resumes: self.resumes.saturating_sub(earlier.resumes),
+            resume_hops: self.resume_hops.saturating_sub(earlier.resume_hops),
         }
     }
 }

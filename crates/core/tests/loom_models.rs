@@ -12,6 +12,11 @@
 //! 3. TryInsert/TryDelete through auxiliary nodes (Figs. 9-10): a
 //!    concurrent insert and delete at the same position preserve the §3
 //!    invariant chain (strict cell/aux alternation, exact refcounts).
+//! 4. `Cursor::resume` racing deletions of its anchor *and* of the
+//!    predecessor the back-walk resumes to: the walk must fall back
+//!    further (never loop, never leak a count), and the resumed
+//!    traversal must still observe every continuously-present cell
+//!    (invariant I10).
 //!
 //! Run with:
 //! `RUSTFLAGS="--cfg loom" cargo test -p valois-core --test loom_models`
@@ -258,6 +263,90 @@ fn try_insert_vs_try_delete_preserves_invariant_chain() {
         assert_eq!(list.iter().collect::<Vec<u64>>(), vec![5]);
         // After collecting the deleted cell's residue the arena must hold
         // exactly the quiescent shape: 3 dummies/roots + 2 per live cell.
+        list.quiescent_collect();
+        list.check_structure()
+            .expect("§3 invariant chain after collect");
+        assert_eq!(list.mem_stats().live_nodes(), 3 + 2);
+    });
+    assert!(explored > 1, "model must branch, explored {explored}");
+}
+
+/// Model 4 — resume-from-backlink with the resumed-to predecessor itself
+/// deleted mid-resume.
+///
+/// The list starts as `[10, 20, 30]`. Thread A deletes `20` (its cursor
+/// anchored at `10`), thread B deletes `10` — so A's retry/recovery
+/// back-walk can land on a predecessor that B deletes under it. Thread C
+/// advances a cursor to `30` (anchor `20`, soon deleted by A), calls
+/// `resume`, and must still reach `30`: it is continuously present, so
+/// by I10 no interleaving of the back-walks may skip it, loop, or leak
+/// a count (the post-join audit checks exactness).
+#[test]
+fn resume_survives_predecessor_deleted_mid_resume() {
+    let explored = Builder::new().preemption_bound(2).check(|| {
+        let list: Arc<List<u64>> = Arc::new(List::with_config(
+            ArenaConfig::new().initial_capacity(16).max_nodes(16),
+        ));
+        for k in [30, 20, 10] {
+            list.cursor().insert(k).expect("seed cells");
+        }
+
+        let delete = |key: u64| {
+            let list = Arc::clone(&list);
+            thread::spawn(move || {
+                let mut c = list.cursor();
+                loop {
+                    match c.get() {
+                        Some(&k) if k == key => {
+                            if c.try_delete() {
+                                break;
+                            }
+                            // The other deleter may have removed our
+                            // anchor: back_link-guided retry.
+                            c.resume();
+                        }
+                        Some(_) => assert!(c.next(), "walked past the key"),
+                        // Only this thread deletes `key`, so by I10 the
+                        // walk cannot reach the end without finding it.
+                        None => panic!("cell {key} vanished without our delete"),
+                    }
+                }
+            })
+        };
+        let deleter_20 = delete(20);
+        let deleter_10 = delete(10);
+
+        let resumer = {
+            let list = Arc::clone(&list);
+            thread::spawn(move || {
+                let mut c = list.cursor();
+                // Position at 30 (anchor: whatever precedes it right now).
+                while c.get() != Some(&30) {
+                    assert!(c.next(), "30 is never deleted");
+                }
+                // Resume after the anchor may have died — and keep
+                // resuming: 30 stays continuously present, so every
+                // re-walk must find it again (I10).
+                for _ in 0..2 {
+                    c.resume();
+                    while c.get() != Some(&30) {
+                        assert!(c.next(), "resumed cursor lost cell 30");
+                    }
+                }
+            })
+        };
+
+        deleter_20.join().unwrap();
+        deleter_10.join().unwrap();
+        resumer.join().unwrap();
+
+        let mut list = Arc::try_unwrap(list).expect("all threads joined");
+        if let Err(e) = list.check_structure() {
+            panic!("§3 invariant chain: {e}\nchain: {}", list.dump_chain());
+        }
+        list.audit_refcounts()
+            .expect("exact counts — no leaked resume");
+        assert_eq!(list.iter().collect::<Vec<u64>>(), vec![30]);
         list.quiescent_collect();
         list.check_structure()
             .expect("§3 invariant chain after collect");

@@ -1,0 +1,91 @@
+//! Per-thread cached cursors (Träff & Pöter, arXiv:2010.15755).
+//!
+//! Their `lsingly_cursor` observation: most operations on a sorted list
+//! land near the previous operation of the same thread, so remembering
+//! the last visited neighbourhood converts the per-operation O(n)
+//! positioning scan into O(distance-moved). Here the remembered position
+//! is a counted [`EntryRoot`] per thread shard, re-pointed after every
+//! operation via [`List::cache_entry`] and reopened via
+//! [`List::cursor_at`].
+//!
+//! Invalidation is the subtle part: the anchor cell may be deleted (or
+//! the list arbitrarily reshaped) between operations. The slot's count
+//! keeps the cell readable — cell persistence — and invariant I10
+//! (docs/PROTOCOL.md) guarantees that a cursor reopened from *any* held
+//! node, after [`Cursor::resume`], observes every cell that is
+//! continuously present. The one thing counts cannot preserve is key
+//! ordering relative to a *new* search: a deleted anchor with key equal
+//! to the search key would sit at-or-past the cells the search must
+//! inspect, so [`CursorCache::open`] demands the caller's `usable`
+//! predicate hold on the anchor (dictionaries pass
+//! `anchor.key < search_key`, strictly) and falls back to the list head
+//! otherwise.
+
+use valois_core::{Cursor, EntryRoot, List};
+use valois_sync::sharded::Sharded;
+
+/// Per-thread-shard cached list positions (see the module docs).
+///
+/// Slots hold counts on their anchors, which pins those cells (and the
+/// `back_link` chains hanging off them) until the slot is re-pointed or
+/// retired — owners must call [`CursorCache::retire_all`] before the
+/// list is dropped, and may call it mid-flight to shed pinned memory
+/// when a capped arena runs dry.
+pub(crate) struct CursorCache<T: Send + Sync> {
+    slots: Sharded<EntryRoot<T>>,
+}
+
+impl<T: Send + Sync> CursorCache<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: Sharded::new(),
+        }
+    }
+
+    /// Opens a cursor at this thread's cached position, or `None` when
+    /// the slot is unpublished or its anchor fails `usable` (caller
+    /// falls back to [`List::cursor`]).
+    ///
+    /// The returned cursor has been [`Cursor::resume`]d: if the anchor
+    /// was deleted, it already back-walked to an undeleted predecessor.
+    // INVARIANT: I10
+    pub(crate) fn open<'a>(
+        &self,
+        list: &'a List<T>,
+        usable: impl FnOnce(&T) -> bool,
+    ) -> Option<Cursor<'a, T>> {
+        let mut cursor = list.cursor_at(self.slots.get())?;
+        if cursor.with_anchor(usable) != Some(true) {
+            return None;
+        }
+        cursor.resume();
+        Some(cursor)
+    }
+
+    /// Re-points this thread's slot at `cursor`'s anchor (no-op when the
+    /// cursor sits at the list head — nothing worth remembering).
+    pub(crate) fn save(&self, list: &List<T>, cursor: &Cursor<'_, T>) {
+        list.cache_entry(self.slots.get(), cursor);
+    }
+
+    /// Releases every slot's count (all threads' — quiescent callers
+    /// only). Subsequent opens fall back to the head until positions are
+    /// re-cached; used on teardown and under allocation pressure.
+    pub(crate) fn retire_all(&self, list: &List<T>) {
+        for slot in self.slots.shards() {
+            list.retire_entry(slot);
+        }
+    }
+
+    /// The slots, for refcount audits
+    /// ([`List::audit_refcounts_with_entries`]).
+    pub(crate) fn roots(&self) -> impl Iterator<Item = &EntryRoot<T>> {
+        self.slots.shards()
+    }
+}
+
+impl<T: Send + Sync> Default for CursorCache<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

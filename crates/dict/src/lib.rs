@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bst;
+mod cursor_cache;
 pub mod hash;
 pub mod resizable;
 pub mod skiplist;

@@ -255,9 +255,18 @@ where
     /// sentinel, the root's publication CAS ensures one winner, and
     /// every loser's count is released (by `PreparedInsert`'s drop and
     /// the failed swing respectively).
+    ///
+    /// The search resumes from the parent bucket's root — recursively,
+    /// each ancestor initializing from *its* parent — so a miss never
+    /// degrades to a head-of-list scan. Bucket 0 is the recursion's base
+    /// case: published at construction, its sentinel (split-order 0) is
+    /// the list's least position, so the head cursor *is* its parent.
     fn init_bucket(&self, bucket: u64) -> Cursor<'_, SplitItem<K, V>> {
-        debug_assert!(bucket > 0, "bucket 0 is published at construction");
-        let mut cursor = self.bucket_cursor(parent_bucket(bucket));
+        let mut cursor = if bucket == 0 {
+            self.list.cursor()
+        } else {
+            self.bucket_cursor(parent_bucket(bucket))
+        };
         let so = sentinel_order(bucket);
         if !find_so(&mut cursor, so, None) {
             let mut prepared = self
@@ -276,7 +285,10 @@ where
                     }
                     Err(back) => prepared = back,
                 }
-                cursor.update();
+                // Resume from the nearest undeleted predecessor, never
+                // the bucket root (let alone the head).
+                // INVARIANT: I10
+                cursor.resume();
                 if find_so(&mut cursor, so, None) {
                     break; // a racing initializer's sentinel won; drop ours
                 }
@@ -321,7 +333,10 @@ where
                 Ok(()) => break,
                 Err(back) => prepared = back,
             }
-            cursor.update();
+            // Back_link-guided retry: revalidate at the nearest undeleted
+            // predecessor instead of re-deriving the bucket.
+            // INVARIANT: I10
+            cursor.resume();
             if find_so(&mut cursor, so, prepared.value().key.as_ref()) {
                 // Concurrent insert won with the same key: give back our
                 // own pre-charge (matched, so this cannot underflow).
@@ -371,7 +386,9 @@ where
                 self.count.fetch_sub(1, Ordering::AcqRel);
                 return true;
             }
-            cursor.update();
+            // Back_link-guided retry.
+            // INVARIANT: I10
+            cursor.resume();
         }
     }
 

@@ -317,6 +317,52 @@ where
         c.target = n;
     }
 
+    /// Fig. 10 lines 7-11 at `lvl`: walk `back_link[lvl]`s from `from` to
+    /// the nearest cell not itself deleted at this level (shared by
+    /// `try_delete`'s recovery and `resume`).
+    ///
+    /// # Safety
+    ///
+    /// `from` must carry a count this call may consume.
+    // COUNT: consumes the caller's count on `from`; the returned pointer
+    // carries one count that transfers to the caller.
+    unsafe fn backtrack(&self, lvl: usize, from: *mut SkipNode<K, V>) -> *mut SkipNode<K, V> {
+        let mut p = from;
+        while !(*p).back_link[lvl].read().is_null() {
+            let q = self.arena.safe_read(&(*p).back_link[lvl]);
+            if q.is_null() {
+                break; // back_links are never cleared while p is held
+            }
+            self.arena.release(p);
+            p = q;
+        }
+        p
+    }
+
+    /// [`Cursor::resume`](valois_core::Cursor::resume) at `lvl`: when the
+    /// cursor's anchor was deleted at this level, back-walk to the
+    /// nearest undeleted predecessor before revalidating —
+    /// O(distance-to-conflict) instead of O(level length).
+    ///
+    /// # Safety
+    ///
+    /// `c` must hold counted references obtained from this arena at `lvl`.
+    // INVARIANT: I10
+    unsafe fn resume(&self, lvl: usize, c: &mut LevelCursor<K, V>) {
+        if !(*c.pre_cell).back_link[lvl].read().is_null() {
+            // COUNT: `backtrack` consumes the cursor's count on the old
+            // `pre_cell` and its returned count is stored back into
+            // `pre_cell` (released by `release_cursor`).
+            let p = self.backtrack(lvl, c.pre_cell);
+            c.pre_cell = p;
+            self.arena.release(c.pre_aux);
+            c.pre_aux = self.arena.safe_read((*p).out_link(lvl));
+            self.arena.release(c.target);
+            c.target = std::ptr::null_mut();
+        }
+        self.update(lvl, c);
+    }
+
     /// Fig. 7 `Next` at `lvl`.
     ///
     /// # Safety
@@ -400,17 +446,12 @@ where
         debug_assert!((*d).back_link[lvl].read().is_null());
         self.arena.incr_ref(c.pre_cell);
         (*d).back_link[lvl].write(c.pre_cell);
-        // Fig. 10 lines 7-11: back to a cell not deleted at this level.
-        let mut p = c.pre_cell;
-        self.arena.incr_ref(p);
-        while !(*p).back_link[lvl].read().is_null() {
-            let q = self.arena.safe_read(&(*p).back_link[lvl]);
-            if q.is_null() {
-                break;
-            }
-            self.arena.release(p);
-            p = q;
-        }
+        // Fig. 10 lines 7-11: back to a cell not deleted at this level
+        // (shared with `resume`).
+        // COUNT: the incr_ref's count is consumed by `backtrack`, which
+        // hands back one count on `p` (released at the end).
+        self.arena.incr_ref(c.pre_cell);
+        let p = self.backtrack(lvl, c.pre_cell);
         // Fig. 10 line 12.
         let mut s = self.arena.safe_read((*p).out_link(lvl));
         // Fig. 10 lines 13-16: advance n to the end of the aux chain.
@@ -557,7 +598,8 @@ where
                 }
                 self.retries.fetch_add(1, Ordering::Relaxed);
                 backoff.spin();
-                self.update(0, &mut c0);
+                // INVARIANT: I10
+                self.resume(0, &mut c0);
                 if self.find_from(0, &mut c0, key) {
                     // A concurrent insert of the same key won: roll back.
                     self.release_cursor(c0);
@@ -609,7 +651,8 @@ where
                     }
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     backoff.spin();
-                    self.update(lvl, &mut c);
+                    // INVARIANT: I10
+                    self.resume(lvl, &mut c);
                 }
                 // If the cell was removed while we linked this level, undo
                 // our own link (the remover may have already passed lvl).
@@ -643,7 +686,8 @@ where
                             valois_trace::probe!(TowerUndo, cell as usize, lvl);
                             break;
                         }
-                        self.update(lvl, &mut cc);
+                        // INVARIANT: I10
+                        self.resume(lvl, &mut cc);
                     }
                     self.release_cursor(cc);
                     self.release_cursor(c);
@@ -691,7 +735,8 @@ where
                     }
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     backoff.spin();
-                    self.update(lvl, &mut c);
+                    // INVARIANT: I10
+                    self.resume(lvl, &mut c);
                 }
                 entry = c.pre_cell;
                 self.arena.incr_ref(entry);
@@ -767,7 +812,8 @@ where
                 // Lost the unlink race at this level (the inserter's
                 // self-undo, most likely); re-examine from a fresh view.
                 self.retries.fetch_add(1, Ordering::Relaxed);
-                self.update(lvl, &mut c);
+                // INVARIANT: I10
+                self.resume(lvl, &mut c);
             }
             self.release_cursor(c);
         }

@@ -12,6 +12,7 @@ use std::fmt;
 
 use valois_core::{ArenaConfig, Cursor, List, ListStats, MemStats};
 
+use crate::cursor_cache::CursorCache;
 use crate::traits::Dictionary;
 
 /// A key–value item stored in a list cell.
@@ -81,6 +82,8 @@ where
 /// ```
 pub struct SortedListDict<K: Send + Sync, V: Send + Sync> {
     list: List<Entry<K, V>>,
+    cache: CursorCache<Entry<K, V>>,
+    cached: bool,
 }
 
 impl<K, V> SortedListDict<K, V>
@@ -97,62 +100,126 @@ where
     /// (e.g. the paper's fixed-pool model via
     /// [`ArenaConfig::max_nodes`]).
     pub fn with_config(config: ArenaConfig) -> Self {
+        Self::with_config_cached(config, true)
+    }
+
+    /// [`SortedListDict::with_config`] with per-thread cursor caching
+    /// switched off — every operation then positions from the list head,
+    /// the paper's literal Figs. 12–13 (and the restart-from-head
+    /// baseline of `BENCH_retry.json`).
+    pub fn with_config_cached(config: ArenaConfig, cached: bool) -> Self {
         Self {
             list: List::with_config(config),
+            cache: CursorCache::new(),
+            cached,
         }
     }
 
-    /// The paper's `Insert` (Fig. 12).
+    /// A cursor positioned to search for `key`: this thread's cached
+    /// position when it is usable (anchor key strictly below `key` —
+    /// an equal-key anchor could sit *at* the sought cell and make the
+    /// forward scan skip it), the list head otherwise.
+    fn cursor_for<Q>(&self, key: &Q) -> Cursor<'_, Entry<K, V>>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        if self.cached {
+            if let Some(cursor) = self.cache.open(&self.list, |e| e.key.borrow() < key) {
+                return cursor;
+            }
+        }
+        self.list.cursor()
+    }
+
+    /// Remembers `cursor`'s neighbourhood for this thread's next
+    /// operation.
+    fn save_position(&self, cursor: &Cursor<'_, Entry<K, V>>) {
+        if self.cached {
+            self.cache.save(&self.list, cursor);
+        }
+    }
+
+    /// The paper's `Insert` (Fig. 12), with two departures: positioning
+    /// starts from the thread's cached cursor instead of the head, and
+    /// a failed CAS retries via [`Cursor::resume`] (back_link-guided,
+    /// O(distance-to-conflict)) instead of `Update` alone.
     fn insert_impl(&self, key: K, value: V) -> bool {
-        let mut cursor = self.list.cursor(); // Fig. 12 line 1
-                                             // First positioning scan before paying for allocation.
+        let mut cursor = self.cursor_for(&key); // Fig. 12 line 1
+                                                // First positioning scan before paying for allocation.
         if find_from(&mut cursor, &key) {
+            self.save_position(&cursor);
             return false; // Fig. 12 lines 6-7
         }
         // Fig. 12 lines 2-4: allocate and initialize the new cell + aux.
-        let mut prepared = self
-            .list
-            .prepare_insert(Entry { key, value })
-            .expect("node pool exhausted");
+        let mut prepared = match self.list.try_prepare_insert(Entry { key, value }) {
+            Ok(prepared) => prepared,
+            Err((entry, _)) => {
+                // Capped arena ran dry. Cached anchors pin cells (and
+                // their back_link chains); shed them, drop this cursor's
+                // own holds, and retry once before declaring exhaustion.
+                drop(cursor);
+                self.cache.retire_all(&self.list);
+                cursor = self.list.cursor();
+                if find_from(&mut cursor, &entry.key) {
+                    return false;
+                }
+                self.list
+                    .prepare_insert(entry)
+                    .expect("node pool exhausted")
+            }
+        };
         loop {
             // Fig. 12 lines 8-10.
             match cursor.try_insert(prepared) {
-                Ok(()) => return true,
+                Ok(()) => {
+                    self.save_position(&cursor);
+                    return true;
+                }
                 Err(back) => prepared = back,
             }
-            // Fig. 12 lines 11-12: revalidate, re-check uniqueness, retry.
-            cursor.update();
+            // Fig. 12 lines 11-12: revalidate (resuming from the nearest
+            // undeleted predecessor), re-check uniqueness, retry.
+            // INVARIANT: I10
+            cursor.resume();
             if find_from(&mut cursor, &prepared.value().key) {
+                self.save_position(&cursor);
                 return false; // concurrent insert won with the same key
             }
         }
     }
 
-    /// The paper's `Delete` (Fig. 13).
+    /// The paper's `Delete` (Fig. 13), retrying via [`Cursor::resume`]
+    /// (see [`SortedListDict::insert_impl`]).
     fn remove_impl(&self, key: &K) -> bool {
-        let mut cursor = self.list.cursor(); // Fig. 13 line 1
+        let mut cursor = self.cursor_for(key); // Fig. 13 line 1
         loop {
             // Fig. 13 lines 2-4.
             if !find_from(&mut cursor, key) {
+                self.save_position(&cursor);
                 return false;
             }
             // Fig. 13 lines 5-7.
             if cursor.try_delete() {
+                self.save_position(&cursor);
                 return true;
             }
-            // Fig. 13 lines 8-9.
-            cursor.update();
+            // Fig. 13 lines 8-9, resuming instead of restarting.
+            // INVARIANT: I10
+            cursor.resume();
         }
     }
 
     /// Runs `f` on the value stored under `key`, without cloning.
     pub fn with_value<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
-        let mut cursor = self.list.cursor();
-        if find_from(&mut cursor, key) {
+        let mut cursor = self.cursor_for(key);
+        let out = if find_from(&mut cursor, key) {
             cursor.get().map(|e| f(&e.value))
         } else {
             None
-        }
+        };
+        self.save_position(&cursor);
+        out
     }
 
     /// The keys currently present, in sorted order.
@@ -170,7 +237,7 @@ where
     /// list's sense: each step is atomic, the sequence reflects the list
     /// as it evolves.
     pub fn for_each_range(&self, lo: &K, hi: &K, mut f: impl FnMut(&K, &V)) {
-        let mut cursor = self.list.cursor();
+        let mut cursor = self.cursor_for(lo);
         // Position at the first key >= lo (FindFrom's stop condition).
         let _ = find_from(&mut cursor, lo);
         loop {
@@ -227,6 +294,19 @@ where
         Ok(())
     }
 
+    /// Exact reference-count audit at quiescence (testing hook): every
+    /// cached-cursor slot legitimately holds one count on its anchor, so
+    /// the slots are declared to the sweep (see
+    /// [`List::audit_refcounts_with_entries`]).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first mismatching node.
+    pub fn audit_refcounts(&mut self) -> Result<(), String> {
+        let Self { list, cache, .. } = self;
+        list.audit_refcounts_with_entries(cache.roots())
+    }
+
     /// Direct read-only access to the underlying list (for experiments
     /// that inspect auxiliary-node structure, e.g. E7).
     pub fn as_list(&self) -> &List<Entry<K, V>> {
@@ -241,6 +321,15 @@ where
 {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<K: Send + Sync, V: Send + Sync> Drop for SortedListDict<K, V> {
+    fn drop(&mut self) {
+        // Return the cached-cursor counts before the list's own teardown
+        // cascade (an unretired slot would leak its anchor's count — see
+        // the EntryRoot contract).
+        self.cache.retire_all(&self.list);
     }
 }
 
@@ -265,8 +354,10 @@ where
     }
 
     fn contains(&self, key: &K) -> bool {
-        let mut cursor = self.list.cursor();
-        find_from(&mut cursor, key)
+        let mut cursor = self.cursor_for(key);
+        let hit = find_from(&mut cursor, key);
+        self.save_position(&cursor);
+        hit
     }
 
     fn len(&self) -> usize {
@@ -409,6 +500,54 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn cached_cursors_cut_positioning_hops() {
+        // Hot tail of a long list: every op lands past a 512-cell prefix.
+        // Restart-from-head pays ~n next-steps per op; the cached cursor
+        // reopens next to the previous op and pays O(1).
+        let run = |cached: bool| -> u64 {
+            let d: SortedListDict<u64, u64> =
+                SortedListDict::with_config_cached(ArenaConfig::default(), cached);
+            for k in 0..512 {
+                d.insert(k, k);
+            }
+            let before = d.list_stats();
+            let ops = 64;
+            for _ in 0..ops {
+                d.insert(1_000, 0);
+                d.remove(&1_000);
+            }
+            let delta = d.list_stats().since(&before);
+            delta.next_steps / (2 * ops)
+        };
+        let (head_hops, cached_hops) = (run(false), run(true));
+        assert!(
+            head_hops >= 512,
+            "restart-from-head must pay the full prefix, got {head_hops} hops/op"
+        );
+        assert!(
+            cached_hops * 10 < head_hops,
+            "cached cursors must cut hops-per-op by >10x: {cached_hops} vs {head_hops}"
+        );
+    }
+
+    #[test]
+    fn cached_dict_audits_clean() {
+        // The cache slots' counts are declared to the audit; anchors may
+        // be deleted cells (pinned by the slot) and still balance.
+        let mut d: SortedListDict<u64, u64> = SortedListDict::new();
+        for k in 0..64 {
+            d.insert(k, k);
+        }
+        for k in (0..64).step_by(2) {
+            // Leaves the thread's cached anchor pointing at a deleted
+            // cell's neighbourhood half the time.
+            d.remove(&k);
+        }
+        d.check_invariants().unwrap();
+        d.audit_refcounts().unwrap();
     }
 
     #[test]

@@ -86,6 +86,85 @@ fn repeated_rounds_keep_growing_table_sound() {
     assert!(d.doublings() >= 3, "saw {} doublings", d.doublings());
 }
 
+/// Pass-through hasher: bucket placement == key bits, so every key's
+/// bucket (and the whole parent-recursion chain of first touches) is
+/// chosen by the test, not by `RandomState`.
+#[derive(Clone, Default)]
+struct IdentityBuild;
+
+impl std::hash::BuildHasher for IdentityBuild {
+    type Hasher = IdentityHasher;
+    fn build_hasher(&self) -> IdentityHasher {
+        IdentityHasher(0)
+    }
+}
+
+struct IdentityHasher(u64);
+
+impl std::hash::Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut buf = [0u8; 8];
+        let n = bytes.len().min(8);
+        buf[..n].copy_from_slice(&bytes[..n]);
+        self.0 = u64::from_le_bytes(buf);
+    }
+}
+
+#[test]
+fn bucket_publication_races_lookup() {
+    // Regression for the `bucket_cursor` miss path: a lookup whose
+    // bucket root is not yet published must initialize it from the
+    // parent bucket's root — recursively, racing any number of other
+    // first-touchers — and never fall back to a head-of-list scan or
+    // publish a second sentinel. 64 buckets, all unpublished except 0;
+    // every key's first touch races 7 other threads walking the same
+    // parent chains (bucket 63's chain is 63 -> 31 -> 15 -> 7 -> 3 ->
+    // 1 -> 0, all cold at the barrier drop).
+    for round in 0..8u64 {
+        let mut d: ResizableHashDict<u64, u64, IdentityBuild> =
+            ResizableHashDict::with_settings(64, IdentityBuild, ArenaConfig::default());
+        let wins = AtomicU64::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            let (d, wins, barrier) = (&d, &wins, &barrier);
+            for tid in 0..8u64 {
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..64u64 {
+                        // Different traversal order per thread: even tids
+                        // touch deep buckets first (publication), odd tids
+                        // shallow first (lookup through cold parents).
+                        let key = if tid % 2 == 0 { 63 - i } else { i };
+                        let key = key.wrapping_add(round) % 64;
+                        if tid < 4 {
+                            if d.insert(key, tid) {
+                                wins.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else {
+                            let _ = d.contains(&key);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            wins.load(Ordering::Relaxed),
+            64,
+            "round {round}: each key inserted exactly once"
+        );
+        for key in 0..64 {
+            assert!(d.contains(&key), "round {round}: key {key} lost");
+        }
+        d.check_invariants()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        d.audit_refcounts()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+    }
+}
+
 #[test]
 fn smoke_churn_with_resize_miri_sized() {
     // Miri-sized twin of `churn_across_doublings_preserves_invariants`:

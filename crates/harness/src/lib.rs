@@ -14,12 +14,14 @@
 
 pub mod latency;
 pub mod linearize;
+pub mod retry;
 pub mod runner;
 pub mod table;
 pub mod workload;
 
 pub use latency::{LatencyHistogram, LatencySummary};
 pub use linearize::{check_linearizable, History, Op, Recorded};
+pub use retry::{run_hot_window, HotWindowConfig, HotWindowResult};
 pub use runner::{run_fill, run_throughput, FillResult, RunConfig, RunResult};
 pub use table::Table;
 pub use workload::{KeyDist, OpKind, OpMix, WorkloadSpec};

@@ -70,10 +70,10 @@ pub const RING_CAP: usize = 4096;
 pub const HIST_BUCKETS: usize = 16;
 
 /// Number of histogram families (see [`Hist`]).
-pub const NHISTS: usize = 3;
+pub const NHISTS: usize = 4;
 
 /// Number of event kinds (one counter per kind).
-pub const NKINDS: usize = 22;
+pub const NKINDS: usize = 23;
 
 /// Every protocol event the stack records. The three `u64` payload words
 /// are kind-specific (see [`EventKind::arg_names`]); pointers are recorded
@@ -125,6 +125,9 @@ pub enum EventKind {
     TowerSweep = 20,
     /// An invariant check failed: free-form marker `(code, 0, 0)`.
     Invariant = 21,
+    /// A cursor back-walked `back_link`s to resume a retry:
+    /// `(hops, landed, 0)` (hops histogrammed — the resume distance).
+    CursorResume = 22,
 }
 
 impl EventKind {
@@ -154,6 +157,7 @@ impl EventKind {
             TowerUndo,
             TowerSweep,
             Invariant,
+            CursorResume,
         ];
         ALL.get(v as usize).copied()
     }
@@ -183,6 +187,7 @@ impl EventKind {
             EventKind::TowerUndo => "skip.tower_undo",
             EventKind::TowerSweep => "skip.tower_sweep",
             EventKind::Invariant => "invariant.fail",
+            EventKind::CursorResume => "cursor.resume",
         }
     }
 
@@ -206,6 +211,7 @@ impl EventKind {
                 ["@cell", "level", ""]
             }
             EventKind::Invariant => ["code", "", ""],
+            EventKind::CursorResume => ["hops", "@landed", ""],
         }
     }
 
@@ -216,6 +222,7 @@ impl EventKind {
             EventKind::BackoffDone => Some(Hist::BackoffSpins),
             EventKind::MagFlush => Some(Hist::MagazineBatch),
             EventKind::DeferFlush => Some(Hist::DeferBatch),
+            EventKind::CursorResume => Some(Hist::ResumeHops),
             _ => None,
         }
     }
@@ -230,6 +237,8 @@ pub enum Hist {
     MagazineBatch = 1,
     /// Releases per deferred-release drain.
     DeferBatch = 2,
+    /// Back-link hops per cursor resume (the resume distance).
+    ResumeHops = 3,
 }
 
 impl Hist {
@@ -239,6 +248,7 @@ impl Hist {
             Hist::BackoffSpins => "backoff_spins",
             Hist::MagazineBatch => "magazine_batch",
             Hist::DeferBatch => "defer_batch",
+            Hist::ResumeHops => "resume_hops",
         }
     }
 }
@@ -468,7 +478,12 @@ impl fmt::Display for Metrics {
         if let Some(r) = self.releases_per_hop() {
             writeln!(f, "  releases_per_hop   {:>12.2}", r)?;
         }
-        for h in [Hist::BackoffSpins, Hist::MagazineBatch, Hist::DeferBatch] {
+        for h in [
+            Hist::BackoffSpins,
+            Hist::MagazineBatch,
+            Hist::DeferBatch,
+            Hist::ResumeHops,
+        ] {
             let row = &self.hists[h as usize];
             if row.iter().any(|&c| c > 0) {
                 write!(f, "  {:<18} [", h.name())?;

@@ -114,6 +114,56 @@ fn resizable_histories_span_resize_boundary() {
 }
 
 #[test]
+fn cached_sorted_list_histories_with_midlist_resume_linearizable() {
+    // The PR 7 retry machinery under the checker: cached cursors stay
+    // anchored mid-list past a cold prefix the plans never touch, so
+    // every recorded op positions via `Cursor::resume` from a mid-list
+    // anchor (and every failed CAS retries the same way, never from
+    // head). The histories must linearize exactly as the uncached
+    // dict's do.
+    use valois::ArenaConfig;
+    let d: SortedListDict<u64, u64> =
+        SortedListDict::with_config_cached(ArenaConfig::default(), true);
+    for k in 0..64u64 {
+        assert!(d.insert(2 * k, k));
+    }
+    // Hot keys ordered strictly after the prefix, so the cached anchors
+    // (key < hot key) are reusable and the resume path actually engages.
+    let plans = vec![
+        vec![
+            Op::Insert(201),
+            Op::Remove(202),
+            Op::Find(203),
+            Op::Insert(202),
+        ],
+        vec![
+            Op::Insert(202),
+            Op::Find(201),
+            Op::Remove(201),
+            Op::Find(202),
+        ],
+        vec![
+            Op::Insert(203),
+            Op::Remove(203),
+            Op::Insert(201),
+            Op::Find(201),
+        ],
+    ];
+    for round in 0..100 {
+        let history = History::record(&d, &plans);
+        assert!(
+            check_linearizable(&history),
+            "round {round}: non-linearizable with cached mid-list resume:\n{history}"
+        );
+        for k in 200..208u64 {
+            let _ = d.remove(&k);
+        }
+    }
+    // The hot window never disturbed the prefix.
+    assert_eq!(d.keys().iter().filter(|k| **k < 200).count(), 64);
+}
+
+#[test]
 fn randomized_plans_all_linearizable() {
     // Fuzz: random 3-thread plans over 4 keys, checked exhaustively.
     use valois::sync::rng::SmallRng;
@@ -287,6 +337,53 @@ mod seeded {
             rec(1, Op::Find(8), true, 1, 2),
             rec(1, Op::Remove(8), true, 4, 5),
             rec(2, Op::Find(8), false, 6, 7),
+        ]);
+        assert!(check_linearizable(&h));
+    }
+
+    #[test]
+    fn resume_overshoot_that_skips_a_present_key_is_rejected() {
+        // I10's first corollary (docs/PROTOCOL.md): a resumed cursor
+        // lands at-or-before the conflict, never later. A resume that
+        // overshot past key 6 would report it absent even though its
+        // insert completed and nothing removed it — the checker must
+        // reject the history such a bug would record.
+        let h = history(vec![
+            rec(0, Op::Insert(4), true, 0, 1),
+            rec(0, Op::Insert(6), true, 2, 3),
+            // Thread 1's remove retried via a back_link resume...
+            rec(1, Op::Remove(4), true, 4, 5),
+            // ...and its next op, positioned from the resumed anchor,
+            // skipped the continuously-present 6.
+            rec(1, Op::Find(6), false, 6, 7),
+        ]);
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn stale_cached_anchor_resurrecting_a_removed_key_is_rejected() {
+        // A cached cursor reopened on a dead anchor *without*
+        // revalidating (no `resume`) could read the anchor's frozen
+        // successor: a find reporting 9 present after its remove
+        // completed. No witness ordering exists.
+        let h = history(vec![
+            rec(0, Op::Insert(9), true, 0, 1),
+            rec(1, Op::Remove(9), true, 2, 3),
+            rec(0, Op::Find(9), true, 4, 5),
+        ]);
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn retried_remove_spanning_a_racing_insert_is_accepted() {
+        // The legal shape of a mid-list retry: the remove's interval
+        // spans its failed CAS and back_link resume, overlapping the
+        // insert it ultimately unlinks. A witness exists (insert, then
+        // remove, then the late find sees absence).
+        let h = history(vec![
+            rec(0, Op::Insert(2), true, 1, 4),
+            rec(1, Op::Remove(2), true, 0, 5),
+            rec(2, Op::Find(2), false, 6, 7),
         ]);
         assert!(check_linearizable(&h));
     }
