@@ -25,6 +25,13 @@
 //! | `order-pairing` | Release writes pair with Acquire reads per location | `// ORDER:` |
 //! | `seqcst-fence` | SeqCst ops documented; fences cite an invariant | `// ORDER:` + `// INVARIANT:` |
 //! | `invariant-ref` | `// INVARIANT: I<n>` resolves in docs/PROTOCOL.md | (none) |
+//! | `protection-window` | per-path proof that derefs stay inside the §5 window (I11) | `// GUARD:` (checked) |
+//! | `guard-contract` | unsafe fns deref-ing raw-ptr params declare `// GUARD:` | (none) |
+//!
+//! All four ordering rules (`relaxed-ptr-order`, `order-pairing`,
+//! `seqcst-fence`, `invariant-ref`) are owned by
+//! [`passes::order_graph`]; the legacy token-level pass was folded into
+//! it in PR 8 with rule ids unchanged.
 //!
 //! See `docs/ANALYSIS.md` for the comment contracts and
 //! `docs/VERIFICATION.md` for where this layer sits among the others.
@@ -39,6 +46,7 @@ pub mod cfg;
 pub mod dataflow;
 pub mod lexer;
 pub mod passes;
+pub mod protect;
 pub mod report;
 pub mod source;
 pub mod syntax;
@@ -49,7 +57,8 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 pub use report::{
-    render_json, render_sarif, render_text, Finding, Related, RuleInfo, Severity, RULES,
+    render_explain, render_json, render_sarif, render_text, Finding, Related, RuleInfo, Severity,
+    RULES,
 };
 use source::SourceFile;
 
@@ -62,6 +71,8 @@ pub struct Context {
     pub invariants: Option<BTreeSet<u32>>,
     /// Call-graph consumption summaries for the balance pass.
     pub summaries: dataflow::Summaries,
+    /// `// GUARD:` contracts + deref summaries for the protection pass.
+    pub guards: protect::GuardSummaries,
 }
 
 impl Context {
@@ -72,6 +83,7 @@ impl Context {
         Context {
             invariants: None,
             summaries: dataflow::Summaries::default(),
+            guards: protect::GuardSummaries::default(),
         }
     }
 
@@ -97,9 +109,11 @@ impl Context {
             parsed.push((file, ast));
         }
         let summaries = dataflow::Summaries::build(parsed.iter().map(|(f, a)| (f, a)));
+        let guards = protect::GuardSummaries::build(parsed.iter().map(|(f, a)| (f, a)));
         Context {
             invariants,
             summaries,
+            guards,
         }
     }
 }
@@ -214,9 +228,6 @@ fn analyze_file(
             passes::shim::run(&file)
         });
     }
-    timed(timings, "relaxed-ptr-order", &mut out, || {
-        passes::ordering::run(&file)
-    });
     timed(timings, "unsafe-comment", &mut out, || {
         passes::unsafe_audit::run(&file)
     });
@@ -236,17 +247,27 @@ fn analyze_file(
     timed(timings, "refcount-balance", &mut out, || {
         passes::balance::run(&file, &ast, &ctx.summaries)
     });
-    let mut sites = Vec::new();
-    if !ex.order_graph_exempt() {
-        let t0 = Instant::now();
-        sites = passes::order_graph::collect(&file);
+    timed(timings, "protection-window", &mut out, || {
+        passes::protection::run(&file, &ast, &ctx.guards)
+    });
+    // Sites are collected for every file so the token-level
+    // `relaxed-ptr-order` rule (folded into the ordering graph) keeps its
+    // original scope; the shim/trace exemption applies only to the
+    // protocol-decision rules (SeqCst, invariants, workspace pairing) —
+    // those wrappers forward caller orderings verbatim.
+    let t0 = Instant::now();
+    let mut sites = passes::order_graph::collect(&file);
+    out.extend(passes::order_graph::relaxed_findings(&sites));
+    if ex.order_graph_exempt() {
+        sites = Vec::new();
+    } else {
         out.extend(passes::order_graph::seqcst_findings(&sites));
         out.extend(passes::order_graph::invariant_findings(
             &file,
             ctx.invariants.as_ref(),
         ));
-        *timings.entry("order-graph").or_default() += t0.elapsed();
     }
+    *timings.entry("order-graph").or_default() += t0.elapsed();
     (out, sites)
 }
 

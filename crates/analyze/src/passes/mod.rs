@@ -4,7 +4,6 @@
 //! driver in [`crate::analyze_source`], so the passes themselves stay
 //! testable on bare snippets.
 
-pub mod ordering;
 pub mod probes;
 pub mod progress;
 pub mod refcount;
@@ -13,6 +12,7 @@ pub mod unsafe_audit;
 
 pub mod balance;
 pub mod order_graph;
+pub mod protection;
 
 use crate::report::{rule_info, Finding, Related};
 use crate::source::SourceFile;

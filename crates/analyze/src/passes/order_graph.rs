@@ -1,5 +1,5 @@
 //! The acquire/release ordering graph (`order-pairing`, `seqcst-fence`,
-//! `invariant-ref`).
+//! `invariant-ref`, `relaxed-ptr-order`).
 //!
 //! The §5 protocol publishes counted links with Release writes and
 //! re-reads them with Acquire loads; the safety argument is precisely
@@ -21,6 +21,11 @@
 //!   I8 fence-pairing argument becomes a machine-checked cross-reference).
 //! * `invariant-ref` — any `// INVARIANT: I<n>` comment whose number does
 //!   not resolve to an invariant actually defined in docs/PROTOCOL.md.
+//! * `relaxed-ptr-order` — `Ordering::Relaxed` on a pointer-valued atomic
+//!   with no adjacent `// ORDER:` justification. Folded here from the
+//!   legacy token pass (`passes/ordering.rs`, deleted) so every ordering
+//!   rule reads from the one collected site list; the rule id is
+//!   unchanged for SARIF consumers (see docs/ANALYSIS.md, "Migration").
 //!
 //! An adjacent `// ORDER:` comment exempts a site from the pairing and
 //! SeqCst rules (the author has made the argument in prose); the
@@ -83,6 +88,9 @@ pub struct OpSite {
     pub has_order: bool,
     /// `I<n>` numbers cited by adjacent `// INVARIANT:` comments.
     pub invariants: Vec<u32>,
+    /// The enclosing statement names `AtomicPtr` or accesses a field
+    /// declared with an `AtomicPtr` type (drives `relaxed-ptr-order`).
+    pub ptr_stmt: bool,
 }
 
 impl OpSite {
@@ -124,6 +132,7 @@ fn ordering_aliases(file: &SourceFile) -> Vec<String> {
 pub fn collect(file: &SourceFile) -> Vec<OpSite> {
     let toks = &file.toks;
     let aliases = ordering_aliases(file);
+    let ptr_fields = pointer_atomic_fields(file);
     let mut out = Vec::new();
     for i in 0..toks.len() {
         if !(toks[i].kind == TokKind::Ident && aliases.iter().any(|n| n == &toks[i].text)) {
@@ -181,9 +190,116 @@ pub fn collect(file: &SourceFile) -> Vec<OpSite> {
             ordering,
             has_order,
             invariants,
+            ptr_stmt: statement_touches_pointer_atomic(file, i, &ptr_fields),
         });
     }
     out
+}
+
+/// Field/binding identifiers declared with an `AtomicPtr` type: the token
+/// pattern `ident : [path ::] AtomicPtr <`.
+fn pointer_atomic_fields(file: &SourceFile) -> Vec<String> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("AtomicPtr") {
+            continue;
+        }
+        let Some(colon2) = file.prev_sig(i) else {
+            continue;
+        };
+        if toks[colon2].text != ":" {
+            continue;
+        }
+        let Some(before) = file.prev_sig(colon2) else {
+            continue;
+        };
+        let name_idx = if toks[before].text == ":" {
+            // `path :: AtomicPtr` — keep walking: `ident : path :: AtomicPtr`
+            let Some(path_start) = file.prev_sig(before) else {
+                continue;
+            };
+            let Some(colon) = file.prev_sig(path_start) else {
+                continue;
+            };
+            if toks[colon].text != ":" {
+                continue;
+            }
+            let Some(pc) = file.prev_sig(colon) else {
+                continue;
+            };
+            if toks[pc].text == ":" {
+                continue; // deeper path; give up on this shape
+            }
+            pc
+        } else {
+            before
+        };
+        if toks[name_idx].kind == TokKind::Ident {
+            let name = toks[name_idx].text.clone();
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        }
+    }
+    out
+}
+
+/// Whether the statement containing token `i` names `AtomicPtr` directly
+/// or accesses (`.field`) a tracked pointer-atomic field.
+fn statement_touches_pointer_atomic(file: &SourceFile, i: usize, fields: &[String]) -> bool {
+    let toks = &file.toks;
+    let start = file.stmt_start(i);
+    // Statement end: next `;` or brace at this nesting.
+    let mut end = i;
+    for (j, t) in toks.iter().enumerate().skip(i) {
+        match t.kind {
+            TokKind::Punct if t.text == ";" => {
+                end = j;
+                break;
+            }
+            TokKind::Open(Delim::Brace) | TokKind::Close(Delim::Brace) => {
+                end = j;
+                break;
+            }
+            _ => end = j,
+        }
+    }
+    for j in start..=end.min(toks.len() - 1) {
+        if toks[j].is_ident("AtomicPtr") {
+            return true;
+        }
+        if toks[j].kind == TokKind::Ident
+            && fields.iter().any(|f| f == &toks[j].text)
+            && file
+                .prev_sig(j)
+                .is_some_and(|p| toks[p].kind == TokKind::Punct && toks[p].text == ".")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// `relaxed-ptr-order`: a Relaxed op whose statement touches a
+/// pointer-valued atomic and carries no `// ORDER:` justification. The §5
+/// counted-link protocol hangs correctness on acquire/release pairs
+/// around pointer publication.
+pub fn relaxed_findings(sites: &[OpSite]) -> Vec<Finding> {
+    sites
+        .iter()
+        .filter(|s| s.ordering == "Relaxed" && s.ptr_stmt && !s.has_order)
+        .map(|s| {
+            mk_finding(
+                "relaxed-ptr-order",
+                &s.file,
+                s.line,
+                "Ordering::Relaxed on a pointer-valued atomic without an adjacent \
+                 `// ORDER:` justification"
+                    .to_string(),
+            )
+        })
+        .collect()
 }
 
 /// The innermost call enclosing token `i`: returns the callee-name token
@@ -579,6 +695,43 @@ mod tests {
             }",
         );
         assert_eq!(pairing_findings(&s), vec![]);
+    }
+
+    #[test]
+    fn relaxed_on_pointer_atomic_is_reported() {
+        let s = sites(
+            "struct L { head: AtomicPtr<Node> }\n\
+             fn f(l: &L) {\n\
+                let p = l.head.load(Ordering::Relaxed);\n\
+             }",
+        );
+        let f = relaxed_findings(&s);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "relaxed-ptr-order");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn order_comment_exempts_relaxed_pointer_op() {
+        let s = sites(
+            "struct L { head: AtomicPtr<Node> }\n\
+             fn f(l: &L) {\n\
+                // ORDER: revalidated under the CAS before any deref.\n\
+                let p = l.head.load(Ordering::Relaxed);\n\
+             }",
+        );
+        assert_eq!(relaxed_findings(&s), vec![]);
+    }
+
+    #[test]
+    fn relaxed_on_plain_counter_is_clean() {
+        let s = sites(
+            "struct L { count: AtomicUsize }\n\
+             fn f(l: &L) {\n\
+                let c = l.count.load(Ordering::Relaxed);\n\
+             }",
+        );
+        assert_eq!(relaxed_findings(&s), vec![]);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! `protection-window` + `guard-contract`: every dereference of a
+//! counted node pointer must stay inside its §5 protection window
+//! (invariant I11, docs/PROTOCOL.md), and `unsafe fn`s that deref
+//! raw-pointer parameters must declare the caller's obligation with a
+//! `// GUARD:` contract. The dataflow itself lives in
+//! [`crate::protect`]; this wrapper maps its findings to rules and adds
+//! the contract-hygiene checks.
+
+use crate::cfg;
+use crate::passes::{finding, finding_with_related};
+use crate::protect::{deref_sites, fn_guard_contract, GuardSummaries, ProtectAnalysis};
+use crate::report::{Finding, Related};
+use crate::source::SourceFile;
+use crate::syntax::Ast;
+
+/// Runs both checks over one file. `workspace` carries cross-file
+/// `// GUARD:`/deref summaries; the file's own fns are folded in so
+/// single-file (fixture) runs still check local helper calls.
+pub fn run(file: &SourceFile, ast: &Ast, workspace: &GuardSummaries) -> Vec<Finding> {
+    let mut guards = workspace.clone();
+    guards.absorb(file, ast);
+    let mut out = Vec::new();
+    for def in &ast.fns {
+        if file.in_test_mod(def.item.fn_idx) {
+            continue;
+        }
+        let declared = fn_guard_contract(file, def);
+        let raw_params: Vec<&str> = def
+            .params
+            .iter()
+            .filter_map(|p| match (&p.name, p.raw_ptr) {
+                (Some(n), true) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        // An unsafe fn that derefs a raw-pointer param must state the
+        // caller's obligation; safe fns get summarized automatically.
+        if def.item.is_unsafe {
+            if let Some((open, close)) = def.item.body {
+                for name in &raw_params {
+                    let derefed = !deref_sites(file, open + 1, close, name).is_empty();
+                    let covered = declared
+                        .as_ref()
+                        .is_some_and(|d| d.iter().any(|g| g == name));
+                    if derefed && !covered {
+                        out.push(finding(
+                            "guard-contract",
+                            file,
+                            def.item.line,
+                            format!(
+                                "unsafe fn `{}` dereferences raw-pointer parameter \
+                                 `{name}` without declaring it in a `// GUARD:` \
+                                 contract; state the caller's obligation, e.g. \
+                                 `// GUARD: {name} — caller holds a count`",
+                                def.item.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // A contract naming something that is not a raw-pointer param is
+        // stale and would silently check nothing.
+        if let Some(names) = &declared {
+            if names.is_empty() {
+                out.push(finding(
+                    "guard-contract",
+                    file,
+                    def.item.line,
+                    format!(
+                        "`// GUARD:` contract on `{}` names no parameters; \
+                         the grammar is `// GUARD: <param>[, <param>] — prose`",
+                        def.item.name
+                    ),
+                ));
+            }
+            for n in names {
+                if !raw_params.contains(&n.as_str()) {
+                    out.push(finding(
+                        "guard-contract",
+                        file,
+                        def.item.line,
+                        format!(
+                            "`// GUARD:` contract on `{}` names `{n}`, which is \
+                             not a raw-pointer parameter of this fn; the \
+                             contract is stale",
+                            def.item.name
+                        ),
+                    ));
+                }
+            }
+        }
+        let Some(graph) = cfg::build(file, def) else {
+            continue;
+        };
+        for flow in ProtectAnalysis::new(file, def, &guards).run(&graph) {
+            let related = flow
+                .related
+                .into_iter()
+                .map(|(line, note)| Related {
+                    file: file.label.clone(),
+                    line,
+                    note,
+                })
+                .collect();
+            out.push(finding_with_related(
+                "protection-window",
+                file,
+                flow.line,
+                flow.message,
+                related,
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,1050 @@
+//! Pointer-provenance protection analysis: every dereference of a
+//! counted node pointer must sit *inside* its protection window.
+//!
+//! [`crate::dataflow`] proves counts are eventually released (no leaks);
+//! this module proves the complementary direction — no *use after* the
+//! protecting count is consumed, the exact use-after-reclamation/ABA
+//! hazard the §5 scheme exists to prevent (invariant I11,
+//! docs/PROTOCOL.md). It is a forward dataflow over the same
+//! [`Cfg`](crate::cfg::Cfg), with a per-variable provenance lattice:
+//!
+//! * `Protected` — the local holds a live count, acquired by
+//!   `safe_read`/`safe_read_tallied`/`alloc`/`incr_ref` or guaranteed by
+//!   the enclosing fn's `// GUARD:` contract.
+//! * `Parked` — the count was handed to a deferred-release buffer
+//!   (`release_deferred`). A parked release is still a live process
+//!   reference under I1: deref remains legal. The *flush*
+//!   (`drain_deferred`/`flush_stats`) is the kill, not the park.
+//! * `Released` — the protecting count was consumed (`release`,
+//!   `release_into`, `reclaim_detached`, free-list pushes, a deferred
+//!   flush). A dereference in this state — on *any* path — is reported.
+//! * `Moved` — the count was handed off (to another binding, into the
+//!   structure through a place-store, or to the caller via return).
+//!   Deref through the old name stays silent: the window is owned
+//!   elsewhere and this analysis does not track aliases.
+//! * Unknown (absent from the map) — not a tracked provenance; never
+//!   reported.
+//!
+//! The polarity is the inverse of the balance pass: there, consuming too
+//! eagerly only *removes* leak reports, so any-path call summaries are
+//! safe. Here a spurious kill would *invent* a use-after-release, so only
+//! the explicit release-family calls (with the pointer as a plain
+//! argument) close a window — a summarized callee that mentions a release
+//! does not, because it may be releasing a *different* count on the same
+//! node (e.g. `swing` dropping the link's count while the caller keeps
+//! its process reference).
+//!
+//! Interprocedural checking goes through [`GuardSummaries`] and the
+//! `// GUARD:` contract comment (see docs/ANALYSIS.md for the grammar):
+//! a fn declaring `// GUARD: p` promises the caller holds a count on `p`
+//! for the duration of the call, so `p` starts `Protected` in the callee
+//! and every call site is checked for passing a closed-window pointer.
+//! Raw-pointer params the body dereferences are summarized the same way
+//! even without a contract, so safe helpers are checked at call sites
+//! too; the *requirement* to write `// GUARD:` applies to `unsafe fn`s
+//! (enforced by the `guard-contract` rule in the pass wrapper).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::cfg::{Cfg, Guard, Stmt, StmtKind};
+use crate::dataflow::{FlowFinding, ACQUIRES};
+use crate::lexer::{Delim, TokKind};
+use crate::source::SourceFile;
+use crate::syntax::{Ast, FnDef};
+
+/// Calls that close a protection window immediately: the plain-identifier
+/// argument's count is consumed at the call.
+pub const KILLS: &[&str] = &[
+    "release",
+    "release_into",
+    "reclaim_detached",
+    "push_free",
+    "push_free_global",
+    "splice_free_global",
+    "from_raw",
+];
+
+/// Calls that *park* a release in a deferred buffer: the count is still
+/// live (deref stays legal) until a flush.
+pub const PARKS: &[&str] = &["release_deferred"];
+
+/// Calls that flush deferred buffers: every parked window closes here.
+pub const FLUSHES: &[&str] = &["drain_deferred", "flush_stats"];
+
+/// Calls that (re)open a window on an existing pointer argument.
+pub const REACQUIRES: &[&str] = &["incr_ref"];
+
+/// The synthetic variable for a match scrutinee's pending value.
+const SCRUT: &str = "#scrut";
+
+/// Workspace `// GUARD:` contracts and deref summaries: fn name → indices
+/// of raw-pointer parameters (receiver excluded).
+#[derive(Debug, Default, Clone)]
+pub struct GuardSummaries {
+    /// Params declared in a `// GUARD:` contract comment.
+    guards: BTreeMap<String, BTreeSet<usize>>,
+    /// Raw-pointer params the body dereferences (directly; one level).
+    derefs: BTreeMap<String, BTreeSet<usize>>,
+}
+
+impl GuardSummaries {
+    /// Builds summaries from parsed files.
+    pub fn build<'a>(units: impl IntoIterator<Item = (&'a SourceFile, &'a Ast)>) -> GuardSummaries {
+        let mut out = GuardSummaries::default();
+        for (file, ast) in units {
+            out.absorb(file, ast);
+        }
+        out
+    }
+
+    /// Adds `file`'s fns to the summaries (used to fold a fixture file
+    /// into a possibly-empty workspace view).
+    pub fn absorb(&mut self, file: &SourceFile, ast: &Ast) {
+        for def in &ast.fns {
+            let raw_params: Vec<(usize, &str)> = def
+                .params
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| match (&p.name, p.raw_ptr) {
+                    (Some(n), true) => Some((i, n.as_str())),
+                    _ => None,
+                })
+                .collect();
+            if raw_params.is_empty() {
+                continue;
+            }
+            if let Some(names) = fn_guard_contract(file, def) {
+                for (i, n) in &raw_params {
+                    if names.iter().any(|g| g == n) {
+                        self.guards
+                            .entry(def.item.name.clone())
+                            .or_default()
+                            .insert(*i);
+                    }
+                }
+            }
+            if let Some((open, close)) = def.item.body {
+                for (i, n) in &raw_params {
+                    if !deref_sites(file, open + 1, close, n).is_empty() {
+                        self.derefs
+                            .entry(def.item.name.clone())
+                            .or_default()
+                            .insert(*i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Param indices of `name` the caller must keep protected: the
+    /// union of GUARD-declared and observed-dereferencing params.
+    pub fn protected_params(&self, name: &str) -> BTreeSet<usize> {
+        let mut out = self.guards.get(name).cloned().unwrap_or_default();
+        if let Some(d) = self.derefs.get(name) {
+            out.extend(d.iter().copied());
+        }
+        out
+    }
+
+    /// Whether `name` declares a `// GUARD:` contract for param `idx`.
+    pub fn guard_declared(&self, name: &str, idx: usize) -> bool {
+        self.guards.get(name).is_some_and(|s| s.contains(&idx))
+    }
+}
+
+/// Parses the fn's leading `// GUARD:` contract, returning the declared
+/// parameter names. Grammar (see docs/ANALYSIS.md): the marker is
+/// followed by a comma-separated identifier list, then free prose —
+/// `// GUARD: p, q — caller holds a count on each`. Returns `None` when
+/// no contract is present; an empty list when the contract names nothing
+/// parseable (the pass wrapper reports that as a stale contract).
+pub fn fn_guard_contract(file: &SourceFile, def: &FnDef) -> Option<Vec<String>> {
+    let start = file.item_start(def.item.fn_idx);
+    let comments = file.leading_item_comments(start);
+    let text = comments
+        .iter()
+        .map(|t| t.text.as_str())
+        .find(|t| t.contains("GUARD:"))?;
+    let rest = &text[text.find("GUARD:").unwrap() + "GUARD:".len()..];
+    let mut names = Vec::new();
+    let mut expect_ident = true;
+    for word in rest.split_whitespace() {
+        // Accept `p`, `p,`, `p,q`; stop at the first token that is not
+        // part of the identifier list (the prose).
+        for piece in word.split(',') {
+            if piece.is_empty() {
+                expect_ident = true;
+                continue;
+            }
+            let is_ident = piece.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && piece.chars().next().is_some_and(|c| !c.is_ascii_digit());
+            if expect_ident && is_ident {
+                names.push(piece.to_string());
+                expect_ident = word.ends_with(',');
+            } else {
+                return Some(names);
+            }
+        }
+    }
+    Some(names)
+}
+
+/// How a tracked pointer's window can stand.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Prov {
+    /// Live count held by this local.
+    Protected,
+    /// Release parked in a deferred buffer; still live until a flush.
+    Parked,
+    /// Window closed at `kill_line`; `mixed` when only on some paths.
+    Released { kill_line: usize, mixed: bool },
+    /// Count handed off (move/place-store/return); not tracked further.
+    Moved,
+}
+
+/// Tracked state of one local.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct PVar {
+    prov: Prov,
+    /// Line where the window opened (acquire site or fn signature for
+    /// GUARD params).
+    origin_line: usize,
+    /// What opened it, for diagnostics.
+    origin: &'static str,
+}
+
+type State = BTreeMap<String, PVar>;
+
+/// Identifier keywords that can legally precede a unary `*` deref.
+const UNARY_PREFIX_KEYWORDS: &[&str] = &[
+    "return", "in", "match", "if", "while", "else", "break", "unsafe", "mut", "move", "let",
+    "loop", "as",
+];
+
+/// Lines where `[lo, hi)` dereferences `name`: unary `*name` or
+/// `name.as_ref()`/`name.as_mut()`.
+pub fn deref_sites(file: &SourceFile, lo: usize, hi: usize, name: &str) -> Vec<usize> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for i in lo..hi.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct && t.text == "*" {
+            let Some(n) = file.next_sig(i) else { continue };
+            if !toks[n].is_ident(name) {
+                continue;
+            }
+            // Unary position: not a binary multiply. A multiply's left
+            // operand ends in an identifier (non-keyword), a literal, or
+            // a close delimiter.
+            let binary = file.prev_sig(i).is_some_and(|p| match toks[p].kind {
+                TokKind::Ident => !UNARY_PREFIX_KEYWORDS.iter().any(|k| toks[p].is_ident(k)),
+                TokKind::Literal | TokKind::Close(_) => true,
+                _ => false,
+            });
+            if !binary {
+                out.push(toks[n].line);
+            }
+        } else if t.is_ident(name) {
+            let Some(d) = file.next_sig(i) else { continue };
+            if !(toks[d].kind == TokKind::Punct && toks[d].text == ".") {
+                continue;
+            }
+            let Some(m) = file.next_sig(d) else { continue };
+            if toks[m].is_ident("as_ref") || toks[m].is_ident("as_mut") {
+                out.push(toks[m].line);
+            }
+        }
+    }
+    out
+}
+
+/// A call site (`ident (`) in a token range.
+struct Call {
+    name_idx: usize,
+    open: usize,
+    close: usize,
+}
+
+fn all_calls(file: &SourceFile, lo: usize, hi: usize) -> Vec<Call> {
+    let mut out = Vec::new();
+    for i in lo..hi.min(file.toks.len()) {
+        if file.toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(n) = file.next_sig(i) else { continue };
+        if file.toks[n].kind != TokKind::Open(Delim::Paren) {
+            continue;
+        }
+        out.push(Call {
+            name_idx: i,
+            open: n,
+            close: file.partner[n].unwrap_or(n),
+        });
+    }
+    out
+}
+
+/// Splits a call's arguments at depth-0 commas.
+fn split_args(file: &SourceFile, open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    let mut start = open + 1;
+    let mut i = open + 1;
+    while i < close {
+        match file.toks[i].kind {
+            TokKind::Open(_) => {
+                i = file.partner[i].map(|p| p + 1).unwrap_or(i + 1);
+                continue;
+            }
+            TokKind::Punct if file.toks[i].text == "," => {
+                args.push((start, i));
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < close {
+        args.push((start, close));
+    }
+    args
+}
+
+/// Detects a plain assignment `name = rhs` in `[lo, hi)` and returns the
+/// target with the RHS token range (trailing `,`/`;` trimmed). A single
+/// `=` only — `==` and `=>` are excluded. Match-arm bodies lower as bare
+/// expression statements, so rebinds there (`Some(n) => p = n,`) arrive
+/// here instead of as `Bind`s.
+fn assign_target(file: &SourceFile, lo: usize, hi: usize) -> Option<(String, usize, usize)> {
+    let hi = hi.min(file.toks.len());
+    let mut sig = (lo..hi).filter(|&i| !file.toks[i].is_comment());
+    let first = sig.next()?;
+    let eq = sig.next()?;
+    let after = sig.next()?;
+    if file.toks[first].kind != TokKind::Ident
+        || file.toks[eq].kind != TokKind::Punct
+        || file.toks[eq].text != "="
+    {
+        return None;
+    }
+    if file.toks[after].kind == TokKind::Punct
+        && (file.toks[after].text == "=" || file.toks[after].text == ">")
+    {
+        return None;
+    }
+    let mut rhs_hi = hi;
+    while rhs_hi > after {
+        let t = &file.toks[rhs_hi - 1];
+        if t.is_comment() || (t.kind == TokKind::Punct && (t.text == "," || t.text == ";")) {
+            rhs_hi -= 1;
+        } else {
+            break;
+        }
+    }
+    Some((file.toks[first].text.clone(), after, rhs_hi))
+}
+
+/// If `[lo, hi)`'s significant tokens are exactly one identifier (modulo
+/// a leading `&`/`&mut`), returns it.
+fn plain_ident(file: &SourceFile, lo: usize, hi: usize) -> Option<String> {
+    let sig: Vec<usize> = (lo..hi.min(file.toks.len()))
+        .filter(|&i| !file.toks[i].is_comment())
+        .collect();
+    match sig.as_slice() {
+        [i] if file.toks[*i].kind == TokKind::Ident => Some(file.toks[*i].text.clone()),
+        _ => None,
+    }
+}
+
+/// The protection analysis for one function.
+pub struct ProtectAnalysis<'a> {
+    file: &'a SourceFile,
+    def: &'a FnDef,
+    guards: &'a GuardSummaries,
+    /// Lines of `// GUARD:` comments (precomputed: the bless check runs
+    /// per statement and must not rescan the whole token stream).
+    guard_lines: Vec<usize>,
+}
+
+impl<'a> ProtectAnalysis<'a> {
+    /// Prepares the analysis of `def` against workspace `guards`.
+    pub fn new(
+        file: &'a SourceFile,
+        def: &'a FnDef,
+        guards: &'a GuardSummaries,
+    ) -> ProtectAnalysis<'a> {
+        let guard_lines = file
+            .toks
+            .iter()
+            .filter(|t| t.is_comment() && t.text.contains("GUARD:"))
+            .map(|t| t.line)
+            .collect();
+        ProtectAnalysis {
+            file,
+            def,
+            guards,
+            guard_lines,
+        }
+    }
+
+    /// Entry state: GUARD-declared raw-pointer params start protected.
+    fn entry_state(&self) -> State {
+        let mut state = State::new();
+        let Some(declared) = fn_guard_contract(self.file, self.def) else {
+            return state;
+        };
+        for p in &self.def.params {
+            if let (Some(name), true) = (&p.name, p.raw_ptr) {
+                if declared.iter().any(|d| d == name) {
+                    state.insert(
+                        name.clone(),
+                        PVar {
+                            prov: Prov::Protected,
+                            origin_line: self.def.item.line,
+                            origin: "protected by the caller per this fn's `// GUARD:` contract",
+                        },
+                    );
+                }
+            }
+        }
+        state
+    }
+
+    /// Runs the fixpoint + reporting sweep over `cfg`.
+    pub fn run(&self, cfg: &Cfg) -> Vec<FlowFinding> {
+        let mut ins: Vec<Option<State>> = vec![None; cfg.blocks.len()];
+        ins[cfg.entry] = Some(self.entry_state());
+        let mut work: VecDeque<usize> = VecDeque::from([cfg.entry]);
+        let mut iters = 0usize;
+        while let Some(b) = work.pop_front() {
+            iters += 1;
+            if iters > 64 * cfg.blocks.len() + 1024 {
+                break;
+            }
+            let Some(state) = ins[b].clone() else {
+                continue;
+            };
+            let out = self.transfer(&cfg.blocks[b].stmts, state, None);
+            for edge in &cfg.blocks[b].succs {
+                let mut s = out.clone();
+                if let Guard::Null(name) = &edge.guard {
+                    // Null carries no count and is never dereferenced on
+                    // the guarded path.
+                    s.remove(name);
+                }
+                let merged = match &ins[edge.to] {
+                    None => s,
+                    Some(prev) => merge(prev, &s),
+                };
+                if ins[edge.to].as_ref() != Some(&merged) {
+                    ins[edge.to] = Some(merged);
+                    if !work.contains(&edge.to) {
+                        work.push_back(edge.to);
+                    }
+                }
+            }
+        }
+        let mut findings: BTreeSet<FlowFinding> = BTreeSet::new();
+        for (b, input) in ins.iter().enumerate() {
+            let Some(state) = input else { continue };
+            if b == cfg.exit {
+                continue;
+            }
+            self.transfer(&cfg.blocks[b].stmts, state.clone(), Some(&mut findings));
+        }
+        findings.into_iter().collect()
+    }
+
+    fn transfer(
+        &self,
+        stmts: &[Stmt],
+        mut state: State,
+        mut findings: Option<&mut BTreeSet<FlowFinding>>,
+    ) -> State {
+        for stmt in stmts {
+            self.step(stmt, &mut state, findings.as_deref_mut());
+        }
+        state
+    }
+
+    /// A statement-attached `// GUARD:` comment blesses its dereferences
+    /// (the author states why the pointee is pinned — e.g. I10's cached
+    /// anchors); kills and acquisitions still apply.
+    fn stmt_guard_blessed(&self, stmt: &Stmt) -> bool {
+        let (lo, hi) = stmt.range;
+        let toks = &self.file.toks;
+        let lines = (lo..hi.min(toks.len())).map(|i| toks[i].line);
+        let (Some(first), Some(last)) = (lines.clone().min(), lines.max()) else {
+            return false;
+        };
+        // Adjacency by line: a `// GUARD:` comment inside the statement
+        // or on the line directly above it.
+        self.guard_lines
+            .iter()
+            .any(|&line| line + 1 >= first && line <= last)
+    }
+
+    fn step(&self, stmt: &Stmt, state: &mut State, findings: Option<&mut BTreeSet<FlowFinding>>) {
+        let (lo, hi) = stmt.range;
+        if matches!(stmt.kind, StmtKind::ArmOpen) {
+            self.arm_open(stmt, state);
+            return;
+        }
+        let blessed = findings.is_some() && self.stmt_guard_blessed(stmt);
+        let calls = all_calls(self.file, lo, hi);
+        // 1. Dereference checks against the pre-kill state: a release in
+        //    this statement consumes *after* its arguments are read.
+        if let Some(f) = findings {
+            if !blessed {
+                self.check_derefs(lo, hi, state, f);
+                self.check_call_args(&calls, state, f);
+            }
+        }
+        // 2. Window transitions from calls.
+        self.apply_calls(&calls, state);
+        // 3. Value flow by statement kind.
+        let acq_line = calls
+            .iter()
+            .find(|c| {
+                let t = &self.file.toks[c.name_idx];
+                ACQUIRES.iter().any(|a| t.is_ident(a))
+            })
+            .map(|c| self.file.toks[c.name_idx].line);
+        match &stmt.kind {
+            StmtKind::Bind(target) => {
+                let key = target.clone().unwrap_or_else(|| "#destructured".into());
+                self.flow_into(key, acq_line, lo, hi, state);
+            }
+            StmtKind::PlaceBind => {
+                // Store into the structure: the window transfers to the
+                // link that now holds the count.
+                for name in tracked_idents(self.file, lo, hi, state) {
+                    if let Some(v) = state.get_mut(&name) {
+                        if !matches!(v.prov, Prov::Released { .. }) {
+                            v.prov = Prov::Moved;
+                        }
+                    }
+                }
+            }
+            StmtKind::Scrut => {
+                if let Some(line) = acq_line {
+                    state.insert(
+                        SCRUT.into(),
+                        PVar {
+                            prov: Prov::Protected,
+                            origin_line: line,
+                            origin: "the protection window opens here",
+                        },
+                    );
+                }
+            }
+            StmtKind::Return => {
+                for name in tracked_idents(self.file, lo, hi, state) {
+                    if let Some(v) = state.get_mut(&name) {
+                        if !matches!(v.prov, Prov::Released { .. }) {
+                            v.prov = Prov::Moved;
+                        }
+                    }
+                }
+            }
+            StmtKind::Expr => {
+                // Match-arm bodies lower as bare expressions, so a
+                // `name = rhs` rebind must be recognized here too
+                // (cf. `Bind` above): the rebound name takes the RHS's
+                // window, clearing any `Released` from a prior round.
+                if let Some((key, rhs_lo, rhs_hi)) = assign_target(self.file, lo, hi) {
+                    self.flow_into(key, acq_line, rhs_lo, rhs_hi, state);
+                }
+            }
+            StmtKind::ArmOpen => {}
+        }
+    }
+
+    /// Value flow into `key` from the initializer/RHS range `[lo, hi)`:
+    /// an acquisition opens a fresh window, a plain tracked identifier
+    /// moves its window to `key`, anything else makes `key` untracked.
+    fn flow_into(
+        &self,
+        key: String,
+        acq_line: Option<usize>,
+        lo: usize,
+        hi: usize,
+        state: &mut State,
+    ) {
+        if let Some(line) = acq_line {
+            state.insert(
+                key,
+                PVar {
+                    prov: Prov::Protected,
+                    origin_line: line,
+                    origin: "the protection window opens here",
+                },
+            );
+        } else if let Some(moved) = plain_ident(self.file, lo, hi) {
+            if let Some(var) = state.get(&moved).cloned() {
+                if moved != key {
+                    state.insert(
+                        moved,
+                        PVar {
+                            prov: Prov::Moved,
+                            ..var.clone()
+                        },
+                    );
+                    state.insert(key, var);
+                }
+            } else {
+                state.remove(&key);
+            }
+        } else {
+            state.remove(&key);
+        }
+    }
+
+    /// Reports dereferences of closed-window locals in `[lo, hi)`.
+    fn check_derefs(&self, lo: usize, hi: usize, state: &State, f: &mut BTreeSet<FlowFinding>) {
+        for (name, var) in state {
+            let Prov::Released { kill_line, mixed } = var.prov else {
+                continue;
+            };
+            for line in deref_sites(self.file, lo, hi, name) {
+                let paths = if mixed { " on at least one path" } else { "" };
+                f.insert(FlowFinding {
+                    line,
+                    message: format!(
+                        "`{name}` is dereferenced here, but its protection window was \
+                         closed{paths} (count consumed at line {kill_line}); a deref \
+                         outside the window races reclamation (invariant I11)"
+                    ),
+                    related: vec![
+                        (kill_line, "the protecting count is consumed here".into()),
+                        (var.origin_line, var.origin.into()),
+                    ],
+                });
+            }
+        }
+    }
+
+    /// Reports closed-window locals passed to callees that deref (or
+    /// declare `// GUARD:` on) the corresponding parameter.
+    fn check_call_args(&self, calls: &[Call], state: &State, f: &mut BTreeSet<FlowFinding>) {
+        for call in calls {
+            let callee = self.file.toks[call.name_idx].text.as_str();
+            let positions = self.guards.protected_params(callee);
+            if positions.is_empty() {
+                continue;
+            }
+            let args = split_args(self.file, call.open, call.close);
+            for &pos in &positions {
+                let Some(&(alo, ahi)) = args.get(pos) else {
+                    continue;
+                };
+                let Some(name) = plain_ident(self.file, alo, ahi) else {
+                    continue;
+                };
+                let Some(var) = state.get(&name) else {
+                    continue;
+                };
+                let Prov::Released { kill_line, mixed } = var.prov else {
+                    continue;
+                };
+                let why = if self.guards.guard_declared(callee, pos) {
+                    "declares `// GUARD:` on"
+                } else {
+                    "dereferences"
+                };
+                let paths = if mixed { " on at least one path" } else { "" };
+                f.insert(FlowFinding {
+                    line: self.file.toks[call.name_idx].line,
+                    message: format!(
+                        "`{name}` is passed to `{callee}`, which {why} that parameter, \
+                         but its protection window was closed{paths} (count consumed \
+                         at line {kill_line}); the callee would deref outside the \
+                         window (invariant I11)"
+                    ),
+                    related: vec![
+                        (kill_line, "the protecting count is consumed here".into()),
+                        (var.origin_line, var.origin.into()),
+                    ],
+                });
+            }
+        }
+    }
+
+    /// Applies window transitions from release/park/flush/reacquire calls.
+    fn apply_calls(&self, calls: &[Call], state: &mut State) {
+        for call in calls {
+            let name = self.file.toks[call.name_idx].text.as_str();
+            let kill_line = self.file.toks[call.name_idx].line;
+            let transition = if KILLS.contains(&name) {
+                Some(Prov::Released {
+                    kill_line,
+                    mixed: false,
+                })
+            } else if PARKS.contains(&name) {
+                Some(Prov::Parked)
+            } else if REACQUIRES.contains(&name) {
+                Some(Prov::Protected)
+            } else {
+                None
+            };
+            if let Some(prov) = transition {
+                for (alo, ahi) in split_args(self.file, call.open, call.close) {
+                    let Some(arg) = plain_ident(self.file, alo, ahi) else {
+                        continue;
+                    };
+                    if let Some(v) = state.get_mut(&arg) {
+                        v.prov = prov.clone();
+                    }
+                }
+            }
+            if FLUSHES.contains(&name) {
+                for v in state.values_mut() {
+                    if v.prov == Prov::Parked {
+                        v.prov = Prov::Released {
+                            kill_line,
+                            mixed: false,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Match-arm entry: routes the pending scrutinee window through the
+    /// pattern, mirroring the balance pass's arm handling.
+    fn arm_open(&self, stmt: &Stmt, state: &mut State) {
+        let (lo, hi) = stmt.range;
+        let mut sig: Vec<usize> = (lo..hi.min(self.file.toks.len()))
+            .filter(|&i| !self.file.toks[i].is_comment())
+            .collect();
+        if let Some(p) = sig.iter().position(|&i| self.file.toks[i].is_ident("if")) {
+            sig.truncate(p);
+        }
+        let first = sig
+            .iter()
+            .find(|&&i| self.file.toks[i].kind == TokKind::Ident);
+        let Some(&first) = first else { return };
+        let head = self.file.toks[first].text.as_str();
+        if head == "Err" || head == "None" {
+            state.remove(SCRUT);
+            return;
+        }
+        let Some(var) = state.remove(SCRUT) else {
+            return;
+        };
+        let binding = sig.iter().find(|&&i| {
+            let t = &self.file.toks[i];
+            t.kind == TokKind::Ident
+                && t.text != "_"
+                && !t.is_ident("mut")
+                && !t.is_ident("ref")
+                && t.text.chars().next().is_some_and(|c| c.is_lowercase())
+        });
+        if let Some(&b) = binding {
+            state.insert(self.file.toks[b].text.clone(), var);
+        }
+    }
+}
+
+/// Tracked variable names mentioned as identifiers in `[lo, hi)`.
+fn tracked_idents(file: &SourceFile, lo: usize, hi: usize, state: &State) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in lo..hi.min(file.toks.len()) {
+        let t = &file.toks[i];
+        if t.kind == TokKind::Ident && state.contains_key(&t.text) && !out.contains(&t.text) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Joins two states. `Released` dominates (a deref is wrong if the window
+/// is closed on *any* incoming path); `Parked` beats `Protected` only in
+/// being flush-sensitive; `Moved` is the bottom of the deref-safe states.
+fn merge(a: &State, b: &State) -> State {
+    let mut out = State::new();
+    let keys: BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    for k in keys {
+        let v = match (a.get(k), b.get(k)) {
+            (Some(va), Some(vb)) => join(va, vb),
+            (Some(v), None) | (None, Some(v)) => {
+                // Unknown on the other path: only a closed window is
+                // worth remembering, and then only as some-path.
+                let mut v = v.clone();
+                if let Prov::Released { kill_line, .. } = v.prov {
+                    v.prov = Prov::Released {
+                        kill_line,
+                        mixed: true,
+                    };
+                }
+                v
+            }
+            (None, None) => unreachable!(),
+        };
+        out.insert(k.clone(), v);
+    }
+    out
+}
+
+fn join(a: &PVar, b: &PVar) -> PVar {
+    let origin = if a.origin_line <= b.origin_line { a } else { b };
+    let prov = match (&a.prov, &b.prov) {
+        (
+            Prov::Released {
+                kill_line: ka,
+                mixed: ma,
+            },
+            Prov::Released {
+                kill_line: kb,
+                mixed: mb,
+            },
+        ) => Prov::Released {
+            kill_line: *ka.min(kb),
+            mixed: *ma || *mb,
+        },
+        (Prov::Released { kill_line, .. }, _) | (_, Prov::Released { kill_line, .. }) => {
+            Prov::Released {
+                kill_line: *kill_line,
+                mixed: true,
+            }
+        }
+        (Prov::Parked, _) | (_, Prov::Parked) => Prov::Parked,
+        (Prov::Protected, _) | (_, Prov::Protected) => Prov::Protected,
+        (Prov::Moved, Prov::Moved) => Prov::Moved,
+    };
+    PVar {
+        prov,
+        origin_line: origin.origin_line,
+        origin: origin.origin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cfg, syntax};
+
+    fn analyze(src: &str) -> Vec<FlowFinding> {
+        analyze_named(src, 0)
+    }
+
+    fn analyze_named(src: &str, fn_index: usize) -> Vec<FlowFinding> {
+        let file = SourceFile::parse("t.rs", src);
+        let ast = syntax::parse(&file);
+        let guards = GuardSummaries::build([(&file, &ast)]);
+        let def = &ast.fns[fn_index];
+        let cfg = cfg::build(&file, def).expect("body");
+        ProtectAnalysis::new(&file, def, &guards).run(&cfg)
+    }
+
+    #[test]
+    fn deref_inside_window_is_clean() {
+        let src = "fn f(&self) {\n\
+            let h = self.arena.safe_read(&self.head);\n\
+            let k = unsafe { (*h).key };\n\
+            self.arena.release(h);\n\
+        }";
+        assert_eq!(analyze(src), vec![]);
+    }
+
+    #[test]
+    fn deref_after_release_is_reported_with_both_relations() {
+        let src = "fn f(&self) {\n\
+            let h = self.arena.safe_read(&self.head);\n\
+            self.arena.release(h);\n\
+            let k = unsafe { (*h).key };\n\
+        }";
+        let findings = analyze(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 4);
+        assert_eq!(findings[0].related.len(), 2);
+        assert_eq!(findings[0].related[0].0, 3, "killing release");
+        assert_eq!(findings[0].related[1].0, 2, "acquisition origin");
+    }
+
+    #[test]
+    fn release_argument_itself_is_not_a_deref() {
+        let src = "fn f(&self) {\n\
+            let h = self.arena.safe_read(&self.head);\n\
+            self.arena.release(h);\n\
+        }";
+        assert_eq!(analyze(src), vec![]);
+    }
+
+    #[test]
+    fn branch_release_makes_mixed_deref() {
+        let src = "fn f(&self) {\n\
+            let h = self.arena.safe_read(&self.head);\n\
+            if self.flip() {\n\
+                self.arena.release(h);\n\
+            }\n\
+            let k = unsafe { (*h).key };\n\
+        }";
+        let findings = analyze(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("at least one path"));
+    }
+
+    #[test]
+    fn parked_release_keeps_window_open_until_flush() {
+        let src = "fn f(&mut self) {\n\
+            let h = self.arena.safe_read(&self.head);\n\
+            self.arena.release_deferred(&mut self.defer, h);\n\
+            let a = unsafe { (*h).key };\n\
+            self.arena.drain_deferred(&mut self.defer);\n\
+            let b = unsafe { (*h).key };\n\
+        }";
+        let findings = analyze(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 6, "only the post-flush deref");
+    }
+
+    #[test]
+    fn move_and_rebind_keep_window_with_new_owner() {
+        let src = "fn f(&self) -> *mut Node {\n\
+            let mut p = self.arena.safe_read(&self.head);\n\
+            loop {\n\
+                let q = self.arena.safe_read(&(*p).back_link);\n\
+                if q.is_null() {\n\
+                    return p;\n\
+                }\n\
+                self.arena.release(p);\n\
+                p = q;\n\
+            }\n\
+        }";
+        assert_eq!(analyze(src), vec![]);
+    }
+
+    #[test]
+    fn deref_after_rebind_loses_nothing_but_release_without_rebind_fires() {
+        let src = "fn f(&self) {\n\
+            let mut p = self.arena.safe_read(&self.head);\n\
+            loop {\n\
+                self.arena.release(p);\n\
+                let k = unsafe { (*p).key };\n\
+                if k == 0 {\n\
+                    break;\n\
+                }\n\
+            }\n\
+        }";
+        let findings = analyze(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn guard_param_starts_protected_and_release_then_deref_fires() {
+        let src = "\
+        // GUARD: p — caller holds a count on p.\n\
+        unsafe fn broken(&self, p: *mut Node) -> u64 {\n\
+            self.arena.release(p);\n\
+            (*p).key\n\
+        }";
+        let findings = analyze(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`p`"));
+        assert_eq!(findings[0].related.len(), 2);
+    }
+
+    #[test]
+    fn released_pointer_passed_to_derefing_helper_is_reported() {
+        let src = "\
+        fn key_of(&self, p: *mut Node) -> u64 { unsafe { (*p).key } }\n\
+        fn f(&self) {\n\
+            let h = self.arena.safe_read(&self.head);\n\
+            self.arena.release(h);\n\
+            let k = self.key_of(h);\n\
+        }";
+        let findings = analyze_named(src, 1);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("key_of"), "{findings:?}");
+    }
+
+    #[test]
+    fn incr_ref_reopens_the_window() {
+        let src = "fn f(&self) {\n\
+            let h = self.arena.safe_read(&self.head);\n\
+            self.arena.release(h);\n\
+            self.arena.incr_ref(h);\n\
+            let k = unsafe { (*h).key };\n\
+            self.arena.release(h);\n\
+        }";
+        assert_eq!(analyze(src), vec![]);
+    }
+
+    #[test]
+    fn stmt_guard_comment_blesses_a_deref() {
+        let src = "fn f(&self) {\n\
+            let h = self.arena.safe_read(&self.head);\n\
+            self.arena.release(h);\n\
+            // GUARD: h stays readable: the cache slot pins it (I10).\n\
+            let k = unsafe { (*h).key };\n\
+        }";
+        assert_eq!(analyze(src), vec![]);
+    }
+
+    #[test]
+    fn untracked_pointers_are_silent() {
+        let src = "fn f(&self, p: *mut Node) -> u64 {\n\
+            unsafe { (*p).key }\n\
+        }";
+        assert_eq!(analyze(src), vec![]);
+    }
+
+    #[test]
+    fn guard_contract_parses_name_lists() {
+        let file = SourceFile::parse(
+            "t.rs",
+            "// GUARD: p, q — caller holds counts on both.\n\
+             unsafe fn f(p: *mut N, q: *mut N) {}\n",
+        );
+        let ast = syntax::parse(&file);
+        let names = fn_guard_contract(&file, &ast.fns[0]).expect("contract");
+        assert_eq!(names, vec!["p".to_string(), "q".to_string()]);
+    }
+
+    #[test]
+    fn binary_multiply_is_not_a_deref() {
+        let file = SourceFile::parse("t.rs", "fn f(n: usize, p: usize) -> usize { n * p }");
+        assert_eq!(deref_sites(&file, 0, file.toks.len(), "p"), vec![]);
+    }
+
+    #[test]
+    fn match_arm_assignment_rebinds_the_window() {
+        // `current = next` inside the arm body lowers as a bare
+        // expression statement, not a `Bind`; the rebind must still
+        // clear the `Released` state from the previous iteration
+        // (this is `release_into`'s drain-loop shape).
+        let src = "fn f(&self) {\n\
+            let mut current = self.arena.safe_read(&self.head);\n\
+            loop {\n\
+                let next = unsafe { (*current).link };\n\
+                self.arena.push_free(current);\n\
+                match nonnull(next) {\n\
+                    Some(next) => current = next,\n\
+                    None => return,\n\
+                }\n\
+            }\n\
+        }";
+        assert_eq!(analyze(src), vec![]);
+    }
+
+    #[test]
+    fn match_arm_without_rebind_still_fires() {
+        // Same shape but the arm does NOT rebind: the back-edge carries
+        // `Released` into the next iteration's deref.
+        let src = "fn f(&self) {\n\
+            let mut current = self.arena.safe_read(&self.head);\n\
+            loop {\n\
+                let next = unsafe { (*current).link };\n\
+                self.arena.push_free(current);\n\
+                match nonnull(next) {\n\
+                    Some(next) => self.note(next),\n\
+                    None => return,\n\
+                }\n\
+            }\n\
+        }";
+        let findings = analyze(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 4, "the loop-carried deref");
+    }
+}

@@ -156,11 +156,200 @@ pub const RULES: &[RuleInfo] = &[
                   actually defined in docs/PROTOCOL.md",
         severity: Severity::Error,
     },
+    RuleInfo {
+        id: "protection-window",
+        summary: "dataflow proof that no counted node pointer is dereferenced (or \
+                  passed to a deref-ing callee) after its protecting count was \
+                  consumed — the I11 protection window",
+        severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "guard-contract",
+        summary: "an unsafe fn dereferencing a raw-pointer parameter must declare \
+                  the caller's obligation with a // GUARD: contract, and contracts \
+                  must name real raw-pointer parameters",
+        severity: Severity::Warning,
+    },
 ];
 
 /// Looks up a rule's metadata by id.
 pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.id == id)
+}
+
+/// Long-form documentation for one rule, printed by
+/// `cargo xtask analyze --explain <rule-id>` so CI findings are
+/// self-documenting.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleDoc {
+    /// The rule this documents (must match a [`RULES`] entry).
+    pub id: &'static str,
+    /// Why the rule exists, in terms of the §5 protocol.
+    pub rationale: &'static str,
+    /// A minimal violating snippet (mirrors a seeded fixture).
+    pub bad: &'static str,
+    /// The corrected form.
+    pub good: &'static str,
+}
+
+/// One doc per registered rule, same order as [`RULES`].
+pub const RULE_DOCS: &[RuleDoc] = &[
+    RuleDoc {
+        id: "shim-import",
+        rationale: "All atomics must route through valois_sync::shim so that \
+                    `--cfg loom` builds swap in the model-checking scheduler. A \
+                    direct std::sync::atomic import compiles fine but silently \
+                    escapes every loom model.",
+        bad: "use std::sync::atomic::AtomicPtr;",
+        good: "use valois_sync::shim::AtomicPtr;",
+    },
+    RuleDoc {
+        id: "relaxed-ptr-order",
+        rationale: "A Relaxed load/store on a pointer-valued atomic publishes no \
+                    happens-before edge, so the pointee's initialization may not \
+                    be visible to the reader. Pointer atomics default to \
+                    Acquire/Release; a deliberate Relaxed needs an adjacent \
+                    // ORDER: comment saying why it is safe.",
+        bad: "let p = self.head.load(Ordering::Relaxed);",
+        good: "// ORDER: Relaxed is fine: the value is re-validated under\n\
+               // the subsequent Acquire CAS before any deref.\n\
+               let p = self.head.load(Ordering::Relaxed);",
+    },
+    RuleDoc {
+        id: "unsafe-comment",
+        rationale: "Every unsafe block/fn/impl encodes a proof obligation the \
+                    compiler cannot check. The // SAFETY: comment (or # Safety \
+                    doc section) records that proof where the audit happens.",
+        bad: "let k = unsafe { (*p).key };",
+        good: "// SAFETY: p was acquired via safe_read and not yet released,\n\
+               // so the §5 window keeps the node alive.\n\
+               let k = unsafe { (*p).key };",
+    },
+    RuleDoc {
+        id: "refcount-pairing",
+        rationale: "Token-level sanity check (the dataflow refcount-balance pass \
+                    is the strong version): a fn calling safe_read/alloc must \
+                    also call release, return a raw pointer (transfer), or carry \
+                    a // COUNT: justification, otherwise counts leak.",
+        bad: "fn peek(&self) -> u64 {\n    let p = self.arena.safe_read(&self.head);\n    unsafe { (*p).key }\n}",
+        good: "fn peek(&self) -> u64 {\n    let p = self.arena.safe_read(&self.head);\n    let k = unsafe { (*p).key };\n    unsafe { self.arena.release(p) };\n    k\n}",
+    },
+    RuleDoc {
+        id: "cas-progress",
+        rationale: "A bare CAS retry loop livelocks under contention. Loops must \
+                    invoke valois_sync::Backoff (or justify wait-freedom with \
+                    // WAIT-FREE:) so contended threads yield instead of \
+                    hammering the cache line.",
+        bad: "loop {\n    if head.compare_exchange(old, new, AcqRel, Acquire).is_ok() { break; }\n}",
+        good: "let mut backoff = Backoff::new();\nloop {\n    if head.compare_exchange(old, new, AcqRel, Acquire).is_ok() { break; }\n    backoff.spin();\n}",
+    },
+    RuleDoc {
+        id: "spin-guard",
+        rationale: "Holding a spinlock guard across a call into the lock-free \
+                    protocol layer reintroduces blocking: a preempted holder \
+                    stalls every protocol participant spinning on the lock.",
+        bad: "let g = self.lock.lock();\nself.list.try_insert(cursor, node);",
+        good: "{\n    let g = self.lock.lock();\n    // ... touch only the locked state ...\n}\nself.list.try_insert(cursor, node);",
+    },
+    RuleDoc {
+        id: "probe-discipline",
+        rationale: "The flight recorder's zero-cost guarantee lives in the \
+                    probe! macro, whose argument expressions compile away when \
+                    the `recorder` feature is off. A direct valois_trace::record \
+                    call evaluates its arguments unconditionally on the hot path.",
+        bad: "valois_trace::record(Event::CursorHop, p as usize);",
+        good: "probe!(CursorHop, p as usize);",
+    },
+    RuleDoc {
+        id: "refcount-balance",
+        rationale: "Dataflow (may-leak) proof over the per-fn CFG: every count \
+                    acquired by safe_read/safe_read_tallied/alloc must on every \
+                    path be released, transferred via raw-pointer return, \
+                    consumed by a summarized callee, or covered by a // COUNT: \
+                    contract. A leaked count pins the node forever (I1).",
+        bad: "fn find(&self) -> bool {\n    let p = self.arena.safe_read(&self.head);\n    if unsafe { (*p).key } == 0 {\n        return true; // leaks p's count\n    }\n    unsafe { self.arena.release(p) };\n    false\n}",
+        good: "fn find(&self) -> bool {\n    let p = self.arena.safe_read(&self.head);\n    let hit = unsafe { (*p).key } == 0;\n    unsafe { self.arena.release(p) };\n    hit\n}",
+    },
+    RuleDoc {
+        id: "order-pairing",
+        rationale: "A Release store synchronizes only with an Acquire load of \
+                    the same location; an unpaired side publishes (or observes) \
+                    nothing and usually marks a missing or misplaced ordering.",
+        bad: "self.ready.store(1, Ordering::Release);\n// elsewhere: self.ready.load(Ordering::Relaxed)",
+        good: "self.ready.store(1, Ordering::Release);\n// elsewhere: self.ready.load(Ordering::Acquire)",
+    },
+    RuleDoc {
+        id: "seqcst-fence",
+        rationale: "SeqCst is the most expensive ordering and almost always \
+                    stronger than needed; each use must say what total order it \
+                    buys (// ORDER:), and fences must cite the PROTOCOL.md \
+                    invariant (// INVARIANT: I<n>) whose dichotomy argument \
+                    they implement.",
+        bad: "fence(Ordering::SeqCst);",
+        good: "// ORDER: SeqCst fence pairs with the remover's fence so one of\n\
+               // the two racing passes must see the other's write.\n\
+               // INVARIANT: I8\n\
+               fence(Ordering::SeqCst);",
+    },
+    RuleDoc {
+        id: "invariant-ref",
+        rationale: "// INVARIANT: I<n> comments are machine-checked \
+                    cross-references into docs/PROTOCOL.md; a stale number \
+                    points the next reader at the wrong (or a deleted) proof.",
+        bad: "// INVARIANT: I99\nfence(Ordering::SeqCst);",
+        good: "// INVARIANT: I8\nfence(Ordering::SeqCst);",
+    },
+    RuleDoc {
+        id: "protection-window",
+        rationale: "The §5 scheme is only sound while a deref sits inside its \
+                    protection window: after release consumes the protecting \
+                    count the node may be reclaimed and reused at any moment \
+                    (use-after-free / ABA). The pass tracks provenance \
+                    (Protected/Parked/Released/Moved) of every counted pointer \
+                    through the CFG — a parked deferred release is still live; \
+                    the drain is the kill — and reports any deref or \
+                    deref-ing-callee pass reachable after the kill on some path \
+                    (invariant I11).",
+        bad: "let h = self.arena.safe_read(&self.head);\nunsafe { self.arena.release(h) };\nlet k = unsafe { (*h).key }; // window closed",
+        good: "let h = self.arena.safe_read(&self.head);\nlet k = unsafe { (*h).key };\nunsafe { self.arena.release(h) }; // deref precedes the kill",
+    },
+    RuleDoc {
+        id: "guard-contract",
+        rationale: "Interprocedural protection checking needs the obligation \
+                    stated at the boundary: an unsafe fn that derefs a \
+                    raw-pointer parameter must declare // GUARD: <param> so \
+                    every call site is checked for a live window. A contract \
+                    naming a non-parameter is stale and checks nothing.",
+        bad: "unsafe fn key_of(&self, p: *mut Node) -> u64 {\n    (*p).key\n}",
+        good: "// GUARD: p — caller holds a count on p for the call's duration.\nunsafe fn key_of(&self, p: *mut Node) -> u64 {\n    (*p).key\n}",
+    },
+];
+
+/// Looks up a rule's long-form doc by id.
+pub fn rule_doc(id: &str) -> Option<&'static RuleDoc> {
+    RULE_DOCS.iter().find(|d| d.id == id)
+}
+
+/// Renders one rule's doc for `--explain` (None for unknown ids).
+pub fn render_explain(id: &str) -> Option<String> {
+    let info = rule_info(id)?;
+    let doc = rule_doc(id)?;
+    let mut out = String::new();
+    out.push_str(&format!("{} ({})\n", info.id, info.severity));
+    out.push_str(&format!("  {}\n\n", info.summary));
+    out.push_str("Rationale:\n");
+    for line in doc.rationale.split('\n') {
+        out.push_str(&format!("  {}\n", line.trim()));
+    }
+    out.push_str("\nViolation:\n");
+    for line in doc.bad.split('\n') {
+        out.push_str(&format!("  | {line}\n"));
+    }
+    out.push_str("\nFixed:\n");
+    for line in doc.good.split('\n') {
+        out.push_str(&format!("  | {line}\n"));
+    }
+    Some(out)
 }
 
 /// Escapes `s` for inclusion in a JSON string literal.
@@ -365,5 +554,30 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
+    }
+
+    #[test]
+    fn every_rule_has_exactly_one_explain_doc() {
+        for r in RULES {
+            assert!(rule_doc(r.id).is_some(), "missing RuleDoc for {}", r.id);
+        }
+        for d in RULE_DOCS {
+            assert!(
+                rule_info(d.id).is_some(),
+                "RuleDoc for unknown rule {}",
+                d.id
+            );
+        }
+        assert_eq!(RULES.len(), RULE_DOCS.len());
+    }
+
+    #[test]
+    fn explain_renders_id_rationale_and_examples() {
+        let text = render_explain("protection-window").expect("known rule");
+        assert!(text.contains("protection-window (error)"));
+        assert!(text.contains("Rationale:"));
+        assert!(text.contains("Violation:"));
+        assert!(text.contains("Fixed:"));
+        assert!(render_explain("no-such-rule").is_none());
     }
 }

@@ -560,7 +560,6 @@ fn balance_flags_leak_via_early_return() {
         .find(|f| f.rule == "refcount-balance")
         .expect("early-return leak must be flagged");
     assert_eq!(f.severity, Severity::Error);
-    assert!(f.message.contains("leaked"), "{}", f.message);
     // The SARIF related-location points at the acquire site.
     assert_eq!(f.related.len(), 1, "{:?}", f.related);
     assert_eq!(f.related[0].line, 2);
@@ -581,7 +580,9 @@ fn balance_flags_leak_via_branch_divergence() {
         .iter()
         .find(|f| f.rule == "refcount-balance")
         .expect("branch-divergence leak must be flagged");
-    assert!(f.message.contains("at least one path"), "{}", f.message);
+    // One related location: the acquire whose count diverges.
+    assert_eq!(f.related.len(), 1, "{:?}", f.related);
+    assert_eq!(f.related[0].line, 2);
 }
 
 #[test]
@@ -595,7 +596,8 @@ fn balance_flags_declared_transfer_not_returned() {
         .iter()
         .find(|f| f.rule == "refcount-balance")
         .expect("declared transfer without raw return must be flagged");
-    assert!(f.message.contains("cannot hold"), "{}", f.message);
+    assert_eq!(f.severity, Severity::Error);
+    assert_eq!(f.line, 2, "flagged at the fn header under the contract");
 }
 
 #[test]
@@ -639,9 +641,10 @@ fn order_graph_flags_unpaired_release() {
         .iter()
         .find(|f| f.rule == "order-pairing")
         .expect("unpaired Release must be flagged");
-    assert!(f.message.contains("never synchronized"), "{}", f.message);
+    assert_eq!(f.line, 2, "flagged at the Release store");
     // Related locations list the non-acquire readers.
     assert_eq!(f.related.len(), 1, "{:?}", f.related);
+    assert_eq!(f.related[0].line, 3, "the Relaxed reader");
 }
 
 #[test]
@@ -666,11 +669,7 @@ fn order_graph_flags_undocumented_seqcst_fence() {
         .iter()
         .find(|f| f.rule == "seqcst-fence")
         .expect("undocumented SeqCst fence must be flagged");
-    assert!(
-        f.message.contains("undocumented SeqCst fence"),
-        "{}",
-        f.message
-    );
+    assert_eq!(f.line, 2, "flagged at the fence itself");
 }
 
 #[test]
@@ -686,7 +685,7 @@ fn order_graph_requires_invariant_citation_on_fences() {
         .iter()
         .find(|f| f.rule == "seqcst-fence")
         .expect("fence without INVARIANT citation must be flagged");
-    assert!(f.message.contains("INVARIANT"), "{}", f.message);
+    assert_eq!(f.line, 3, "flagged at the fence under the bare ORDER note");
 }
 
 #[test]
@@ -708,6 +707,7 @@ fn invariant_ref_flags_stale_reference() {
     let ctx = Context {
         invariants: Some((1..=9).collect()),
         summaries: Default::default(),
+        guards: Default::default(),
     };
     let findings = analyze_source_with(LIB, src, &ctx);
     let f = findings
@@ -715,7 +715,7 @@ fn invariant_ref_flags_stale_reference() {
         .find(|f| f.rule == "invariant-ref")
         .expect("stale invariant reference must be flagged");
     assert_eq!(f.severity, Severity::Error);
-    assert!(f.message.contains("I99"), "{}", f.message);
+    assert_eq!(f.line, 2, "flagged at the citing comment");
 }
 
 #[test]
@@ -728,6 +728,7 @@ fn invariant_ref_accepts_resolvable_reference() {
     let ctx = Context {
         invariants: Some((1..=9).collect()),
         summaries: Default::default(),
+        guards: Default::default(),
     };
     let findings = analyze_source_with(LIB, src, &ctx);
     assert!(findings.iter().all(|f| f.rule != "invariant-ref"));
@@ -742,12 +743,206 @@ fn protocol_invariants_are_parsed_from_the_real_doc() {
     let text =
         std::fs::read_to_string(root.join("docs/PROTOCOL.md")).expect("docs/PROTOCOL.md exists");
     let defined = valois_analyze::protocol_invariants(&text);
-    // I1..=I9 are the currently documented invariants; a renumbering must
+    // I1..=I11 are the currently documented invariants; a renumbering must
     // update every // INVARIANT: citation (the invariant-ref pass checks
     // the code side, this pins the doc side).
-    for n in 1..=9 {
+    for n in 1..=11 {
         assert!(defined.contains(&n), "I{n} missing from PROTOCOL.md");
     }
+}
+
+// ---- protection-window / guard-contract (provenance dataflow) ------------
+
+#[test]
+fn protection_flags_direct_use_after_release() {
+    let src = "fn f(&self) {\n\
+        let h = self.arena.safe_read(&self.head);\n\
+        self.arena.release(h);\n\
+        let k = unsafe { (*h).key };\n\
+    }\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "protection-window")
+        .expect("use-after-release must be flagged");
+    assert_eq!(f.severity, Severity::Error);
+    assert_eq!(f.line, 4, "flagged at the deref");
+    // Related locations: the killing release, then the acquisition origin.
+    assert_eq!(f.related.len(), 2, "{:?}", f.related);
+    assert_eq!(f.related[0].line, 3, "killing release");
+    assert_eq!(f.related[1].line, 2, "acquisition origin");
+}
+
+#[test]
+fn protection_flags_branch_only_release() {
+    // The window closes on one arm only; the deref after the join is
+    // reachable with a dead pointer on that path.
+    let src = "fn f(&self) {\n\
+        let h = self.arena.safe_read(&self.head);\n\
+        if self.fast_path() {\n\
+            self.arena.release(h);\n\
+        }\n\
+        let k = unsafe { (*h).key };\n\
+    }\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "protection-window")
+        .expect("branch-only release must be flagged");
+    assert_eq!(f.line, 6);
+    assert_eq!(f.related.len(), 2, "{:?}", f.related);
+    assert_eq!(f.related[0].line, 4, "the branch-local release");
+}
+
+#[test]
+fn protection_flags_deref_after_deferred_flush() {
+    // A parked release keeps the window open (I11: the park is not the
+    // kill); the batch flush is what closes it.
+    let src = "fn f(&mut self) {\n\
+        let h = self.arena.safe_read(&self.head);\n\
+        self.arena.release_deferred(&mut self.defer, h);\n\
+        let a = unsafe { (*h).key };\n\
+        self.arena.drain_deferred(&mut self.defer);\n\
+        let b = unsafe { (*h).key };\n\
+    }\n";
+    let findings: Vec<_> = analyze_source(LIB, src)
+        .into_iter()
+        .filter(|f| f.rule == "protection-window")
+        .collect();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 6, "only the post-flush deref");
+    assert_eq!(findings[0].related.len(), 2, "{:?}", findings[0].related);
+    assert_eq!(findings[0].related[0].line, 5, "the flush is the kill");
+}
+
+#[test]
+fn protection_flags_unsafe_helper_missing_guard() {
+    let src = "impl S {\n\
+        /// Reads the key.\n\
+        ///\n\
+        /// # Safety\n\
+        ///\n\
+        /// `p` must be protected.\n\
+        pub unsafe fn key_of(&self, p: *mut Node) -> u64 {\n\
+            (*p).key\n\
+        }\n\
+    }\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "guard-contract")
+        .expect("unsafe fn deref'ing a raw param needs a GUARD contract");
+    assert_eq!(f.severity, Severity::Warning);
+    assert_eq!(f.line, 7, "flagged at the fn header");
+}
+
+#[test]
+fn protection_flags_guarded_callee_that_releases_then_derefs() {
+    // The GUARD contract says the caller holds the count — so the callee
+    // consuming it and then deref'ing violates its own declared window.
+    let src = "impl S {\n\
+        // GUARD: p — caller holds a counted reference for the call.\n\
+        unsafe fn consume_then_peek(&self, p: *mut Node) -> u64 {\n\
+            self.arena.release(p);\n\
+            (*p).key\n\
+        }\n\
+    }\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "protection-window")
+        .expect("release-then-deref under a GUARD contract must be flagged");
+    assert_eq!(f.line, 5);
+    assert_eq!(f.related.len(), 2, "{:?}", f.related);
+    assert_eq!(f.related[0].line, 4, "killing release");
+    assert_eq!(
+        f.related[1].line, 3,
+        "the contracted fn header is the origin"
+    );
+}
+
+#[test]
+fn protection_flags_released_arg_passed_to_guarded_helper() {
+    // Interprocedural: the helper's GUARD says its param must be live,
+    // so passing a released pointer at that position is a violation.
+    let src = "impl S {\n\
+        // GUARD: p — caller holds a counted reference for the call.\n\
+        unsafe fn peek(&self, p: *mut Node) -> u64 {\n\
+            (*p).key\n\
+        }\n\
+        fn f(&self) {\n\
+            let h = self.arena.safe_read(&self.head);\n\
+            self.arena.release(h);\n\
+            let k = unsafe { self.peek(h) };\n\
+        }\n\
+    }\n";
+    let findings = analyze_source(LIB, src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "protection-window" && f.line == 9)
+        .expect("released arg at a GUARD position must be flagged");
+    assert_eq!(f.related.len(), 2, "{:?}", f.related);
+    assert_eq!(f.related[0].line, 8, "killing release");
+    assert_eq!(f.related[1].line, 7, "acquisition origin");
+}
+
+#[test]
+fn protection_accepts_transfer_via_return() {
+    // Returning the raw pointer hands the count (and the window) to the
+    // caller; no deref happens after any kill.
+    let src = "fn head_ref(&self) -> *mut Node {\n\
+        self.arena.safe_read(&self.head)\n\
+    }\n";
+    assert_eq!(count(LIB, src, "protection-window"), 0);
+}
+
+#[test]
+fn protection_accepts_loop_carried_resume_redereference() {
+    // The PR 7 backtrack shape: each hop releases the superseded anchor
+    // and rebinds, so the deref at the loop head is always in-window.
+    let src = "fn backtrack(&self, from: *mut Node) -> *mut Node {\n\
+        let mut p = self.arena.safe_read(&self.anchor);\n\
+        loop {\n\
+            let q = unsafe { self.arena.safe_read(&(*p).back_link) };\n\
+            if q.is_null() {\n\
+                return p;\n\
+            }\n\
+            self.arena.release(p);\n\
+            p = q;\n\
+        }\n\
+    }\n";
+    assert_eq!(count(LIB, src, "protection-window"), 0);
+}
+
+#[test]
+fn protection_accepts_guard_blessed_cached_anchor() {
+    // I10's cached-cursor anchors: the slot keeps its own count parked,
+    // so a re-deref after this fn's release is pinned by the cache —
+    // stated with a statement-level GUARD bless.
+    let src = "fn f(&self) {\n\
+        let h = self.arena.safe_read(&self.head);\n\
+        self.arena.release(h);\n\
+        // GUARD: h — the cursor cache holds its own count (I10).\n\
+        let k = unsafe { (*h).key };\n\
+    }\n";
+    assert_eq!(count(LIB, src, "protection-window"), 0);
+}
+
+#[test]
+fn protection_sarif_carries_kill_and_origin_notes() {
+    let src = "fn f(&self) {\n\
+        let h = self.arena.safe_read(&self.head);\n\
+        self.arena.release(h);\n\
+        let k = unsafe { (*h).key };\n\
+    }\n";
+    let findings: Vec<_> = analyze_source(LIB, src)
+        .into_iter()
+        .filter(|f| f.rule == "protection-window")
+        .collect();
+    let sarif = valois_analyze::render_sarif(&findings);
+    assert!(sarif.contains("relatedLocations"), "{sarif}");
+    assert!(sarif.contains("count is consumed here"), "{sarif}");
+    assert!(sarif.contains("window opens here"), "{sarif}");
 }
 
 #[test]

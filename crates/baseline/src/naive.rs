@@ -109,6 +109,8 @@ impl<T: Ord> NaiveList<T> {
     /// `node` must be a node of *this* list (head handle or a pointer
     /// returned by [`NaiveList::locate`]/[`NaiveList::make_node`]); such
     /// nodes are never freed while the list lives.
+    // GUARD: node — the caller guarantees `node` outlives the call (this
+    // baseline never frees list nodes while the list lives).
     pub unsafe fn cas_next(
         &self,
         node: *mut NaiveNode<T>,
@@ -126,6 +128,7 @@ impl<T: Ord> NaiveList<T> {
     /// # Safety
     ///
     /// Same contract as [`NaiveList::cas_next`].
+    // GUARD: node — same liveness guarantee as `cas_next`.
     pub unsafe fn next_of(&self, node: *mut NaiveNode<T>) -> *mut NaiveNode<T> {
         (*node).next.load(Ordering::Acquire)
     }

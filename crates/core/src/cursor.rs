@@ -282,6 +282,8 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
     /// # Safety
     ///
     /// `from` must carry a counted reference owned by the caller.
+    // GUARD: from — caller holds a count when calling; the walk hands it
+    // off hop by hop (consumed here, replaced by the returned cell's).
     // COUNT: consumes the caller's count on `from`; the returned pointer
     // carries one count that transfers to the caller.
     unsafe fn backtrack(&mut self, from: *mut Node<T>) -> *mut Node<T> {

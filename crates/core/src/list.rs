@@ -340,7 +340,10 @@ impl<T: Send + Sync> List<T> {
                 if n.is_null() {
                     // Fell off past the last dummy (shouldn't happen from
                     // first_root, but a concurrent drop-race tolerant exit).
-                    break;
+                    // `p`'s count was already given up above — releasing it
+                    // again here would double-release (I11 violation found
+                    // by the protection-window pass).
+                    return report;
                 }
                 p = n;
                 match (*p).kind() {

@@ -292,6 +292,7 @@ where
     /// # Safety
     ///
     /// `cell` and `in_aux` must be counted references held by the caller.
+    // GUARD: cell, in_aux — caller holds a count on each across the call.
     unsafe fn help_shunt(
         &self,
         cell: *mut BstNode<K, V>,
@@ -502,6 +503,7 @@ where
     /// # Safety
     ///
     /// `cell` must be a counted reference to the gated (DYING) victim.
+    // GUARD: cell — caller holds a count on the victim across the call.
     unsafe fn graft_under_successor(&self, cell: *mut BstNode<K, V>) -> bool {
         let (ra, rv) = self.walk_terminal(&(*cell).right);
         self.arena.release(ra);
@@ -555,6 +557,8 @@ where
     ///
     /// `cell` and `in_aux` must be counted references; this call consumes
     /// (releases) both.
+    // GUARD: cell, in_aux — caller holds a count on each when calling;
+    // both are consumed before return.
     unsafe fn finish_shunt(
         &self,
         cell: *mut BstNode<K, V>,

@@ -278,6 +278,7 @@ where
     /// # Safety
     ///
     /// `from` must be a counted reference to a cell in level `lvl`'s list.
+    // GUARD: from — caller holds a count on the entry cell across the call.
     // COUNT: the counts acquired here are transferred into the returned
     // cursor; `release_cursor` (or `next`/`update` swaps) release them.
     unsafe fn cursor_at(&self, lvl: usize, from: *mut SkipNode<K, V>) -> LevelCursor<K, V> {
@@ -324,6 +325,8 @@ where
     /// # Safety
     ///
     /// `from` must carry a count this call may consume.
+    // GUARD: from — caller holds a count when calling; the walk hands it
+    // off hop by hop (consumed here, replaced by the returned cell's).
     // COUNT: consumes the caller's count on `from`; the returned pointer
     // carries one count that transfers to the caller.
     unsafe fn backtrack(&self, lvl: usize, from: *mut SkipNode<K, V>) -> *mut SkipNode<K, V> {
@@ -414,6 +417,7 @@ where
     ///
     /// `c`, `cell`, and `aux` must be counted references; `cell` and `aux`
     /// must be unpublished at `lvl` (this call is their only linker).
+    // GUARD: cell, aux — caller holds a count on each across the call.
     unsafe fn try_insert(
         &self,
         lvl: usize,
@@ -770,6 +774,7 @@ where
     /// The caller must hold a counted reference on `d` (so it cannot be
     /// reclaimed mid-sweep), and `d`'s level-0 deletion must have set its
     /// `back_link[0]`.
+    // GUARD: d — caller holds a count on the dying tower across the sweep.
     unsafe fn sweep_orphan_tower(&self, d: *mut SkipNode<K, V>) {
         // ORDER: SeqCst fence after the level-0 `back_link[0]` write (in
         // `try_delete`) and before the upper-level reads below — the

@@ -390,6 +390,7 @@ impl<N: Managed> Arena<N> {
     ///
     /// The caller must hold a counted reference on non-null `p` (so it
     /// cannot be concurrently recycled).
+    // GUARD: p — caller holds a counted reference for the call's duration.
     pub unsafe fn incr_ref(&self, p: *mut N) {
         if !p.is_null() {
             (*p).header().incr_ref();
@@ -409,6 +410,8 @@ impl<N: Managed> Arena<N> {
     /// Non-null `p` must be a counted reference obtained from this arena
     /// (`safe_read`/`incr_ref`/`alloc` or a drained link), released exactly
     /// once.
+    // GUARD: p — caller holds the count being given up; `p`'s protection
+    // window closes at this call.
     pub unsafe fn release(&self, p: *mut N) {
         if p.is_null() {
             return;
@@ -424,6 +427,7 @@ impl<N: Managed> Arena<N> {
     /// # Safety
     ///
     /// As [`Arena::release`], except `p` must be non-null.
+    // GUARD: p — as `release`: the caller's count is consumed here.
     unsafe fn release_into(&self, p: *mut N, tally: &mut MemTally) {
         // The common case releases one node and touches nothing else; the
         // worklist is only needed when a reclamation cascades through the
@@ -474,6 +478,8 @@ impl<N: Managed> Arena<N> {
     /// As [`Arena::release`]; additionally, `defer` must be drained via
     /// [`Arena::drain_deferred`] on **this** arena before it is dropped
     /// (the parked pointers are this arena's counted references).
+    // GUARD: p — caller holds the count being parked; it stays live (deref
+    // remains legal) until the buffer is drained.
     pub unsafe fn release_deferred(&self, defer: &mut DeferredReleases<N>, p: *mut N) {
         if p.is_null() {
             return;
@@ -628,6 +634,8 @@ impl<N: Managed> Arena<N> {
     /// `loc` must be a counted link of this arena; the caller must hold
     /// counted references on non-null `old` and `new` (this is what makes
     /// the CAS ABA-free: `old` cannot be recycled while protected).
+    // GUARD: old, new — caller holds a count on each; the caller's counts
+    // survive the call (only the link's own count moves).
     pub unsafe fn swing(&self, loc: &Link<N>, old: *mut N, new: *mut N) -> bool {
         self.counters.bump(|s| &s.swings);
         self.incr_ref(new);
@@ -651,6 +659,7 @@ impl<N: Managed> Arena<N> {
     ///
     /// The node owning `loc` must be unpublished (exclusively owned);
     /// the caller must hold a counted reference on non-null `new`.
+    // GUARD: new — caller holds a count on `new`; the link takes its own.
     pub unsafe fn store_link(&self, loc: &Link<N>, new: *mut N) {
         self.incr_ref(new);
         let old = loc.swap(new);
@@ -668,6 +677,8 @@ impl<N: Managed> Arena<N> {
     /// The caller must have exclusive ownership of `p` (won its claim, all
     /// counted links drained, count zero) and guarantee no concurrent
     /// protocol activity can reach `p`.
+    // GUARD: p — caller owns `p` exclusively; nothing else can free it
+    // during the call.
     pub unsafe fn reclaim_detached(&self, p: *mut N) {
         debug_assert_eq!((*p).header().refcount(), 0);
         debug_assert!((*p).header().claim_is_set());

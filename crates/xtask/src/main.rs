@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! cargo xtask analyze [--format text|json|sarif] [--deny warn] [--output PATH] [--stats]
+//! cargo xtask analyze --explain <rule-id>
 //! ```
 //!
 //! * `--format` — findings as human-readable text (default), compact JSON,
@@ -17,7 +18,9 @@
 //! * `--output` — write the report to a file instead of stdout (the
 //!   human-readable summary still goes to stderr);
 //! * `--stats` — print per-pass wall-clock timings to stderr so analyzer
-//!   cost stays visible as the engine grows.
+//!   cost stays visible as the engine grows;
+//! * `--explain` — print a rule's rationale plus a minimal violating and
+//!   fixed example, then exit (no analysis runs).
 //!
 //! `cargo xtask trace-dump <file.vtrace>` renders a flight-recorder
 //! post-mortem (written by `valois_trace::dump` when an invariant fails
@@ -28,7 +31,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use valois_analyze::{
-    analyze_workspace_timed, render_json, render_sarif, render_text, should_fail, Severity,
+    analyze_workspace_timed, render_explain, render_json, render_sarif, render_text, should_fail,
+    Severity, RULES,
 };
 
 fn workspace_root() -> PathBuf {
@@ -45,20 +49,22 @@ fn usage() -> ExitCode {
         "usage: cargo xtask analyze [--format text|json|sarif] [--deny warn] [--output PATH] \
          [--stats]"
     );
+    eprintln!("       cargo xtask analyze --explain <rule-id>");
     eprintln!("       cargo xtask trace-dump <file.vtrace>");
     eprintln!();
     eprintln!("  analyze     run the valois-analyze protocol linter over library");
     eprintln!("              sources: shim discipline, pointer-ordering discipline,");
     eprintln!("              unsafe/SAFETY audit, refcount pairing + dataflow balance,");
     eprintln!("              CAS-loop progress, probe discipline, spinlock-guard");
-    eprintln!("              hygiene, the acquire/release ordering graph, and");
-    eprintln!("              PROTOCOL.md invariant cross-references");
-    eprintln!("              (see docs/ANALYSIS.md)");
+    eprintln!("              hygiene, the acquire/release ordering graph, protection");
+    eprintln!("              windows + GUARD contracts, and PROTOCOL.md invariant");
+    eprintln!("              cross-references (see docs/ANALYSIS.md)");
     eprintln!();
     eprintln!("  --format    output format (default: text)");
     eprintln!("  --deny      'warn' promotes warnings to failures (CI runs this)");
     eprintln!("  --output    write the report to PATH instead of stdout");
     eprintln!("  --stats     print per-pass timings to stderr");
+    eprintln!("  --explain   print a rule's rationale and examples, then exit");
     eprintln!();
     eprintln!("  trace-dump  render a flight-recorder post-mortem (*.vtrace) as a");
     eprintln!("              merged, time-ordered event log (see docs/OBSERVABILITY.md)");
@@ -132,6 +138,24 @@ fn main() -> ExitCode {
     let mut stats = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    return usage();
+                };
+                return match render_explain(&id) {
+                    Some(text) => {
+                        print!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("error: unknown rule `{id}`; known rules:");
+                        for rule in RULES {
+                            eprintln!("  {}", rule.id);
+                        }
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             "--format" => match args.next() {
                 Some(f) if ["text", "json", "sarif"].contains(&f.as_str()) => format = f,
                 _ => return usage(),
@@ -184,7 +208,7 @@ fn main() -> ExitCode {
         eprintln!(
             "xtask analyze: OK (shim, ordering, unsafe-audit, refcount-pairing, \
              cas-progress, spin-guard, probe-discipline, refcount-balance, \
-             order-graph, invariant-refs)"
+             order-graph, invariant-refs, protection-window, guard-contract)"
         );
         ExitCode::SUCCESS
     } else {
