@@ -54,6 +54,10 @@ pub const CONSUMES: &[&str] = &[
     "push_free",
     "push_free_global",
     "splice_free_global",
+    // Backend-neutral process-reference forms (refcount: decrement;
+    // epoch: no-op — the count being balanced is the refcount arm's).
+    "unprotect",
+    "unprotect_deferred",
 ];
 
 /// The synthetic variable holding a count acquired by a match scrutinee

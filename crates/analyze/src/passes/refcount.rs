@@ -38,6 +38,10 @@ const RELEASES: &[&str] = &[
     "splice_free_global",
     "swing",
     "store_link",
+    // Backend-neutral process-reference releases (refcount: decrement;
+    // epoch: no-op — the balance being checked is the refcount arm's).
+    "unprotect",
+    "unprotect_deferred",
 ];
 
 /// Runs the pass over one file.

@@ -62,17 +62,21 @@ pub const KILLS: &[&str] = &[
     "push_free_global",
     "splice_free_global",
     "from_raw",
+    // Backend-neutral process-reference release: a refcount decrement
+    // under `RefCount`, a no-op under `Epoch` — either way the caller's
+    // claim on the pointer ends here (I11/I12).
+    "unprotect",
 ];
 
 /// Calls that *park* a release in a deferred buffer: the count is still
 /// live (deref stays legal) until a flush.
-pub const PARKS: &[&str] = &["release_deferred"];
+pub const PARKS: &[&str] = &["release_deferred", "unprotect_deferred"];
 
 /// Calls that flush deferred buffers: every parked window closes here.
 pub const FLUSHES: &[&str] = &["drain_deferred", "flush_stats"];
 
 /// Calls that (re)open a window on an existing pointer argument.
-pub const REACQUIRES: &[&str] = &["incr_ref"];
+pub const REACQUIRES: &[&str] = &["incr_ref", "protect_dup"];
 
 /// The synthetic variable for a match scrutinee's pending value.
 const SCRUT: &str = "#scrut";

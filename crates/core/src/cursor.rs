@@ -18,7 +18,7 @@
 
 use std::fmt;
 
-use valois_mem::{AllocError, DeferredReleases, MemTally};
+use valois_mem::{AllocError, DeferredReleases, MemTally, Reclaimer, RefCount};
 
 /// Race-window widener: under `--features race-amplify`, yields the CPU at
 /// the algorithms' critical interleaving points so stress tests on few
@@ -74,8 +74,20 @@ use crate::stats::ListTally;
 /// cur.update();
 /// assert_eq!(cur.get(), Some(&2));
 /// ```
-pub struct Cursor<'a, T: Send + Sync> {
-    list: &'a List<T>,
+///
+/// # Reclamation backends
+///
+/// Under the default [`RefCount`] backend the three position pointers are
+/// counted references (`SafeRead`/`Release` per hop). Under
+/// [`valois_mem::Epoch`] the cursor instead *pins an epoch for its
+/// lifetime* (taken at construction, dropped with the cursor): hops are
+/// plain loads, and the pin keeps every node the cursor can still reach
+/// out of reclamation (invariant I12). A long-parked pinned cursor
+/// therefore holds up reclamation globally — prefer short-lived cursors
+/// under the epoch backend (the `epoch_pin_lag` gauge in
+/// [`List::mem_stats`] reports offenders).
+pub struct Cursor<'a, T: Send + Sync, R: Reclaimer = RefCount> {
+    list: &'a List<T, R>,
     target: *mut Node<T>,
     pre_aux: *mut Node<T>,
     pre_cell: *mut Node<T>,
@@ -90,19 +102,25 @@ pub struct Cursor<'a, T: Send + Sync> {
     ops: ListTally,
 }
 
-// SAFETY: a cursor is three counted references plus a shared list handle;
-// counted references are not thread-bound (the §5 protocol is fully
-// shared-memory), so moving a cursor to another thread is sound. Shared
-// (&Cursor) access is read-only (`get`, `is_at_end`, `is_valid`), so Sync
-// is sound as well.
-unsafe impl<T: Send + Sync> Send for Cursor<'_, T> {}
+// SAFETY: a refcount cursor is three counted references plus a shared
+// list handle; counted references are not thread-bound (the §5 protocol
+// is fully shared-memory), so moving one to another thread is sound.
+// Epoch cursors are deliberately NOT Send: their protection is a pin in
+// the *creating thread's* epoch slot, and `Drop` must unpin that same
+// slot. Shared (&Cursor) access is read-only (`get`, `is_at_end`,
+// `is_valid`) and the owner's pin protects those reads under either
+// backend, so Sync is sound for both.
+unsafe impl<T: Send + Sync> Send for Cursor<'_, T, RefCount> {}
 // SAFETY: as above — the shared-reference surface is read-only.
-unsafe impl<T: Send + Sync> Sync for Cursor<'_, T> {}
+unsafe impl<T: Send + Sync, R: Reclaimer> Sync for Cursor<'_, T, R> {}
 
-impl<'a, T: Send + Sync> Cursor<'a, T> {
+impl<'a, T: Send + Sync, R: Reclaimer> Cursor<'a, T, R> {
     /// Fig. 6 `First`: a cursor visiting the first item (or the end
     /// position of an empty list).
-    pub(crate) fn at_first(list: &'a List<T>) -> Self {
+    pub(crate) fn at_first(list: &'a List<T, R>) -> Self {
+        // Epoch backend: the cursor's protection window opens here and
+        // closes in `Drop` (matched `pin_exit`). No-op under refcount.
+        list.arena().pin_enter();
         let mut cursor = Self {
             list,
             target: std::ptr::null_mut(),
@@ -128,7 +146,10 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
     /// published (bucket sentinels satisfy this by construction).
     // COUNT: both SafeRead counts are transferred into the cursor's
     // `pre_cell`/`pre_aux` fields; `Drop` releases them.
-    pub(crate) fn at_entry(list: &'a List<T>, root: &valois_mem::Link<Node<T>>) -> Option<Self> {
+    pub(crate) fn at_entry(list: &'a List<T, R>, root: &valois_mem::Link<Node<T>>) -> Option<Self> {
+        // Epoch backend: pin before the first read; the early-return None
+        // path drops the cursor, whose Drop unpins.
+        list.arena().pin_enter();
         let mut cursor = Self {
             list,
             target: std::ptr::null_mut(),
@@ -177,7 +198,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
     /// persistence (§2.2) keeps its value readable either way. Dictionary
     /// layers use this to decide whether a cached cursor's position is
     /// at-or-before a search key without re-walking the list.
-    pub fn with_anchor<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+    pub fn with_anchor<O>(&self, f: impl FnOnce(&T) -> O) -> Option<O> {
         if self.pre_cell.is_null() {
             return None;
         }
@@ -210,13 +231,14 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
     /// cursor).
     pub fn seek_first(&mut self) {
         let arena = self.list.arena();
-        // SAFETY: all three fields hold counted references (or null);
+        // SAFETY: all three fields hold protected references (or null);
         // parking them in the defer buffer keeps them counted until a
-        // drain.
+        // drain (refcount) or simply drops the window (epoch — the pin
+        // still covers the new position).
         unsafe {
-            arena.release_deferred(&mut self.defer, self.pre_cell);
-            arena.release_deferred(&mut self.defer, self.pre_aux);
-            arena.release_deferred(&mut self.defer, self.target);
+            arena.unprotect_deferred(&mut self.defer, self.pre_cell);
+            arena.unprotect_deferred(&mut self.defer, self.pre_aux);
+            arena.unprotect_deferred(&mut self.defer, self.target);
         }
         self.seek_first_inner();
     }
@@ -248,10 +270,10 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
                 return;
             }
             // Fig. 5 lines 3-5.
-            let mut p = self.pre_aux; // take over the cursor's count on it
+            let mut p = self.pre_aux; // take over the cursor's reference
             amplify();
             let mut n = arena.safe_read_tallied(&(*p).next, &mut self.tally);
-            arena.release_deferred(&mut self.defer, self.target);
+            arena.unprotect_deferred(&mut self.defer, self.target);
             // Fig. 5 lines 6-10: skip auxiliary nodes (dummies and cells
             // are "normal"), unlinking one of each adjacent pair.
             // WAIT-FREE: bounded by the aux-chain length; the CSW below is
@@ -264,7 +286,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
                 if arena.swing(&(*self.pre_cell).next, p, n) {
                     self.ops.aux_unlinked += 1;
                 }
-                arena.release_deferred(&mut self.defer, p);
+                arena.unprotect_deferred(&mut self.defer, p);
                 p = n;
                 n = arena.safe_read_tallied(&(*p).next, &mut self.tally);
             }
@@ -281,11 +303,14 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
     ///
     /// # Safety
     ///
-    /// `from` must carry a counted reference owned by the caller.
-    // GUARD: from — caller holds a count when calling; the walk hands it
-    // off hop by hop (consumed here, replaced by the returned cell's).
-    // COUNT: consumes the caller's count on `from`; the returned pointer
-    // carries one count that transfers to the caller.
+    /// `from` must carry a protected reference owned by the caller (a
+    /// count under refcount; coverage by this cursor's pin under epoch).
+    // GUARD: from — caller holds a protected reference when calling; the
+    // walk hands it off hop by hop (consumed here, replaced by the
+    // returned cell's).
+    // COUNT: consumes the caller's reference on `from`; the returned
+    // pointer carries one protected reference that transfers to the
+    // caller.
     unsafe fn backtrack(&mut self, from: *mut Node<T>) -> *mut Node<T> {
         let arena = self.list.arena();
         let mut p = from;
@@ -295,7 +320,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
                 break; // back_links are never cleared while p is held
             }
             self.ops.backlink_hops += 1;
-            arena.release(p);
+            arena.unprotect(p);
             p = q;
         }
         p
@@ -346,9 +371,9 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
         unsafe {
             let p = self.backtrack(self.pre_cell);
             self.pre_cell = p;
-            arena.release_deferred(&mut self.defer, self.pre_aux);
+            arena.unprotect_deferred(&mut self.defer, self.pre_aux);
             self.pre_aux = arena.safe_read_tallied(&(*p).next, &mut self.tally);
-            arena.release_deferred(&mut self.defer, self.target);
+            arena.unprotect_deferred(&mut self.defer, self.target);
             self.target = std::ptr::null_mut();
         }
         let hops = self.ops.backlink_hops - before;
@@ -375,10 +400,10 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
         // increment/release pair per hop); reading the held node's `next`
         // is protected.
         unsafe {
-            arena.release_deferred(&mut self.defer, self.pre_cell);
+            arena.unprotect_deferred(&mut self.defer, self.pre_cell);
             self.pre_cell = self.target;
-            self.target = std::ptr::null_mut(); // count moved to pre_cell
-            arena.release_deferred(&mut self.defer, self.pre_aux);
+            self.target = std::ptr::null_mut(); // reference moved to pre_cell
+            arena.unprotect_deferred(&mut self.defer, self.pre_aux);
             self.pre_aux = arena.safe_read_tallied(&(*self.pre_cell).next, &mut self.tally);
         }
         self.update(); // Fig. 7 line 7
@@ -433,8 +458,8 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
     /// Panics if `prepared` was prepared by a different list.
     pub fn try_insert(
         &mut self,
-        prepared: PreparedInsert<'a, T>,
-    ) -> Result<(), PreparedInsert<'a, T>> {
+        prepared: PreparedInsert<'a, T, R>,
+    ) -> Result<(), PreparedInsert<'a, T, R>> {
         assert!(
             std::ptr::eq(self.list, prepared.list),
             "PreparedInsert used with a cursor of a different list"
@@ -530,7 +555,7 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             // Fig. 10 line 3: the deletion CAS — unlink d.
             if !arena.swing(&(*self.pre_aux).next, d, n) {
                 // Fig. 10 lines 4-5.
-                arena.release(n);
+                arena.unprotect(n);
                 valois_trace::probe!(TryDeleteFail, self.pre_aux as usize, d as usize);
                 return false;
             }
@@ -538,15 +563,19 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
             valois_trace::probe!(TryDeleteOk, self.pre_aux as usize, d as usize);
             amplify();
             // Fig. 10 line 6: record the back link. We won the deletion
-            // CAS, so we are the unique writer of d's back_link.
+            // CAS, so we are the unique writer of d's back_link. This is a
+            // *link* count — installed under both backends (the back_link
+            // chain must keep its targets out of reclamation even after
+            // every pin drops).
             debug_assert!((*d).back_link.read().is_null());
             arena.incr_ref(self.pre_cell);
             (*d).back_link.write(self.pre_cell);
             // Fig. 10 lines 7-11: walk back links to the nearest cell that
             // has not itself been deleted (shared with `resume`).
-            // COUNT: the incr_ref's count is consumed by `backtrack`,
-            // which hands back one count on `p` (released at the end).
-            arena.incr_ref(self.pre_cell);
+            // COUNT: the duplicated process reference is consumed by
+            // `backtrack`, which hands back one reference on `p` (given up
+            // at the end).
+            arena.protect_dup(self.pre_cell);
             let p = self.backtrack(self.pre_cell);
             // Fig. 10 line 12.
             let mut s = arena.safe_read(&(*p).next);
@@ -558,10 +587,10 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
                 debug_assert!(!nn.is_null());
                 let chain_continues = !(*nn).is_normal_cell();
                 if !chain_continues {
-                    arena.release(nn);
+                    arena.unprotect(nn);
                     break;
                 }
-                arena.release(n);
+                arena.unprotect(n);
                 n = nn;
             }
             // Fig. 10 lines 17-21: swing p^.next over the whole chain,
@@ -577,41 +606,45 @@ impl<'a, T: Send + Sync> Cursor<'a, T> {
                     break;
                 }
                 self.ops.chain_cleanup_retries += 1;
-                arena.release(s);
+                arena.unprotect(s);
                 s = arena.safe_read(&(*p).next);
                 if !(*p).back_link.read().is_null() {
                     break; // p itself was deleted
                 }
                 let nn = arena.safe_read(&(*n).next);
                 let extended = !(*nn).is_normal_cell();
-                arena.release(nn);
+                arena.unprotect(nn);
                 if extended {
                     break; // chain extended: successor deleter cleans up
                 }
             }
             // Fig. 10 lines 22-24.
-            arena.release(p);
-            arena.release(s);
-            arena.release(n);
+            arena.unprotect(p);
+            arena.unprotect(s);
+            arena.unprotect(n);
             true
         }
     }
 
     /// The list this cursor traverses.
-    pub fn list(&self) -> &'a List<T> {
+    pub fn list(&self) -> &'a List<T, R> {
         self.list
     }
 }
 
-impl<T: Send + Sync> Clone for Cursor<'_, T> {
+impl<T: Send + Sync, R: Reclaimer> Clone for Cursor<'_, T, R> {
     fn clone(&self) -> Self {
         let arena = self.list.arena();
-        // SAFETY: we hold counted references on all three; duplicating a
-        // held reference is incr_ref's contract.
+        // The clone protects its position independently: its own pin
+        // under epoch (no-op under refcount)...
+        arena.pin_enter();
+        // SAFETY: we hold protected references on all three; duplicating
+        // a held reference is protect_dup's contract. (...and its own
+        // counts under refcount — no-ops under epoch.)
         unsafe {
-            arena.incr_ref(self.target);
-            arena.incr_ref(self.pre_aux);
-            arena.incr_ref(self.pre_cell);
+            arena.protect_dup(self.target);
+            arena.protect_dup(self.pre_aux);
+            arena.protect_dup(self.pre_cell);
         }
         Self {
             list: self.list,
@@ -627,23 +660,26 @@ impl<T: Send + Sync> Clone for Cursor<'_, T> {
     }
 }
 
-impl<T: Send + Sync> Drop for Cursor<'_, T> {
+impl<T: Send + Sync, R: Reclaimer> Drop for Cursor<'_, T, R> {
     fn drop(&mut self) {
         let arena = self.list.arena();
-        // SAFETY: the cursor's fields are counted references (or null), and
-        // the defer buffer holds counted references of this arena.
+        // SAFETY: the cursor's fields are protected references (or null),
+        // and the defer buffer holds counted references of this arena.
         unsafe {
-            arena.release_deferred(&mut self.defer, self.target);
-            arena.release_deferred(&mut self.defer, self.pre_aux);
-            arena.release_deferred(&mut self.defer, self.pre_cell);
+            arena.unprotect_deferred(&mut self.defer, self.target);
+            arena.unprotect_deferred(&mut self.defer, self.pre_aux);
+            arena.unprotect_deferred(&mut self.defer, self.pre_cell);
             arena.drain_deferred(&mut self.defer);
         }
         arena.flush_tally(&mut self.tally);
         self.list.absorb(&mut self.ops);
+        // Epoch backend: the protection window taken at construction
+        // closes last, after every field access above.
+        arena.pin_exit();
     }
 }
 
-impl<T: Send + Sync> fmt::Debug for Cursor<'_, T> {
+impl<T: Send + Sync, R: Reclaimer> fmt::Debug for Cursor<'_, T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Cursor")
             .field("at_end", &self.is_at_end())

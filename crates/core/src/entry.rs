@@ -28,7 +28,7 @@
 
 use std::fmt;
 
-use valois_mem::Link;
+use valois_mem::{Link, Reclaimer};
 
 use crate::cursor::Cursor;
 use crate::list::List;
@@ -73,10 +73,10 @@ impl<T: Send + Sync> fmt::Debug for EntryRoot<T> {
     }
 }
 
-impl<T: Send + Sync> List<T> {
+impl<T: Send + Sync, R: Reclaimer> List<T, R> {
     /// Opens a cursor at the first position **after** the cell `root`
     /// points at, or `None` if the root is unpublished.
-    pub fn cursor_at<'a>(&'a self, root: &EntryRoot<T>) -> Option<Cursor<'a, T>> {
+    pub fn cursor_at<'a>(&'a self, root: &EntryRoot<T>) -> Option<Cursor<'a, T, R>> {
         Cursor::at_entry(self, &root.link)
     }
 
@@ -90,7 +90,7 @@ impl<T: Send + Sync> List<T> {
     ///
     /// Panics if `cursor` belongs to a different list or does not visit
     /// a normal cell (the end position and dummies are not publishable).
-    pub fn publish_entry(&self, root: &EntryRoot<T>, cursor: &Cursor<'_, T>) -> bool {
+    pub fn publish_entry(&self, root: &EntryRoot<T>, cursor: &Cursor<'_, T, R>) -> bool {
         assert!(
             std::ptr::eq(self, cursor.list()),
             "cursor of a different list"
@@ -123,7 +123,7 @@ impl<T: Send + Sync> List<T> {
     /// [`Cursor::resume`] before use so it re-enters the live list at an
     /// undeleted predecessor (invariant I10 in docs/PROTOCOL.md).
     // INVARIANT: I10
-    pub fn cache_entry(&self, root: &EntryRoot<T>, cursor: &Cursor<'_, T>) -> bool {
+    pub fn cache_entry(&self, root: &EntryRoot<T>, cursor: &Cursor<'_, T, R>) -> bool {
         assert!(
             std::ptr::eq(self, cursor.list()),
             "cursor of a different list"
@@ -149,17 +149,19 @@ impl<T: Send + Sync> List<T> {
 
     /// Reads the entry cell's value under protection, or `None` if the
     /// root is unpublished.
-    pub fn with_entry<R>(&self, root: &EntryRoot<T>, f: impl FnOnce(&T) -> R) -> Option<R> {
+    pub fn with_entry<O>(&self, root: &EntryRoot<T>, f: impl FnOnce(&T) -> O) -> Option<O> {
+        // Epoch backend: the guard is the read's protection window.
+        let _pin = self.arena().pin();
         // SAFETY: `root.link` is a counted link of this arena.
         let p = unsafe { self.arena().safe_read(&root.link) };
         if p.is_null() {
             return None;
         }
-        // SAFETY: `p` is held (counted); only publishable cells reach a
+        // SAFETY: `p` is held (protected); only publishable cells reach a
         // root (enforced by `publish_entry`), and cells carry values.
         let out = unsafe {
             let out = f((*p).value());
-            self.arena().release(p);
+            self.arena().unprotect(p);
             out
         };
         Some(out)

@@ -51,4 +51,4 @@ pub use entry::EntryRoot;
 pub use list::{AuxChainReport, Iter, List, PreparedInsert};
 pub use queue::FifoQueue;
 pub use stats::ListStats;
-pub use valois_mem::{AllocError, ArenaConfig, MemStats};
+pub use valois_mem::{AllocError, ArenaConfig, Epoch, MemStats, Reclaimer, RefCount};

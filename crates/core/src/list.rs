@@ -13,7 +13,7 @@
 
 use std::fmt;
 
-use valois_mem::{AllocError, Arena, ArenaConfig, Managed, MemStats};
+use valois_mem::{AllocError, Arena, ArenaConfig, Managed, MemStats, Reclaimer, RefCount};
 
 use crate::cursor::Cursor;
 use crate::node::{Node, NodeKind};
@@ -37,8 +37,28 @@ use crate::stats::{ListCounters, ListStats, ListTally};
 /// let collected: Vec<i32> = list.iter().collect();
 /// assert_eq!(collected, vec![1, 2]);
 /// ```
-pub struct List<T: Send + Sync> {
-    arena: Arena<Node<T>>,
+///
+/// # Reclamation backends
+///
+/// The second type parameter selects the memory-reclamation backend
+/// (see [`valois_mem::Reclaimer`]): the paper-faithful counted
+/// [`RefCount`] default, or [`valois_mem::Epoch`], under which cursor
+/// traversal takes no shared-memory RMWs per hop — the cursor pins an
+/// epoch for its lifetime instead. The list algorithms are identical;
+/// only the protection of *process* references changes. Link counts
+/// (the structure's own `next`/`back_link`/root counts) are maintained
+/// under both backends.
+///
+/// ```
+/// use valois_core::List;
+/// use valois_mem::Epoch;
+///
+/// let list: List<i32, Epoch> = List::new();
+/// list.push_front(1).unwrap();
+/// assert_eq!(list.iter().collect::<Vec<_>>(), vec![1]);
+/// ```
+pub struct List<T: Send + Sync, R: Reclaimer = RefCount> {
+    arena: Arena<Node<T>, R>,
     /// `First` root (counted): points at the first dummy cell, immutable
     /// after construction.
     first_root: valois_mem::Link<Node<T>>,
@@ -53,11 +73,11 @@ pub struct List<T: Send + Sync> {
 
 // SAFETY: all shared state is managed through the arena protocol and
 // atomics; raw pointer fields are immutable after construction.
-unsafe impl<T: Send + Sync> Send for List<T> {}
+unsafe impl<T: Send + Sync, R: Reclaimer> Send for List<T, R> {}
 // SAFETY: as above — shared access goes through the same protocol paths.
-unsafe impl<T: Send + Sync> Sync for List<T> {}
+unsafe impl<T: Send + Sync, R: Reclaimer> Sync for List<T, R> {}
 
-impl<T: Send + Sync> List<T> {
+impl<T: Send + Sync, R: Reclaimer> List<T, R> {
     /// Creates an empty list with the default arena configuration.
     pub fn new() -> Self {
         Self::with_config(ArenaConfig::default())
@@ -74,7 +94,7 @@ impl<T: Send + Sync> List<T> {
             initial_capacity: config.initial_capacity.max(8),
             ..config
         };
-        let arena: Arena<Node<T>> = Arena::with_config(config);
+        let arena: Arena<Node<T>, R> = Arena::with_config(config);
         let first = arena.alloc().expect("pool too small for an empty list");
         let aux = arena.alloc().expect("pool too small for an empty list");
         let last = arena.alloc().expect("pool too small for an empty list");
@@ -108,7 +128,7 @@ impl<T: Send + Sync> List<T> {
 
     /// Opens a cursor visiting the first item (Fig. 6), or the end position
     /// if the list is empty.
-    pub fn cursor(&self) -> Cursor<'_, T> {
+    pub fn cursor(&self) -> Cursor<'_, T, R> {
         Cursor::at_first(self)
     }
 
@@ -120,7 +140,7 @@ impl<T: Send + Sync> List<T> {
     /// # Errors
     ///
     /// Returns [`AllocError`] when the node pool is exhausted and capped.
-    pub fn prepare_insert(&self, value: T) -> Result<PreparedInsert<'_, T>, AllocError> {
+    pub fn prepare_insert(&self, value: T) -> Result<PreparedInsert<'_, T, R>, AllocError> {
         self.try_prepare_insert(value).map_err(|(_, e)| e)
     }
 
@@ -136,7 +156,10 @@ impl<T: Send + Sync> List<T> {
     // COUNT: the two fresh Alloc counts transfer into the returned
     // `PreparedInsert { cell, aux }`; its Drop (abandon) or publication
     // (try_insert) consumes them.
-    pub fn try_prepare_insert(&self, value: T) -> Result<PreparedInsert<'_, T>, (T, AllocError)> {
+    pub fn try_prepare_insert(
+        &self,
+        value: T,
+    ) -> Result<PreparedInsert<'_, T, R>, (T, AllocError)> {
         let cell = match self.arena.alloc() {
             Ok(cell) => cell,
             Err(e) => return Err((value, e)),
@@ -227,7 +250,7 @@ impl<T: Send + Sync> List<T> {
     }
 
     /// Iterates over cloned items, front to back.
-    pub fn iter(&self) -> Iter<'_, T>
+    pub fn iter(&self) -> Iter<'_, T, R>
     where
         T: Clone,
     {
@@ -330,18 +353,21 @@ impl<T: Send + Sync> List<T> {
     /// report is then a live sample rather than a ground truth.
     pub fn aux_chain_report(&self) -> AuxChainReport {
         let mut report = AuxChainReport::default();
+        // The guard is the epoch backend's protection for the whole walk
+        // (no-op under refcount, where the safe_read counts protect).
+        let _pin = self.arena.pin();
         // SAFETY: roots and held-node fields are counted links of our arena.
         unsafe {
             let mut p = self.arena.safe_read(&self.first_root);
             let mut run = 0usize;
             loop {
                 let n = self.arena.safe_read(&(*p).next);
-                self.arena.release(p);
+                self.arena.unprotect(p);
                 if n.is_null() {
                     // Fell off past the last dummy (shouldn't happen from
                     // first_root, but a concurrent drop-race tolerant exit).
-                    // `p`'s count was already given up above — releasing it
-                    // again here would double-release (I11 violation found
+                    // `p`'s reference was already given up above — releasing
+                    // it again here would double-release (I11 violation found
                     // by the protection-window pass).
                     return report;
                 }
@@ -366,7 +392,7 @@ impl<T: Send + Sync> List<T> {
                     }
                 }
             }
-            self.arena.release(p);
+            self.arena.unprotect(p);
         }
         report
     }
@@ -394,18 +420,24 @@ impl<T: Send + Sync> List<T> {
     ///
     /// 1. the chain from the first dummy reaches the last dummy in a
     ///    bounded number of hops (connectivity, no cycles);
-    /// 2. no reachable node is `Free`: a free node under a counted
+    /// 2. no reachable node is `Free`: a free node under a protected
     ///    reference means reclamation overtook a live link — the §5 bug
-    ///    class the claim bit exists to prevent;
-    /// 3. every reachable node's reference count is ≥ 1 (at minimum ours);
+    ///    class the claim bit (and the epoch grace period) exists to
+    ///    prevent;
+    /// 3. under the refcount backend, every reachable node's reference
+    ///    count is ≥ 1 (at minimum ours); under the epoch backend our
+    ///    reference is uncounted and a just-unlinked node legitimately
+    ///    reads 0 mid-retirement, so the check is skipped;
     /// 4. a normal cell's successor is an auxiliary node (§3 invariant;
     ///    auxiliary runs of length ≥ 2 are legal mid-`TryDelete`).
     pub fn check_invariants_now(&self) -> Result<(), String> {
         // Concurrent inserts may lengthen the chain under our feet; the
         // bound exists only to turn a corruption cycle into an error.
         let max_hops = self.arena.capacity() * 8 + 64;
+        // Epoch backend: the pin is the walk's protection window.
+        let _pin = self.arena.pin();
         // SAFETY: the root and held-node `next` fields are counted links
-        // of this arena; every protected node is released exactly once.
+        // of this arena; every protected node is unprotected exactly once.
         unsafe {
             let mut p = self.arena.safe_read(&self.first_root);
             if p.is_null() {
@@ -415,24 +447,24 @@ impl<T: Send + Sync> List<T> {
                 let kind = (*p).kind();
                 let refct = (*p).header().refcount();
                 if kind == NodeKind::Free {
-                    let e = format!("node {p:p} is Free under a counted reference");
-                    self.arena.release(p);
+                    let e = format!("node {p:p} is Free under a protected reference");
+                    self.arena.unprotect(p);
                     return Err(e);
                 }
-                if refct < 1 {
+                if R::COUNTED_READS && refct < 1 {
                     let e = format!("{kind:?} node {p:p} has count {refct} while referenced");
-                    self.arena.release(p);
+                    self.arena.unprotect(p);
                     return Err(e);
                 }
                 if kind == NodeKind::LastDummy {
-                    self.arena.release(p);
+                    self.arena.unprotect(p);
                     return Ok(());
                 }
                 let n = self.arena.safe_read(&(*p).next);
                 if n.is_null() {
                     let e =
                         format!("{kind:?} node {p:p} has a null successor before the last dummy");
-                    self.arena.release(p);
+                    self.arena.unprotect(p);
                     return Err(e);
                 }
                 if kind != NodeKind::Aux && (*n).kind() != NodeKind::Aux {
@@ -440,14 +472,14 @@ impl<T: Send + Sync> List<T> {
                         "§3 violation: {kind:?} node {p:p} is followed by {:?} {n:p} (expected Aux)",
                         (*n).kind()
                     );
-                    self.arena.release(p);
-                    self.arena.release(n);
+                    self.arena.unprotect(p);
+                    self.arena.unprotect(n);
                     return Err(e);
                 }
-                self.arena.release(p);
+                self.arena.unprotect(p);
                 p = n;
             }
-            self.arena.release(p);
+            self.arena.unprotect(p);
             Err(format!(
                 "chain did not reach the last dummy within {max_hops} hops (cycle?)"
             ))
@@ -626,8 +658,24 @@ impl<T: Send + Sync> List<T> {
     /// concurrent operations) this sweep finds every node that is occupied
     /// yet unreachable from the roots and returns it to the free list.
     /// Returns the number of nodes collected.
+    ///
+    /// Epoch backend: with no pins outstanding (`&mut self`), first ages
+    /// all acyclic limbo garbage out through its grace period, then
+    /// detaches what remains — cyclic, already-claimed garbage — so the
+    /// same mark-sweep below reclaims it.
     pub fn quiescent_collect(&mut self) -> usize {
         use std::collections::HashSet;
+        self.arena.quiescent_collect_epoch();
+        // Remaining limbo nodes are claimed, unreachable cycle members;
+        // take them off the limbo chain so the sweep's reclaim cannot
+        // race a later epoch collection over the same nodes. (Empty vec
+        // under refcount.)
+        let limbo: HashSet<usize> = self
+            .arena
+            .take_limbo_quiescent()
+            .into_iter()
+            .map(|p| p as usize)
+            .collect();
         // Mark: everything reachable from the roots via next/back_link.
         let mut reachable: HashSet<usize> = HashSet::new();
         let mut stack: Vec<*mut Node<T>> = vec![self.first, self.last];
@@ -649,9 +697,14 @@ impl<T: Send + Sync> List<T> {
             });
             let garbage_set: HashSet<usize> = garbage.iter().map(|p| *p as usize).collect();
             // Claim each first so no cascade can race our manual drain.
+            // Nodes pulled off the epoch limbo chain were claimed by their
+            // retirer already; everything else must be unclaimed.
             for &g in &garbage {
                 let lost = (*g).header().set_claim();
-                debug_assert!(!lost, "garbage node already claimed at quiescence");
+                debug_assert!(
+                    !lost || limbo.contains(&(g as usize)),
+                    "garbage node already claimed at quiescence"
+                );
             }
             for &g in &garbage {
                 let links = (*g).drain_links();
@@ -681,7 +734,7 @@ impl<T: Send + Sync> List<T> {
     // Crate-internal accessors for Cursor / PreparedInsert.
     // ------------------------------------------------------------------
 
-    pub(crate) fn arena(&self) -> &Arena<Node<T>> {
+    pub(crate) fn arena(&self) -> &Arena<Node<T>, R> {
         &self.arena
     }
 
@@ -700,13 +753,13 @@ impl<T: Send + Sync> List<T> {
     }
 }
 
-impl<T: Send + Sync> Default for List<T> {
+impl<T: Send + Sync, R: Reclaimer> Default for List<T, R> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T: Send + Sync> Drop for List<T> {
+impl<T: Send + Sync, R: Reclaimer> Drop for List<T, R> {
     fn drop(&mut self) {
         // Release the root counts; the cascade reclaims the whole chain.
         // SAFETY: &mut self (drop) guarantees no cursors or operations.
@@ -722,7 +775,7 @@ impl<T: Send + Sync> Drop for List<T> {
     }
 }
 
-impl<T: Send + Sync + fmt::Debug> fmt::Debug for List<T> {
+impl<T: Send + Sync + fmt::Debug, R: Reclaimer> fmt::Debug for List<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("List")
             .field("len", &self.len())
@@ -731,9 +784,9 @@ impl<T: Send + Sync + fmt::Debug> fmt::Debug for List<T> {
     }
 }
 
-impl<T: Send + Sync> FromIterator<T> for List<T> {
+impl<T: Send + Sync, R: Reclaimer> FromIterator<T> for List<T, R> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        let list = List::new();
+        let list = List::<T, R>::new();
         let mut cursor = list.cursor();
         // Insert each item before the end position, preserving order.
         while cursor.next() {}
@@ -749,22 +802,22 @@ impl<T: Send + Sync> FromIterator<T> for List<T> {
     }
 }
 
-impl<'a, T: Send + Sync + Clone> IntoIterator for &'a List<T> {
+impl<'a, T: Send + Sync + Clone, R: Reclaimer> IntoIterator for &'a List<T, R> {
     type Item = T;
-    type IntoIter = Iter<'a, T>;
+    type IntoIter = Iter<'a, T, R>;
 
-    fn into_iter(self) -> Iter<'a, T> {
+    fn into_iter(self) -> Iter<'a, T, R> {
         self.iter()
     }
 }
 
 /// Iterator over cloned items of a [`List`] (see [`List::iter`]).
-pub struct Iter<'a, T: Send + Sync + Clone> {
-    cursor: Cursor<'a, T>,
+pub struct Iter<'a, T: Send + Sync + Clone, R: Reclaimer = RefCount> {
+    cursor: Cursor<'a, T, R>,
     done: bool,
 }
 
-impl<T: Send + Sync + Clone> Iterator for Iter<'_, T> {
+impl<T: Send + Sync + Clone, R: Reclaimer> Iterator for Iter<'_, T, R> {
     type Item = T;
 
     fn next(&mut self) -> Option<T> {
@@ -783,7 +836,7 @@ impl<T: Send + Sync + Clone> Iterator for Iter<'_, T> {
     }
 }
 
-impl<T: Send + Sync + Clone> fmt::Debug for Iter<'_, T> {
+impl<T: Send + Sync + Clone, R: Reclaimer> fmt::Debug for Iter<'_, T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("Iter { .. }")
     }
@@ -807,8 +860,8 @@ pub struct AuxChainReport {
 ///
 /// Dropping an unconsumed pair returns both nodes (and the value) to the
 /// pool.
-pub struct PreparedInsert<'a, T: Send + Sync> {
-    pub(crate) list: &'a List<T>,
+pub struct PreparedInsert<'a, T: Send + Sync, R: Reclaimer = RefCount> {
+    pub(crate) list: &'a List<T, R>,
     pub(crate) cell: *mut Node<T>,
     pub(crate) aux: *mut Node<T>,
 }
@@ -816,9 +869,9 @@ pub struct PreparedInsert<'a, T: Send + Sync> {
 // SAFETY: the pair is exclusively owned (unpublished nodes reachable only
 // through this value) and the list handle is Sync, so moving a prepared
 // insertion to another thread is sound.
-unsafe impl<T: Send + Sync> Send for PreparedInsert<'_, T> {}
+unsafe impl<T: Send + Sync, R: Reclaimer> Send for PreparedInsert<'_, T, R> {}
 
-impl<'a, T: Send + Sync> PreparedInsert<'a, T> {
+impl<'a, T: Send + Sync, R: Reclaimer> PreparedInsert<'a, T, R> {
     /// Reads back the prepared value.
     pub fn value(&self) -> &T {
         // SAFETY: we hold the allocation reference; the node is a Cell.
@@ -838,7 +891,7 @@ impl<'a, T: Send + Sync> PreparedInsert<'a, T> {
     }
 }
 
-impl<T: Send + Sync> Drop for PreparedInsert<'_, T> {
+impl<T: Send + Sync, R: Reclaimer> Drop for PreparedInsert<'_, T, R> {
     fn drop(&mut self) {
         if !self.cell.is_null() {
             // Unpublished: releasing the cell cascades into the aux via
@@ -853,7 +906,7 @@ impl<T: Send + Sync> Drop for PreparedInsert<'_, T> {
     }
 }
 
-impl<T: Send + Sync> fmt::Debug for PreparedInsert<'_, T> {
+impl<T: Send + Sync, R: Reclaimer> fmt::Debug for PreparedInsert<'_, T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("PreparedInsert { .. }")
     }

@@ -21,7 +21,7 @@
 //! `anchor.key < search_key`, strictly) and falls back to the list head
 //! otherwise.
 
-use valois_core::{Cursor, EntryRoot, List};
+use valois_core::{Cursor, EntryRoot, List, Reclaimer};
 use valois_sync::sharded::Sharded;
 
 /// Per-thread-shard cached list positions (see the module docs).
@@ -49,11 +49,11 @@ impl<T: Send + Sync> CursorCache<T> {
     /// The returned cursor has been [`Cursor::resume`]d: if the anchor
     /// was deleted, it already back-walked to an undeleted predecessor.
     // INVARIANT: I10
-    pub(crate) fn open<'a>(
+    pub(crate) fn open<'a, R: Reclaimer>(
         &self,
-        list: &'a List<T>,
+        list: &'a List<T, R>,
         usable: impl FnOnce(&T) -> bool,
-    ) -> Option<Cursor<'a, T>> {
+    ) -> Option<Cursor<'a, T, R>> {
         let mut cursor = list.cursor_at(self.slots.get())?;
         if cursor.with_anchor(usable) != Some(true) {
             return None;
@@ -64,14 +64,14 @@ impl<T: Send + Sync> CursorCache<T> {
 
     /// Re-points this thread's slot at `cursor`'s anchor (no-op when the
     /// cursor sits at the list head — nothing worth remembering).
-    pub(crate) fn save(&self, list: &List<T>, cursor: &Cursor<'_, T>) {
+    pub(crate) fn save<R: Reclaimer>(&self, list: &List<T, R>, cursor: &Cursor<'_, T, R>) {
         list.cache_entry(self.slots.get(), cursor);
     }
 
     /// Releases every slot's count (all threads' — quiescent callers
     /// only). Subsequent opens fall back to the head until positions are
     /// re-cached; used on teardown and under allocation pressure.
-    pub(crate) fn retire_all(&self, list: &List<T>) {
+    pub(crate) fn retire_all<R: Reclaimer>(&self, list: &List<T, R>) {
         for slot in self.slots.shards() {
             list.retire_entry(slot);
         }

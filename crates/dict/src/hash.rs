@@ -10,7 +10,7 @@
 use std::fmt;
 use std::hash::{BuildHasher, Hash, RandomState};
 
-use valois_core::ArenaConfig;
+use valois_core::{ArenaConfig, Reclaimer, RefCount};
 
 use crate::sorted_list::SortedListDict;
 use crate::traits::Dictionary;
@@ -31,15 +31,21 @@ use crate::traits::Dictionary;
 /// d.insert("a".into(), 1);
 /// assert_eq!(d.find(&"a".to_string()), Some(1));
 /// ```
-pub struct HashDict<K: Send + Sync, V: Send + Sync, S: BuildHasher = RandomState> {
-    buckets: Box<[SortedListDict<K, V>]>,
+pub struct HashDict<
+    K: Send + Sync,
+    V: Send + Sync,
+    S: BuildHasher = RandomState,
+    R: Reclaimer = RefCount,
+> {
+    buckets: Box<[SortedListDict<K, V, R>]>,
     hasher: S,
 }
 
-impl<K, V> HashDict<K, V>
+impl<K, V, R> HashDict<K, V, RandomState, R>
 where
     K: Ord + Hash + Send + Sync,
     V: Send + Sync,
+    R: Reclaimer,
 {
     /// Creates a table with a default bucket count (256).
     pub fn new() -> Self {
@@ -59,11 +65,12 @@ where
     }
 }
 
-impl<K, V, S> HashDict<K, V, S>
+impl<K, V, S, R> HashDict<K, V, S, R>
 where
     K: Ord + Hash + Send + Sync,
     V: Send + Sync,
     S: BuildHasher + Send + Sync,
+    R: Reclaimer,
 {
     /// Creates a table with `buckets` buckets and a custom hasher (e.g. a
     /// deterministic one for reproducible experiments).
@@ -86,13 +93,13 @@ where
         self.buckets.len()
     }
 
-    fn bucket(&self, key: &K) -> &SortedListDict<K, V> {
+    fn bucket(&self, key: &K) -> &SortedListDict<K, V, R> {
         let idx = (self.hasher.hash_one(key) as usize) % self.buckets.len();
         &self.buckets[idx]
     }
 
     /// Runs `f` on the value stored under `key`, without cloning.
-    pub fn with_value<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+    pub fn with_value<O>(&self, key: &K, f: impl FnOnce(&V) -> O) -> Option<O> {
         self.bucket(key).with_value(key, f)
     }
 
@@ -143,21 +150,23 @@ where
     }
 }
 
-impl<K, V> Default for HashDict<K, V>
+impl<K, V, R> Default for HashDict<K, V, RandomState, R>
 where
     K: Ord + Hash + Send + Sync,
     V: Send + Sync,
+    R: Reclaimer,
 {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K, V, S> Dictionary<K, V> for HashDict<K, V, S>
+impl<K, V, S, R> Dictionary<K, V> for HashDict<K, V, S, R>
 where
     K: Ord + Hash + Send + Sync,
     V: Send + Sync,
     S: BuildHasher + Send + Sync,
+    R: Reclaimer,
 {
     fn insert(&self, key: K, value: V) -> bool {
         self.bucket(&key).insert(key, value)
@@ -183,11 +192,12 @@ where
     }
 }
 
-impl<K, V, S> fmt::Debug for HashDict<K, V, S>
+impl<K, V, S, R> fmt::Debug for HashDict<K, V, S, R>
 where
     K: Ord + Hash + Send + Sync,
     V: Send + Sync,
     S: BuildHasher + Send + Sync,
+    R: Reclaimer,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HashDict")

@@ -15,6 +15,14 @@
 //! All implement the [`Dictionary`] trait so tests, baselines, and the
 //! experiment harness are generic over implementations.
 //!
+//! The list-backed dictionaries ([`SortedListDict`], [`HashDict`],
+//! [`ResizableHashDict`]) additionally take a reclamation-backend type
+//! parameter (defaulting to the paper's counted protocol,
+//! `valois_core::RefCount`); instantiate them with `valois_core::Epoch`
+//! for uncounted traversal under epoch protection. [`SkipListDict`] and
+//! [`BstDict`] manage multi-level/child links through backend-specific
+//! counted invariants and stay on the counted backend.
+//!
 //! # Example
 //!
 //! ```

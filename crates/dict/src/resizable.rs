@@ -49,7 +49,7 @@ use std::cmp::Ordering as CmpOrdering;
 use std::fmt;
 use std::hash::{BuildHasher, Hash, RandomState};
 
-use valois_core::{ArenaConfig, Cursor, EntryRoot, List, ListStats, MemStats};
+use valois_core::{ArenaConfig, Cursor, EntryRoot, List, ListStats, MemStats, Reclaimer, RefCount};
 use valois_mem::SegmentTable;
 use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
@@ -111,10 +111,11 @@ fn cmp_item<K: Ord>(item_so: u64, item_key: Option<&K>, so: u64, key: Option<&K>
 /// position ≥ `(so, key)`; `true` iff that position holds exactly
 /// `(so, key)`. On `false` the cursor is positioned so that inserting
 /// before it keeps the list split-ordered.
-fn find_so<K, V>(cursor: &mut Cursor<'_, SplitItem<K, V>>, so: u64, key: Option<&K>) -> bool
+fn find_so<K, V, R>(cursor: &mut Cursor<'_, SplitItem<K, V>, R>, so: u64, key: Option<&K>) -> bool
 where
     K: Ord + Send + Sync,
     V: Send + Sync,
+    R: Reclaimer,
 {
     while !cursor.is_at_end() {
         match cursor.get() {
@@ -153,8 +154,13 @@ where
 /// assert!(d.bucket_count() > 2, "grew under load");
 /// assert_eq!(d.find(&42), Some(420));
 /// ```
-pub struct ResizableHashDict<K: Send + Sync, V: Send + Sync, S: BuildHasher = RandomState> {
-    list: List<SplitItem<K, V>>,
+pub struct ResizableHashDict<
+    K: Send + Sync,
+    V: Send + Sync,
+    S: BuildHasher = RandomState,
+    R: Reclaimer = RefCount,
+> {
+    list: List<SplitItem<K, V>, R>,
     /// Bucket directory: slot `b` is bucket `b`'s shortcut root.
     buckets: SegmentTable<EntryRoot<SplitItem<K, V>>>,
     /// Current bucket count (a power of two; grows by CAS doubling).
@@ -168,10 +174,11 @@ pub struct ResizableHashDict<K: Send + Sync, V: Send + Sync, S: BuildHasher = Ra
     hasher: S,
 }
 
-impl<K, V> ResizableHashDict<K, V, RandomState>
+impl<K, V, R> ResizableHashDict<K, V, RandomState, R>
 where
     K: Ord + Hash + Send + Sync,
     V: Send + Sync,
+    R: Reclaimer,
 {
     /// An empty table with the default initial bucket count.
     pub fn new() -> Self {
@@ -185,11 +192,12 @@ where
     }
 }
 
-impl<K, V, S> ResizableHashDict<K, V, S>
+impl<K, V, S, R> ResizableHashDict<K, V, S, R>
 where
     K: Ord + Hash + Send + Sync,
     V: Send + Sync,
     S: BuildHasher + Send + Sync,
+    R: Reclaimer,
 {
     /// An empty table with an explicit hasher (deterministic hashers
     /// make bucket placement reproducible in tests).
@@ -241,7 +249,7 @@ where
 
     /// A cursor positioned at (or just after) bucket `bucket`'s
     /// sentinel, initializing the bucket if this is its first touch.
-    fn bucket_cursor(&self, bucket: u64) -> Cursor<'_, SplitItem<K, V>> {
+    fn bucket_cursor(&self, bucket: u64) -> Cursor<'_, SplitItem<K, V>, R> {
         let root = self.buckets.get_or_alloc(bucket as usize);
         if let Some(cursor) = self.list.cursor_at(root) {
             return cursor;
@@ -261,7 +269,7 @@ where
     /// degrades to a head-of-list scan. Bucket 0 is the recursion's base
     /// case: published at construction, its sentinel (split-order 0) is
     /// the list's least position, so the head cursor *is* its parent.
-    fn init_bucket(&self, bucket: u64) -> Cursor<'_, SplitItem<K, V>> {
+    fn init_bucket(&self, bucket: u64) -> Cursor<'_, SplitItem<K, V>, R> {
         let mut cursor = if bucket == 0 {
             self.list.cursor()
         } else {
@@ -393,7 +401,7 @@ where
     }
 
     /// Runs `f` on the value stored under `key`, without cloning.
-    pub fn with_value<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+    pub fn with_value<O>(&self, key: &K, f: impl FnOnce(&V) -> O) -> Option<O> {
         let (hash, so) = self.split_key(key);
         let size = self.size.load(Ordering::Acquire);
         let mut cursor = self.bucket_cursor(hash & (size - 1));
@@ -563,26 +571,28 @@ where
     }
 
     /// Direct read-only access to the underlying list (experiments).
-    pub fn as_list(&self) -> &List<SplitItem<K, V>> {
+    pub fn as_list(&self) -> &List<SplitItem<K, V>, R> {
         &self.list
     }
 }
 
-impl<K, V> Default for ResizableHashDict<K, V, RandomState>
+impl<K, V, R> Default for ResizableHashDict<K, V, RandomState, R>
 where
     K: Ord + Hash + Send + Sync,
     V: Send + Sync,
+    R: Reclaimer,
 {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K, V, S> Drop for ResizableHashDict<K, V, S>
+impl<K, V, S, R> Drop for ResizableHashDict<K, V, S, R>
 where
     K: Send + Sync,
     V: Send + Sync,
     S: BuildHasher,
+    R: Reclaimer,
 {
     fn drop(&mut self) {
         // Retire every published shortcut so its count does not keep the
@@ -593,11 +603,12 @@ where
     }
 }
 
-impl<K, V, S> Dictionary<K, V> for ResizableHashDict<K, V, S>
+impl<K, V, S, R> Dictionary<K, V> for ResizableHashDict<K, V, S, R>
 where
     K: Ord + Hash + Send + Sync,
     V: Send + Sync,
     S: BuildHasher + Send + Sync,
+    R: Reclaimer,
 {
     fn insert(&self, key: K, value: V) -> bool {
         self.insert_impl(key, value)
@@ -626,11 +637,12 @@ where
     }
 }
 
-impl<K, V, S> fmt::Debug for ResizableHashDict<K, V, S>
+impl<K, V, S, R> fmt::Debug for ResizableHashDict<K, V, S, R>
 where
     K: Ord + Hash + Send + Sync,
     V: Send + Sync,
     S: BuildHasher + Send + Sync,
+    R: Reclaimer,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ResizableHashDict")

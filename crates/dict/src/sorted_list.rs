@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use valois_core::{ArenaConfig, Cursor, List, ListStats, MemStats};
+use valois_core::{ArenaConfig, Cursor, List, ListStats, MemStats, Reclaimer, RefCount};
 
 use crate::cursor_cache::CursorCache;
 use crate::traits::Dictionary;
@@ -33,11 +33,12 @@ pub struct Entry<K, V> {
 ///
 /// On a `false` return the cursor is positioned so that inserting before it
 /// keeps the list sorted — the positioning contract Fig. 12 relies on.
-pub(crate) fn find_from<K, V, Q>(cursor: &mut Cursor<'_, Entry<K, V>>, key: &Q) -> bool
+pub(crate) fn find_from<K, V, Q, R>(cursor: &mut Cursor<'_, Entry<K, V>, R>, key: &Q) -> bool
 where
     K: Ord + std::borrow::Borrow<Q> + Send + Sync,
     Q: Ord + ?Sized,
     V: Send + Sync,
+    R: Reclaimer,
 {
     // Fig. 11 lines 1-8.
     while !cursor.is_at_end() {
@@ -69,6 +70,20 @@ where
 /// A non-blocking dictionary as a single sorted lock-free list
 /// (paper §4.1).
 ///
+/// The last type parameter selects the arena's reclamation backend
+/// (see [`List`]'s "Reclamation backends" section): the paper's
+/// counted protocol by default, or `valois_core::Epoch` for uncounted
+/// traversal under epoch protection:
+///
+/// ```
+/// use valois_dict::{Dictionary, SortedListDict};
+/// use valois_core::Epoch;
+///
+/// let d: SortedListDict<u64, u64, Epoch> = SortedListDict::new();
+/// d.insert(1, 10);
+/// assert_eq!(d.find(&1), Some(10));
+/// ```
+///
 /// # Example
 ///
 /// ```
@@ -80,16 +95,17 @@ where
 /// }
 /// assert_eq!(d.keys(), vec![1, 3, 5], "kept sorted");
 /// ```
-pub struct SortedListDict<K: Send + Sync, V: Send + Sync> {
-    list: List<Entry<K, V>>,
+pub struct SortedListDict<K: Send + Sync, V: Send + Sync, R: Reclaimer = RefCount> {
+    list: List<Entry<K, V>, R>,
     cache: CursorCache<Entry<K, V>>,
     cached: bool,
 }
 
-impl<K, V> SortedListDict<K, V>
+impl<K, V, R> SortedListDict<K, V, R>
 where
     K: Ord + Send + Sync,
     V: Send + Sync,
+    R: Reclaimer,
 {
     /// Creates an empty dictionary with the default arena configuration.
     pub fn new() -> Self {
@@ -119,7 +135,7 @@ where
     /// position when it is usable (anchor key strictly below `key` —
     /// an equal-key anchor could sit *at* the sought cell and make the
     /// forward scan skip it), the list head otherwise.
-    fn cursor_for<Q>(&self, key: &Q) -> Cursor<'_, Entry<K, V>>
+    fn cursor_for<Q>(&self, key: &Q) -> Cursor<'_, Entry<K, V>, R>
     where
         K: std::borrow::Borrow<Q>,
         Q: Ord + ?Sized,
@@ -134,7 +150,7 @@ where
 
     /// Remembers `cursor`'s neighbourhood for this thread's next
     /// operation.
-    fn save_position(&self, cursor: &Cursor<'_, Entry<K, V>>) {
+    fn save_position(&self, cursor: &Cursor<'_, Entry<K, V>, R>) {
         if self.cached {
             self.cache.save(&self.list, cursor);
         }
@@ -211,7 +227,7 @@ where
     }
 
     /// Runs `f` on the value stored under `key`, without cloning.
-    pub fn with_value<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+    pub fn with_value<O>(&self, key: &K, f: impl FnOnce(&V) -> O) -> Option<O> {
         let mut cursor = self.cursor_for(key);
         let out = if find_from(&mut cursor, key) {
             cursor.get().map(|e| f(&e.value))
@@ -309,22 +325,23 @@ where
 
     /// Direct read-only access to the underlying list (for experiments
     /// that inspect auxiliary-node structure, e.g. E7).
-    pub fn as_list(&self) -> &List<Entry<K, V>> {
+    pub fn as_list(&self) -> &List<Entry<K, V>, R> {
         &self.list
     }
 }
 
-impl<K, V> Default for SortedListDict<K, V>
+impl<K, V, R> Default for SortedListDict<K, V, R>
 where
     K: Ord + Send + Sync,
     V: Send + Sync,
+    R: Reclaimer,
 {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Send + Sync, V: Send + Sync> Drop for SortedListDict<K, V> {
+impl<K: Send + Sync, V: Send + Sync, R: Reclaimer> Drop for SortedListDict<K, V, R> {
     fn drop(&mut self) {
         // Return the cached-cursor counts before the list's own teardown
         // cascade (an unretired slot would leak its anchor's count — see
@@ -333,10 +350,11 @@ impl<K: Send + Sync, V: Send + Sync> Drop for SortedListDict<K, V> {
     }
 }
 
-impl<K, V> Dictionary<K, V> for SortedListDict<K, V>
+impl<K, V, R> Dictionary<K, V> for SortedListDict<K, V, R>
 where
     K: Ord + Send + Sync,
     V: Send + Sync,
+    R: Reclaimer,
 {
     fn insert(&self, key: K, value: V) -> bool {
         self.insert_impl(key, value)
@@ -365,10 +383,11 @@ where
     }
 }
 
-impl<K, V> fmt::Debug for SortedListDict<K, V>
+impl<K, V, R> fmt::Debug for SortedListDict<K, V, R>
 where
     K: Ord + Send + Sync,
     V: Send + Sync,
+    R: Reclaimer,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SortedListDict")
@@ -377,10 +396,11 @@ where
     }
 }
 
-impl<K, V> FromIterator<(K, V)> for SortedListDict<K, V>
+impl<K, V, R> FromIterator<(K, V)> for SortedListDict<K, V, R>
 where
     K: Ord + Send + Sync,
     V: Send + Sync,
+    R: Reclaimer,
 {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
         let dict = Self::new();

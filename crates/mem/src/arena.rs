@@ -29,8 +29,10 @@ use valois_sync::shim::sync::Mutex;
 use valois_sync::pad::CachePadded;
 
 use crate::defer::{DeferredReleases, DEFER_CAP};
+use crate::epoch::{EpochDomain, COLLECT_EVERY};
 use crate::magazine::{MagazineGuard, MagazineSlot, MAGAZINE_CAP, MAG_SLOTS, REFILL_BATCH};
 use crate::managed::{Link, Managed};
+use crate::reclaim::{Reclaimer, RefCount};
 use crate::stats::{MemStats, MemTally, StatCounters};
 
 /// Configuration for an [`Arena`].
@@ -96,7 +98,23 @@ impl Error for AllocError {}
 /// pointer-returning methods hand out *counted* references; every such
 /// pointer must eventually be passed to exactly one [`Arena::release`]
 /// (possibly by way of [`Arena::release_deferred`]).
-pub struct Arena<N: Managed> {
+///
+/// # Reclamation backends
+///
+/// The second type parameter selects the reclamation backend (see
+/// [`crate::reclaim`]); it defaults to the paper-faithful
+/// [`RefCount`] scheme, under which everything above holds verbatim.
+/// Under [`crate::reclaim::Epoch`], *link* references (structure roots and
+/// node link fields, maintained by [`Arena::swing`]/[`Arena::store_link`]/
+/// [`Arena::incr_ref`]+[`Arena::release`]) remain counted, but *process*
+/// references are protected by an epoch pin ([`Arena::pin`]) instead:
+/// [`Arena::safe_read`] degenerates to a plain load, and the
+/// process-reference half of the API goes through [`Arena::protect_dup`]/
+/// [`Arena::unprotect`]/[`Arena::unprotect_deferred`], which are no-ops.
+/// Nodes whose link in-degree reaches zero are retired into the arena's
+/// [`EpochDomain`] limbo list and recycled only after their grace period
+/// (invariant I12, PROTOCOL.md).
+pub struct Arena<N: Managed, R: Reclaimer = RefCount> {
     /// Segment storage. Boxed slices never move, so node addresses are
     /// stable; the mutex is taken only to grow or enumerate.
     segments: Mutex<Vec<Box<[N]>>>,
@@ -112,9 +130,13 @@ pub struct Arena<N: Managed> {
     counters: StatCounters,
     total_nodes: valois_sync::shim::atomic::AtomicUsize,
     max_nodes: Option<usize>,
+    /// Epoch state for the [`crate::reclaim::Epoch`] backend (inert under
+    /// [`RefCount`]: never pinned, limbo never populated).
+    epoch: EpochDomain<N>,
+    _backend: std::marker::PhantomData<R>,
 }
 
-impl<N: Managed + Default> Arena<N> {
+impl<N: Managed + Default, R: Reclaimer> Arena<N, R> {
     /// Creates an arena with `config`, preallocating the initial segment.
     pub fn with_config(config: ArenaConfig) -> Self {
         let arena = Self {
@@ -127,6 +149,8 @@ impl<N: Managed + Default> Arena<N> {
             counters: StatCounters::default(),
             total_nodes: valois_sync::shim::atomic::AtomicUsize::new(0),
             max_nodes: config.max_nodes,
+            epoch: EpochDomain::default(),
+            _backend: std::marker::PhantomData,
         };
         let initial = match config.max_nodes {
             Some(max) => config.initial_capacity.min(max),
@@ -227,9 +251,21 @@ impl<N: Managed + Default> Arena<N> {
                 // rather than waiting on the try-lock.
                 return Ok(self.finish_alloc(p));
             }
-            // Global list empty. Grow if permitted; otherwise pull back
-            // nodes parked in other threads' magazines. Only when neither
-            // yields anything is the pool truly exhausted.
+            // Global list empty. Epoch backend: before growing (or
+            // failing), force enough epoch advances for limbo garbage to
+            // finish its grace period — otherwise a delete-heavy workload
+            // would grow the pool (or exhaust a capped one) while
+            // reclaimable memory sits in limbo.
+            if self.pressure_collect(tally) > 0 {
+                continue;
+            }
+            // Grow if permitted; otherwise pull back nodes parked in
+            // other threads' magazines. Only when none of collect, grow,
+            // or scavenge yields anything is the pool truly exhausted —
+            // under the epoch backend that can mean a stalled reader is
+            // pinning an old epoch: the `limbo_depth`/`pin_lag` gauges in
+            // [`Arena::stats`] say so (see
+            // `stalled_pin_surfaces_as_reclaim_pressure`).
             if !self.try_grow() && self.scavenge() == 0 {
                 return Err(AllocError);
             }
@@ -287,8 +323,9 @@ impl<N: Managed + Default> Arena<N> {
         loop {
             // Fig. 17 line 1: q <- SafeRead(Freelist).
             // SAFETY: the free-list head is a counted root, so SafeRead's
-            // contract holds.
-            let q = unsafe { self.safe_read_tallied(&self.free_head, tally) };
+            // contract holds. Counted under both backends: the count is
+            // the pop's ABA protection (see `safe_read_counted`).
+            let q = unsafe { self.safe_read_counted(&self.free_head, tally) };
             if q.is_null() {
                 return None;
             }
@@ -315,13 +352,13 @@ impl<N: Managed + Default> Arena<N> {
     }
 }
 
-impl<N: Managed + Default> Default for Arena<N> {
+impl<N: Managed + Default, R: Reclaimer> Default for Arena<N, R> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<N: Managed> Arena<N> {
+impl<N: Managed, R: Reclaimer> Arena<N, R> {
     /// The current thread's magazine slot (threads may collide; the slot
     /// try-lock keeps collisions safe, the global path keeps them
     /// non-blocking).
@@ -358,6 +395,33 @@ impl<N: Managed> Arena<N> {
     ///
     /// As [`Arena::safe_read`].
     pub unsafe fn safe_read_tallied(&self, src: &Link<N>, tally: &mut MemTally) -> *mut N {
+        if !R::COUNTED_READS {
+            // Epoch backend: the caller's pin is the protection — a plain
+            // load, zero shared RMWs. The result must not outlive the pin
+            // (and `release`-family calls on it become `unprotect`s).
+            debug_assert!(
+                self.epoch.current_thread_pinned(),
+                "epoch-backend safe_read outside a pin"
+            );
+            let q = src.read();
+            if !q.is_null() {
+                tally.safe_reads += 1;
+            }
+            return q;
+        }
+        self.safe_read_counted(src, tally)
+    }
+
+    /// The counted Fig. 15 loop. Always used for the free-list head —
+    /// under *both* backends — because the count it takes on the head
+    /// node is what makes the free-list pop ABA-safe (a node with a
+    /// transient SafeRead count can complete a full free→alloc→free
+    /// cycle without ever re-reaching the head with a stale `free_link`).
+    ///
+    /// # Safety
+    ///
+    /// As [`Arena::safe_read`].
+    unsafe fn safe_read_counted(&self, src: &Link<N>, tally: &mut MemTally) -> *mut N {
         loop {
             // Fig. 15 line 1: q <- Read(p).
             let q = src.read();
@@ -429,11 +493,24 @@ impl<N: Managed> Arena<N> {
     /// As [`Arena::release`], except `p` must be non-null.
     // GUARD: p — as `release`: the caller's count is consumed here.
     unsafe fn release_into(&self, p: *mut N, tally: &mut MemTally) {
+        self.release_with(p, tally, true)
+    }
+
+    /// Fig. 16 with an explicit collection hint. `allow_collect = false`
+    /// is used by the epoch collector's own drain releases so a cascade
+    /// of retirements cannot recurse back into collection.
+    ///
+    /// # Safety
+    ///
+    /// As [`Arena::release`], except `p` must be non-null.
+    // GUARD: p — as `release`: the caller's count is consumed here.
+    unsafe fn release_with(&self, p: *mut N, tally: &mut MemTally, allow_collect: bool) {
         // The common case releases one node and touches nothing else; the
         // worklist is only needed when a reclamation cascades through the
         // dying node's outgoing links (e.g. a chain of deleted cells).
         let mut worklist: Vec<*mut N> = Vec::new();
         let mut current = p;
+        let mut collect_due = false;
         // WAIT-FREE: one iteration per released reference in the dying
         // subgraph — no CAS retries (`try_claim` is one-shot per node).
         loop {
@@ -449,22 +526,111 @@ impl<N: Managed> Arena<N> {
                 // instead of freeing the new allocation (see
                 // `NodeHeader::try_claim` and `RefClaim`).
                 if (*current).header().try_claim() {
-                    // We are the unique reclaimer. No process or link
-                    // references remain, so reading/draining fields is
-                    // exclusive.
-                    let links = (*current).drain_links();
-                    for target in links.iter() {
-                        worklist.push(target);
+                    if R::COUNTED_READS {
+                        // We are the unique reclaimer. No process or link
+                        // references remain, so reading/draining fields is
+                        // exclusive.
+                        let links = (*current).drain_links();
+                        for target in links.iter() {
+                            worklist.push(target);
+                        }
+                        tally.reclaims += 1;
+                        self.push_free(current);
+                    } else {
+                        // Epoch backend: the link in-degree is zero, but
+                        // pinned readers may still stand on (or traverse
+                        // through) this node — links and payload stay
+                        // intact, ownership passes to limbo. The drain
+                        // cascade happens at collection, after the grace
+                        // period (I12).
+                        let retires = self.epoch.retire(current);
+                        if retires.is_multiple_of(COLLECT_EVERY as u64) {
+                            collect_due = true;
+                        }
                     }
-                    tally.reclaims += 1;
-                    self.push_free(current);
                 }
             }
             match worklist.pop() {
                 Some(next) => current = next,
-                None => return,
+                None => break,
             }
         }
+        if collect_due && allow_collect {
+            self.collect_into(tally);
+        }
+    }
+
+    /// Epoch backend: one advance attempt plus one limbo sweep. Frees
+    /// every limbo node whose grace period has elapsed (`retire_epoch + 2
+    /// <= horizon`, I12) *and* whose count is zero — a nonzero count means
+    /// a still-pinned thread installed a transient link to it (e.g. a
+    /// deleter's `back_link` to an already-retired predecessor); such a
+    /// node stays in limbo until the link is drained. Returns nodes freed.
+    /// Instant no-op (0) under the refcount backend.
+    fn collect_into(&self, tally: &mut MemTally) -> usize {
+        if R::COUNTED_READS {
+            return 0;
+        }
+        self.epoch.try_advance();
+        let mut chain = self.epoch.take_limbo();
+        if chain.is_null() {
+            return 0;
+        }
+        // ORDER: the horizon scan is sequenced *after* take_limbo and
+        // *before* the refcount checks below — a transient-link installer
+        // either shows up pinned here (its old epoch keeps its node in
+        // limbo) or its unpin happened-before this scan, making its
+        // increment visible to the refcount check (I12).
+        let horizon = self.epoch.horizon();
+        let mut freed = 0usize;
+        let mut kept = 0usize;
+        while !chain.is_null() {
+            let p = chain;
+            // SAFETY: nodes on the taken limbo chain are claimed and owned
+            // by this walk; `limbo_next` was published by their retire.
+            unsafe {
+                chain = (*p).header().limbo_next() as *mut N;
+                let header = (*p).header();
+                if header.retire_epoch() + 2 <= horizon && header.refcount() == 0 {
+                    // Grace period over: no pin can reach the node and no
+                    // link counts it. Drain now (dropping the payload,
+                    // releasing link targets — which may retire more nodes
+                    // into the *live* limbo list, not this private chain)
+                    // and recycle.
+                    let links = (*p).drain_links();
+                    for target in links.iter() {
+                        self.release_with(target, tally, false);
+                    }
+                    tally.reclaims += 1;
+                    self.push_free(p);
+                    freed += 1;
+                } else {
+                    self.epoch.requeue(p);
+                    kept += 1;
+                }
+            }
+        }
+        self.epoch.note_freed(freed);
+        valois_trace::probe!(EpochDrain, freed, kept);
+        freed
+    }
+
+    /// Epoch backend, allocation-pressure path: force up to three
+    /// advance+sweep rounds so garbage retired just before the pressure
+    /// can finish its two-epoch grace period. Stops early on progress.
+    /// Returns nodes freed; always 0 under the refcount backend.
+    fn pressure_collect(&self, tally: &mut MemTally) -> usize {
+        if R::COUNTED_READS {
+            return 0;
+        }
+        let mut total = 0;
+        for _ in 0..3 {
+            total += self.collect_into(tally);
+            if total > 0 {
+                break;
+            }
+        }
+        total
     }
 
     /// Parks a counted reference in `defer` instead of releasing it now;
@@ -686,13 +852,160 @@ impl<N: Managed> Arena<N> {
         self.push_free(p);
     }
 
+    /// Pins the current thread for one epoch-protected operation and
+    /// returns a guard that unpins on drop. Under the refcount backend
+    /// both directions are no-ops.
+    ///
+    /// While pinned, [`Arena::safe_read`] results are plain loads; they
+    /// must not be used after the guard drops (that is the epoch
+    /// backend's version of the protection window — I12).
+    pub fn pin(&self) -> EpochGuard<'_, N, R> {
+        self.pin_enter();
+        EpochGuard { arena: self }
+    }
+
+    /// Manual variant of [`Arena::pin`] for owners that cannot hold a
+    /// guard (the list cursor pins in its constructor and unpins in its
+    /// `Drop`). Must be balanced by exactly one [`Arena::pin_exit`].
+    pub fn pin_enter(&self) {
+        if !R::COUNTED_READS {
+            self.epoch.pin();
+        }
+    }
+
+    /// Releases a pin taken by [`Arena::pin_enter`].
+    pub fn pin_exit(&self) {
+        if !R::COUNTED_READS {
+            self.epoch.unpin();
+        }
+    }
+
+    /// Gives up a *process* reference: [`Arena::release`] under the
+    /// refcount backend, a no-op under the epoch backend (the reference
+    /// was never counted — the pin was the protection).
+    ///
+    /// Link counts (installed by [`Arena::swing`]/[`Arena::store_link`]/
+    /// [`Arena::incr_ref`]) must still be given up with [`Arena::release`]
+    /// under both backends.
+    ///
+    /// # Safety
+    ///
+    /// Refcount backend: as [`Arena::release`]. Epoch backend: `p` came
+    /// from a `safe_read` under a pin the current thread still holds.
+    // GUARD: p — the process reference's protection window closes here.
+    pub unsafe fn unprotect(&self, p: *mut N) {
+        if R::COUNTED_READS {
+            self.release(p);
+        }
+    }
+
+    /// Deferred-buffer variant of [`Arena::unprotect`]
+    /// ([`Arena::release_deferred`] under refcount, no-op under epoch —
+    /// the buffer stays empty, so its drain is free).
+    ///
+    /// # Safety
+    ///
+    /// As [`Arena::release_deferred`] / [`Arena::unprotect`].
+    // GUARD: p — caller holds the process reference being parked; it stays
+    // live until the buffer is drained.
+    pub unsafe fn unprotect_deferred(&self, defer: &mut DeferredReleases<N>, p: *mut N) {
+        if R::COUNTED_READS {
+            self.release_deferred(defer, p);
+        }
+    }
+
+    /// Duplicates a *process* reference ([`Arena::incr_ref`] under
+    /// refcount, no-op under epoch — the new copy is covered by the same
+    /// pin). For duplicating a pointer into a counted *link*, use
+    /// [`Arena::incr_ref`]/[`Arena::store_link`] under both backends.
+    ///
+    /// # Safety
+    ///
+    /// Refcount backend: as [`Arena::incr_ref`]. Epoch backend: the
+    /// current thread must hold a pin protecting `p`.
+    // GUARD: p — caller holds a protected reference for the call's
+    // duration; a second process-reference window opens here.
+    pub unsafe fn protect_dup(&self, p: *mut N) {
+        if R::COUNTED_READS {
+            self.incr_ref(p);
+        } else {
+            debug_assert!(
+                p.is_null() || self.epoch.current_thread_pinned(),
+                "protect_dup outside a pin"
+            );
+        }
+    }
+
+    /// Epoch backend: attempts one epoch advance and sweeps limbo,
+    /// freeing every node whose grace period has elapsed. Returns nodes
+    /// freed (always 0 under the refcount backend). Safe to call from any
+    /// thread at any time; the amortized retire/alloc hooks call it
+    /// automatically, this is the explicit handle for tests and
+    /// quiescent maintenance.
+    pub fn advance_and_collect(&self) -> usize {
+        let mut tally = MemTally::new();
+        let freed = self.collect_into(&mut tally);
+        self.counters.absorb(&mut tally);
+        freed
+    }
+
+    /// Epoch backend, quiescent teardown: repeatedly advances and sweeps
+    /// until limbo stops shrinking. With no pins outstanding (`&mut self`
+    /// guarantees that — every guard and cursor borrows the arena) this
+    /// frees all acyclic limbo garbage; what remains is back-link cycle
+    /// garbage for the owner's cycle collector (see
+    /// [`Arena::take_limbo_quiescent`]). Returns nodes freed.
+    pub fn quiescent_collect_epoch(&mut self) -> usize {
+        if R::COUNTED_READS {
+            return 0;
+        }
+        let mut total = 0;
+        let mut dry = 0;
+        while self.epoch.limbo_depth() > 0 && dry < 3 {
+            let freed = self.advance_and_collect();
+            total += freed;
+            // Fresh garbage needs two advances to age out (I12); allow a
+            // few dry rounds before concluding the rest is cyclic.
+            dry = if freed == 0 { dry + 1 } else { 0 };
+        }
+        total
+    }
+
+    /// Epoch backend, quiescent teardown: detaches every remaining limbo
+    /// node and returns them. The nodes are claimed, unreachable from any
+    /// root, with links and payload intact — exactly the shape the
+    /// owner's quiescent cycle collector expects (it must drain and
+    /// [`Arena::reclaim_detached`] them). The refcount backend returns an
+    /// empty vector.
+    pub fn take_limbo_quiescent(&mut self) -> Vec<*mut N> {
+        let mut out = Vec::new();
+        let mut chain = self.epoch.take_limbo();
+        while !chain.is_null() {
+            out.push(chain);
+            // SAFETY: quiescent (&mut self): the taken chain is exclusively
+            // ours and every node on it is a valid node of this arena.
+            chain = unsafe { (*chain).header().limbo_next() } as *mut N;
+        }
+        self.epoch.note_freed(out.len());
+        out
+    }
+
     /// Snapshot of the protocol counters.
     ///
     /// Hot paths batch events thread-locally ([`MemTally`]); counts parked
     /// in un-flushed tallies (e.g. a still-live cursor's) are not yet
-    /// visible here.
+    /// visible here. The `epoch_*` fields are live gauges/counters from
+    /// the arena's [`EpochDomain`] (all zero under the refcount backend).
     pub fn stats(&self) -> MemStats {
-        self.counters.snapshot()
+        let mut s = self.counters.snapshot();
+        let (pins, advances, retires, frees) = self.epoch.counters();
+        s.epoch_pins = pins;
+        s.epoch_advances = advances;
+        s.epoch_retires = retires;
+        s.epoch_frees = frees;
+        s.epoch_limbo_depth = self.epoch.limbo_depth() as u64;
+        s.epoch_pin_lag = self.epoch.pin_lag() as u64;
+        s
     }
 
     /// Total nodes owned by the arena (free + live).
@@ -722,12 +1035,62 @@ impl<N: Managed> Arena<N> {
     }
 }
 
-impl<N: Managed> fmt::Debug for Arena<N> {
+impl<N: Managed, R: Reclaimer> fmt::Debug for Arena<N, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Arena")
+            .field("backend", &R::NAME)
             .field("capacity", &self.capacity())
             .field("live_nodes", &self.live_nodes())
             .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<N: Managed, R: Reclaimer> Drop for Arena<N, R> {
+    fn drop(&mut self) {
+        if R::COUNTED_READS {
+            return;
+        }
+        // Epoch backend backstop: graduate what limbo still holds so node
+        // payloads are dropped, not leaked, when a bare arena is dropped
+        // with garbage mid-grace. (Structure owners normally drain first
+        // via their quiescent collectors; this also catches cycle garbage
+        // by force-draining links without count bookkeeping — the memory
+        // itself dies with the segments below.)
+        self.quiescent_collect_epoch();
+        for p in self.take_limbo_quiescent() {
+            // SAFETY: &mut self — no pins, no other references; draining
+            // drops the payload. The returned link targets are not
+            // released: every remaining node is about to die with the
+            // arena, so counts no longer matter.
+            unsafe {
+                let _ = (*p).drain_links();
+            }
+        }
+    }
+}
+
+/// RAII pin for one epoch-protected operation (see [`Arena::pin`]).
+/// Under the refcount backend, creation and drop are no-ops.
+///
+/// Pointers obtained from `safe_read` while the guard lives must not be
+/// used after it drops — dropping the guard closes the protection window
+/// (I12), exactly as `release` does for a counted reference.
+#[must_use = "dropping the guard immediately unpins the epoch"]
+pub struct EpochGuard<'a, N: Managed, R: Reclaimer> {
+    arena: &'a Arena<N, R>,
+}
+
+impl<N: Managed, R: Reclaimer> Drop for EpochGuard<'_, N, R> {
+    fn drop(&mut self) {
+        self.arena.pin_exit();
+    }
+}
+
+impl<N: Managed, R: Reclaimer> fmt::Debug for EpochGuard<'_, N, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpochGuard")
+            .field("backend", &R::NAME)
             .finish()
     }
 }
@@ -1201,5 +1564,201 @@ mod tests {
             arena.release(p);
         }
         assert_eq!(arena.live_nodes(), 0);
+    }
+
+    // ---- epoch backend ----
+
+    use crate::reclaim::Epoch;
+
+    fn small_epoch_arena(cap: usize) -> Arena<TestNode, Epoch> {
+        Arena::with_config(ArenaConfig::new().initial_capacity(cap).max_nodes(cap))
+    }
+
+    #[test]
+    fn epoch_release_retires_then_grace_period_recycles() {
+        let arena = small_epoch_arena(1);
+        let p = arena.alloc().unwrap();
+        unsafe { arena.release(p) };
+        // Retired into limbo, not yet recycled: the grace period is open.
+        let s = arena.stats();
+        assert_eq!(s.epoch_retires, 1);
+        assert_eq!(s.epoch_limbo_depth, 1);
+        // A pool of one with its node in limbo: alloc must force the
+        // grace period closed (pressure collection) and recycle it.
+        let q = arena.alloc().unwrap();
+        assert_eq!(p, q, "single-node pool must recycle the same node");
+        let s = arena.stats();
+        assert!(s.epoch_frees >= 1);
+        assert!(
+            s.epoch_advances >= 2,
+            "two-epoch grace (I12) needs at least two advances"
+        );
+        unsafe { arena.release(q) };
+    }
+
+    #[test]
+    fn epoch_safe_read_is_uncounted_under_pin() {
+        let arena = small_epoch_arena(4);
+        let root: Link<TestNode> = Link::null();
+        let p = arena.alloc().unwrap();
+        unsafe { arena.store_link(&root, p) }; // alloc ref + root link = 2
+        {
+            let _g = arena.pin();
+            unsafe {
+                let q = arena.safe_read(&root);
+                assert_eq!(p, q);
+                assert_eq!((*q).header().refcount(), 2, "pinned read adds no count");
+                arena.protect_dup(q); // process-ref ops are no-ops...
+                assert_eq!((*q).header().refcount(), 2);
+                arena.unprotect(q); // ...in both directions
+                assert_eq!((*q).header().refcount(), 2);
+            }
+        }
+        unsafe {
+            arena.release(p); // the alloc reference; the root link remains
+            assert_eq!((*p).header().refcount(), 1);
+            let last = root.swap(std::ptr::null_mut());
+            arena.release(last); // link count hits zero: retire
+        }
+        assert_eq!(arena.stats().epoch_retires, 1);
+        assert_eq!(arena.live_nodes(), 1, "retired but not yet recycled");
+        let mut freed = 0;
+        for _ in 0..4 {
+            freed += arena.advance_and_collect();
+        }
+        assert_eq!(freed, 1);
+        assert_eq!(arena.live_nodes(), 0);
+    }
+
+    #[test]
+    fn stalled_pin_surfaces_as_reclaim_pressure() {
+        let arena = small_epoch_arena(2);
+        let guard = arena.pin(); // a stalled reader pinned at the current epoch
+        let a = arena.alloc().unwrap();
+        let b = arena.alloc().unwrap();
+        unsafe {
+            arena.release(a);
+            arena.release(b);
+        }
+        // The stalled pin blocks the second advance, so the grace period
+        // can never elapse: the capped pool must report exhaustion...
+        assert_eq!(arena.alloc(), Err(AllocError));
+        // ...and the stats must say why.
+        let s = arena.stats();
+        assert_eq!(s.epoch_limbo_depth, 2, "reclaimable memory stuck in limbo");
+        assert!(
+            s.epoch_pin_lag >= 1,
+            "a pinned thread lags the global epoch"
+        );
+        drop(guard);
+        // Unpinned: pressure collection can finish the grace period.
+        let p = arena.alloc().expect("limbo ages out once the pin drops");
+        assert_eq!(arena.stats().epoch_pin_lag, 0);
+        unsafe { arena.release(p) };
+    }
+
+    #[test]
+    fn epoch_drop_with_pending_limbo_is_clean() {
+        let arena = small_epoch_arena(4);
+        let a = arena.alloc().unwrap();
+        let b = arena.alloc().unwrap();
+        unsafe {
+            arena.store_link(&(*a).next, b); // a's link counts b
+            arena.release(b);
+            arena.release(a); // retires a (b stays counted by a's link)
+        }
+        assert!(arena.stats().epoch_limbo_depth >= 1);
+        // Drop with limbo non-empty: the arena's Drop backstop must drain
+        // payloads/links without double-freeing (Miri/asan would object).
+        drop(arena);
+    }
+
+    #[test]
+    fn epoch_pinned_reads_survive_concurrent_unlink() {
+        let arena: Arc<Arena<TestNode, Epoch>> = Arc::new(Arena::with_config(
+            ArenaConfig::new().initial_capacity(64).max_nodes(256),
+        ));
+        let root: Arc<Link<TestNode>> = Arc::new(Link::null());
+        let init = arena.alloc().unwrap();
+        unsafe {
+            arena.store_link(&root, init);
+            arena.release(init);
+        }
+
+        std::thread::scope(|s| {
+            let writer = {
+                let arena = Arc::clone(&arena);
+                let root = Arc::clone(&root);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        // Retry: the capped pool transiently exhausts while
+                        // concurrent pins hold grace periods open.
+                        let n = loop {
+                            match arena.alloc() {
+                                Ok(n) => break n,
+                                Err(AllocError) => std::thread::yield_now(),
+                            }
+                        };
+                        unsafe {
+                            (*n).value.store(i, Ordering::Relaxed);
+                            let g = arena.pin();
+                            loop {
+                                let old = arena.safe_read(&root);
+                                let ok = arena.swing(&root, old, n);
+                                arena.unprotect(old);
+                                if ok {
+                                    break;
+                                }
+                            }
+                            drop(g);
+                            arena.release(n); // the alloc reference
+                        }
+                    }
+                })
+            };
+            for _ in 0..2 {
+                let arena = Arc::clone(&arena);
+                let root = Arc::clone(&root);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        unsafe {
+                            let _g = arena.pin();
+                            let p = arena.safe_read(&root);
+                            if !p.is_null() {
+                                // Reading the payload of a pinned node must
+                                // always be coherent, even mid-retirement.
+                                let _ = (*p).value.load(Ordering::Relaxed);
+                                arena.unprotect(p);
+                            }
+                        }
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+
+        unsafe {
+            let g = arena.pin();
+            let last = arena.safe_read(&root);
+            assert!(arena.swing(&root, last, std::ptr::null_mut()));
+            arena.unprotect(last);
+            drop(g);
+        }
+        // With no pins left, bounded advancing must drain all limbo garbage.
+        for _ in 0..8 {
+            if arena.live_nodes() == 0 {
+                break;
+            }
+            arena.advance_and_collect();
+        }
+        assert_eq!(arena.live_nodes(), 0, "all garbage ages out once unpinned");
+        arena.for_each_node(|p| unsafe {
+            assert_eq!(
+                (*p).header().refcount(),
+                1,
+                "free node holds only the list count"
+            );
+            assert!((*p).header().claim_is_set());
+        });
     }
 }

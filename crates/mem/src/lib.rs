@@ -107,14 +107,18 @@
 pub mod arena;
 pub mod buddy;
 pub mod defer;
+pub mod epoch;
 pub(crate) mod magazine;
 pub mod managed;
+pub mod reclaim;
 pub mod segtable;
 pub mod stats;
 
-pub use arena::{AllocError, Arena, ArenaConfig};
+pub use arena::{AllocError, Arena, ArenaConfig, EpochGuard};
 pub use buddy::{Block, BuddyAllocator, BuddyExhausted};
 pub use defer::DeferredReleases;
+pub use epoch::EpochDomain;
 pub use managed::{Link, Managed, NodeHeader, ReclaimedLinks, MAX_LINKS};
+pub use reclaim::{Epoch, Reclaimer, RefCount};
 pub use segtable::SegmentTable;
 pub use stats::{MemStats, MemTally};

@@ -4,6 +4,7 @@
 use std::fmt;
 
 use valois_sync::primitives::{CasPtr, RefClaim};
+use valois_sync::shim::atomic::{AtomicUsize, Ordering};
 
 /// Maximum number of counted outgoing links a node may report at
 /// reclamation time. The list's cells have two (`next`, `back_link`); BST
@@ -40,6 +41,15 @@ pub type Link<N> = CasPtr<N>;
 /// claim is cleared only by `Alloc` (Fig. 17 line 8).
 pub struct NodeHeader {
     state: RefClaim,
+    /// Limbo-stack link for the epoch backend (see [`crate::epoch`]).
+    /// A dedicated word: `free_link` aliases the node's `next`, which must
+    /// stay intact while the node sits in limbo so pinned readers can
+    /// still traverse through it. Unused (zero) under the refcount
+    /// backend.
+    limbo_next: AtomicUsize,
+    /// Global epoch observed when the node was retired into limbo
+    /// (invariant I12: freed only once `retire_epoch + 2 <= horizon`).
+    retire_epoch: AtomicUsize,
 }
 
 impl NodeHeader {
@@ -48,6 +58,8 @@ impl NodeHeader {
     pub fn new_free() -> Self {
         Self {
             state: RefClaim::new_detached(),
+            limbo_next: AtomicUsize::new(0),
+            retire_epoch: AtomicUsize::new(0),
         }
     }
 
@@ -87,6 +99,31 @@ impl NodeHeader {
     /// The current claim state.
     pub fn claim_is_set(&self) -> bool {
         self.state.claim_is_set()
+    }
+
+    /// The limbo-stack successor (an address, 0 = end). Epoch backend only.
+    pub fn limbo_next(&self) -> usize {
+        // ORDER: Acquire — pairs with `set_limbo_next`'s publication via
+        // the limbo head CAS (the collector walks what retire pushed).
+        self.limbo_next.load(Ordering::Acquire)
+    }
+
+    /// Sets the limbo-stack successor. Called only by the limbo push/walk
+    /// while the caller owns the node's limbo linkage.
+    pub fn set_limbo_next(&self, next: usize) {
+        // ORDER: Release — published to the collector by the head CAS.
+        self.limbo_next.store(next, Ordering::Release);
+    }
+
+    /// The epoch this node was retired at (meaningful only in limbo).
+    pub fn retire_epoch(&self) -> usize {
+        self.retire_epoch.load(Ordering::Acquire)
+    }
+
+    /// Stamps the retirement epoch. Called by `EpochDomain::retire` while
+    /// the retirer holds the claim.
+    pub fn set_retire_epoch(&self, epoch: usize) {
+        self.retire_epoch.store(epoch, Ordering::Release);
     }
 }
 

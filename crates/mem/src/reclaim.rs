@@ -1,0 +1,96 @@
+//! Pluggable reclamation backends: the [`Reclaimer`] marker trait.
+//!
+//! The paper's §5 SafeRead/Release scheme pays two shared RMWs per pointer
+//! hop (increment on acquire, decrement on release) — E8 shows that is the
+//! dominant cost on the traversal hot path. Träff & Pöter (PAPERS.md,
+//! arXiv:2010.15755) report order-of-magnitude practical wins from trading
+//! the paper's per-reference exactness for coarser-grained protection. This
+//! module makes that trade *selectable at the type level*:
+//!
+//! * [`RefCount`] — the paper-faithful default. Process references and link
+//!   references are both counted; every protection window is an
+//!   incr/release pair (Figs. 15–18).
+//! * [`Epoch`] — a quiescent-state backend. **Link references stay
+//!   counted** (structural CASes still transfer counts via
+//!   [`Arena::swing`](crate::Arena::swing), so "count == link in-degree"
+//!   remains an exact invariant and the retire point is still the paper's
+//!   decrement-to-zero + claim arbitration), but **process references
+//!   become free**: a thread pins the global epoch once per *operation*
+//!   ([`Arena::pin`](crate::Arena::pin)) and then traverses with plain
+//!   pointer loads — zero shared RMWs per hop. A node whose link in-degree
+//!   hits zero is *retired* into a limbo list instead of being freed; its
+//!   links are drained and the node recycled only after every thread has
+//!   pinned an epoch newer than its retirement epoch (the grace period —
+//!   invariant I12, PROTOCOL.md).
+//!
+//! The backend is a generic parameter on [`Arena`](crate::Arena) (and, one
+//! level up, on `valois-core`'s `List`/`Cursor`), defaulting to
+//! [`RefCount`], so every existing user compiles unchanged. The free list,
+//! magazines, and deferred-release buffers are *inside* the trait boundary
+//! and stay refcount-based under both backends: SafeRead's count on the
+//! free head is what makes the free-list pop ABA-safe, and that path is
+//! off the per-hop fast path by design (magazines amortize it).
+
+use std::fmt;
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Marker trait selecting an [`Arena`](crate::Arena) reclamation backend.
+///
+/// Implemented only by [`RefCount`] and [`Epoch`] (the trait is sealed:
+/// backend behavior lives inside the arena, keyed off
+/// [`Reclaimer::COUNTED_READS`], so a foreign impl could not change it).
+pub trait Reclaimer: sealed::Sealed + Default + fmt::Debug + Copy + Send + Sync + 'static {
+    /// Whether *process references* (SafeRead results, cursor positions)
+    /// are reference-counted. `true` for the paper's scheme; `false` for
+    /// the epoch backend, where traversal reads are plain loads protected
+    /// by the caller's epoch pin. Link references are counted under both.
+    const COUNTED_READS: bool;
+
+    /// Stable backend name for stats/bench labels.
+    const NAME: &'static str;
+}
+
+/// The paper-faithful §5 backend: every reference — process and link — is
+/// counted; reclamation happens at the exact moment the last reference
+/// dies. The default backend.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RefCount;
+
+impl sealed::Sealed for RefCount {}
+
+impl Reclaimer for RefCount {
+    const COUNTED_READS: bool = true;
+    const NAME: &'static str = "refcount";
+}
+
+/// The epoch/quiescent-state backend: link references counted, process
+/// references protected by per-operation epoch pins; unlinked nodes pass
+/// through a grace-period limbo list before recycling. See
+/// [`crate::epoch`] and PROTOCOL.md invariant I12.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch;
+
+impl sealed::Sealed for Epoch {}
+
+impl Reclaimer for Epoch {
+    const COUNTED_READS: bool = false;
+    const NAME: &'static str = "epoch";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_constants() {
+        // black_box keeps clippy's assertions-on-constants quiet: the
+        // point is pinning the backend contract, not computing anything.
+        assert!(std::hint::black_box(RefCount::COUNTED_READS));
+        assert!(!std::hint::black_box(Epoch::COUNTED_READS));
+        assert_eq!(RefCount::NAME, "refcount");
+        assert_eq!(Epoch::NAME, "epoch");
+    }
+}

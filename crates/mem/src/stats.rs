@@ -149,10 +149,31 @@ pub struct MemStats {
     pub swing_failures: u64,
     /// Arena segment growth events.
     pub grows: u64,
+    /// Epoch backend: outermost pins taken (one per protected operation).
+    /// Zero under the refcount backend (likewise for every field below).
+    pub epoch_pins: u64,
+    /// Epoch backend: successful global-epoch advances.
+    pub epoch_advances: u64,
+    /// Epoch backend: nodes retired into limbo (link in-degree hit zero).
+    pub epoch_retires: u64,
+    /// Epoch backend: limbo nodes whose grace period elapsed and were
+    /// recycled.
+    pub epoch_frees: u64,
+    /// Epoch backend **gauge** (point-in-time, not cumulative): nodes
+    /// currently in limbo. A large value alongside `AllocError` means
+    /// reclamation is blocked — check `epoch_pin_lag`.
+    pub epoch_limbo_depth: u64,
+    /// Epoch backend **gauge**: how many epochs the oldest pinned thread
+    /// lags the global epoch (0 = nobody stalled). A persistently large
+    /// lag identifies a stalled reader pinning an old epoch.
+    pub epoch_pin_lag: u64,
 }
 
 impl MemStats {
     /// Component-wise difference (`self - earlier`), saturating at zero.
+    /// The `epoch_limbo_depth`/`epoch_pin_lag` *gauges* are carried over
+    /// from `self` unchanged (differencing a point-in-time gauge is
+    /// meaningless).
     pub fn since(&self, earlier: &MemStats) -> MemStats {
         MemStats {
             safe_reads: self.safe_reads.saturating_sub(earlier.safe_reads),
@@ -166,6 +187,12 @@ impl MemStats {
             swings: self.swings.saturating_sub(earlier.swings),
             swing_failures: self.swing_failures.saturating_sub(earlier.swing_failures),
             grows: self.grows.saturating_sub(earlier.grows),
+            epoch_pins: self.epoch_pins.saturating_sub(earlier.epoch_pins),
+            epoch_advances: self.epoch_advances.saturating_sub(earlier.epoch_advances),
+            epoch_retires: self.epoch_retires.saturating_sub(earlier.epoch_retires),
+            epoch_frees: self.epoch_frees.saturating_sub(earlier.epoch_frees),
+            epoch_limbo_depth: self.epoch_limbo_depth,
+            epoch_pin_lag: self.epoch_pin_lag,
         }
     }
 

@@ -70,10 +70,10 @@ pub const RING_CAP: usize = 4096;
 pub const HIST_BUCKETS: usize = 16;
 
 /// Number of histogram families (see [`Hist`]).
-pub const NHISTS: usize = 4;
+pub const NHISTS: usize = 5;
 
 /// Number of event kinds (one counter per kind).
-pub const NKINDS: usize = 23;
+pub const NKINDS: usize = 26;
 
 /// Every protocol event the stack records. The three `u64` payload words
 /// are kind-specific (see [`EventKind::arg_names`]); pointers are recorded
@@ -128,6 +128,13 @@ pub enum EventKind {
     /// A cursor back-walked `back_link`s to resume a retry:
     /// `(hops, landed, 0)` (hops histogrammed — the resume distance).
     CursorResume = 22,
+    /// Epoch backend: a thread took an outermost pin: `(epoch, depth, 0)`.
+    EpochPin = 23,
+    /// Epoch backend: the global epoch advanced: `(new_epoch, 0, 0)`.
+    EpochAdvance = 24,
+    /// Epoch backend: a limbo collection freed nodes:
+    /// `(freed, kept, 0)` (freed histogrammed — the drain batch).
+    EpochDrain = 25,
 }
 
 impl EventKind {
@@ -158,6 +165,9 @@ impl EventKind {
             TowerSweep,
             Invariant,
             CursorResume,
+            EpochPin,
+            EpochAdvance,
+            EpochDrain,
         ];
         ALL.get(v as usize).copied()
     }
@@ -188,6 +198,9 @@ impl EventKind {
             EventKind::TowerSweep => "skip.tower_sweep",
             EventKind::Invariant => "invariant.fail",
             EventKind::CursorResume => "cursor.resume",
+            EventKind::EpochPin => "epoch.pin",
+            EventKind::EpochAdvance => "epoch.advance",
+            EventKind::EpochDrain => "epoch.drain",
         }
     }
 
@@ -212,6 +225,9 @@ impl EventKind {
             }
             EventKind::Invariant => ["code", "", ""],
             EventKind::CursorResume => ["hops", "@landed", ""],
+            EventKind::EpochPin => ["epoch", "depth", ""],
+            EventKind::EpochAdvance => ["epoch", "", ""],
+            EventKind::EpochDrain => ["freed", "kept", ""],
         }
     }
 
@@ -223,6 +239,7 @@ impl EventKind {
             EventKind::MagFlush => Some(Hist::MagazineBatch),
             EventKind::DeferFlush => Some(Hist::DeferBatch),
             EventKind::CursorResume => Some(Hist::ResumeHops),
+            EventKind::EpochDrain => Some(Hist::EpochDrainBatch),
             _ => None,
         }
     }
@@ -239,6 +256,8 @@ pub enum Hist {
     DeferBatch = 2,
     /// Back-link hops per cursor resume (the resume distance).
     ResumeHops = 3,
+    /// Limbo nodes freed per epoch drain.
+    EpochDrainBatch = 4,
 }
 
 impl Hist {
@@ -249,6 +268,7 @@ impl Hist {
             Hist::MagazineBatch => "magazine_batch",
             Hist::DeferBatch => "defer_batch",
             Hist::ResumeHops => "resume_hops",
+            Hist::EpochDrainBatch => "epoch_drain_batch",
         }
     }
 }
@@ -483,6 +503,7 @@ impl fmt::Display for Metrics {
             Hist::MagazineBatch,
             Hist::DeferBatch,
             Hist::ResumeHops,
+            Hist::EpochDrainBatch,
         ] {
             let row = &self.hists[h as usize];
             if row.iter().any(|&c| c > 0) {
