@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! stress [--secs N] [--threads N]
-//!        [--structure list|sorted|hash|resizable|skip|bst|queue|stack|pqueue|all]
+//!        [--structure list|sorted|hash|resizable|skip|bst|queue|stack|pqueue|service|all]
 //!        [--inject-failure]
 //! ```
 //!
@@ -275,6 +275,70 @@ fn soak_stack_pqueue(secs: u64, threads: usize) {
     );
 }
 
+/// Soaks the full sharded service: randomized traffic bursts (mix, key
+/// range, and window re-drawn per burst) against one long-lived server,
+/// then a clean shutdown with the full dictionary audit on every shard.
+fn soak_service(secs: u64, threads: usize) {
+    use valois_server::{run_service, Server, ServiceConfig, ServiceMix, SimConfig};
+
+    let shards = threads.clamp(1, 8);
+    let server: Server<valois_mem::Epoch> = Server::start(&ServiceConfig {
+        shards,
+        batch: 32,
+        commit_group: 0,
+        ..ServiceConfig::default()
+    });
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut seed = 0x5EED_50AC_5E4F_0001u64;
+    let mut bursts = 0u64;
+    let mut issued = 0u64;
+    let mut overloaded = 0u64;
+    while Instant::now() < deadline {
+        let r = xorshift(&mut seed);
+        let mix = match r % 3 {
+            0 => ServiceMix::read_mostly(),
+            1 => ServiceMix::scan_heavy(),
+            _ => ServiceMix::new(10, 45, 40, 5), // write churn
+        };
+        let report = run_service(
+            &server,
+            &SimConfig {
+                client_threads: 2,
+                connections: 128 + (r >> 8) as usize % 128,
+                requests_per_conn: 16,
+                window: 8 + (r >> 16) as usize % 56,
+                mix,
+                keys: valois_harness::KeyDist::Zipf {
+                    range: 1 << (10 + (r >> 24) % 8),
+                },
+                scan_len: 8,
+                seed: r,
+            },
+        );
+        bursts += 1;
+        issued += report.issued;
+        overloaded += report.overloaded;
+    }
+    assert_eq!(server.completed(), issued, "service lost requests");
+    let len = server.len() as u64;
+    let dicts = server.shutdown();
+    assert_eq!(dicts.len(), shards, "shutdown must return every shard");
+    let total: u64 = dicts
+        .iter()
+        .map(|d| valois_dict::Dictionary::len(d) as u64)
+        .sum();
+    assert_eq!(total, len, "in-flight writes leaked past shutdown");
+    for mut dict in dicts {
+        dict.check_invariants()
+            .unwrap_or_else(|e| panic!("service shard invariant violated: {e}"));
+    }
+    println!(
+        "{:>12}: {issued} reqs over {bursts} bursts on {shards} shards, \
+         {overloaded} overloaded, {total} resident, invariants OK",
+        "service"
+    );
+}
+
 fn main() {
     // With `--features trace`, any panic (an invariant assertion firing)
     // writes a merged time-ordered flight-recorder post-mortem to a
@@ -344,6 +408,9 @@ fn main() {
     }
     if want("stack") || want("pqueue") {
         soak_stack_pqueue(args.secs, args.threads);
+    }
+    if want("service") {
+        soak_service(args.secs, args.threads);
     }
     // Flight-recorder summary (non-empty only with `--features trace`):
     // protocol-level counters and histograms aggregated across all soak

@@ -51,6 +51,15 @@ use crate::list::{List, PreparedInsert};
 use crate::node::Node;
 use crate::stats::ListTally;
 
+/// Live-stats freshness bound: a cursor publishes its batched tallies to
+/// the shared counters at least every this many `Update` calls (every
+/// operation revalidates through `Update`, so this bounds staleness in
+/// *operations*, not wall time). Keeps the hot path at one integer
+/// compare per op while a monitoring thread sampling
+/// [`List::stats`]/[`List::mem_stats`] once a second sees a long-lived
+/// cursor's progress instead of counters frozen until cursor drop.
+const STATS_FLUSH_EVERY: u32 = 256;
+
 /// A cursor visiting one position of a [`List`] (§2.1).
 ///
 /// Cursors are cheap to clone (three count increments) and release their
@@ -100,6 +109,10 @@ pub struct Cursor<'a, T: Send + Sync, R: Reclaimer = RefCount> {
     tally: MemTally,
     /// Batched list-operation events (same lifecycle).
     ops: ListTally,
+    /// `Update` calls since the last tally publish; at
+    /// [`STATS_FLUSH_EVERY`] the batches auto-flush so live monitoring
+    /// reads fresh counters (the stale-live-stats fix).
+    unflushed: u32,
 }
 
 // SAFETY: a refcount cursor is three counted references plus a shared
@@ -129,6 +142,7 @@ impl<'a, T: Send + Sync, R: Reclaimer> Cursor<'a, T, R> {
             defer: DeferredReleases::new(),
             tally: MemTally::new(),
             ops: ListTally::default(),
+            unflushed: 0,
         };
         cursor.seek_first_inner();
         cursor
@@ -158,6 +172,7 @@ impl<'a, T: Send + Sync, R: Reclaimer> Cursor<'a, T, R> {
             defer: DeferredReleases::new(),
             tally: MemTally::new(),
             ops: ListTally::default(),
+            unflushed: 0,
         };
         let arena = list.arena();
         // SAFETY: `root` is a counted link of this list's arena;
@@ -254,6 +269,22 @@ impl<'a, T: Send + Sync, R: Reclaimer> Cursor<'a, T, R> {
         unsafe { arena.drain_deferred(&mut self.defer) };
         arena.flush_tally(&mut self.tally);
         self.list.absorb(&mut self.ops);
+        self.unflushed = 0;
+    }
+
+    /// The periodic half of the stale-live-stats fix: publish the batched
+    /// tallies every [`STATS_FLUSH_EVERY`] updates so counters advance
+    /// *mid-operation* for live readers. Deliberately does **not** drain
+    /// the deferred-release buffer — that is reclamation policy with its
+    /// own batching, and stats freshness must not change it.
+    #[inline]
+    fn maybe_autoflush(&mut self) {
+        self.unflushed += 1;
+        if self.unflushed >= STATS_FLUSH_EVERY {
+            self.unflushed = 0;
+            self.list.arena().flush_tally(&mut self.tally);
+            self.list.absorb(&mut self.ops);
+        }
     }
 
     /// Fig. 5 `Update`: makes the cursor valid again after concurrent
@@ -261,6 +292,7 @@ impl<'a, T: Send + Sync, R: Reclaimer> Cursor<'a, T, R> {
     /// auxiliary-node chains.
     pub fn update(&mut self) {
         self.ops.updates += 1;
+        self.maybe_autoflush();
         let arena = self.list.arena();
         // SAFETY: `pre_aux`/`pre_cell` hold counted references; every
         // pointer read below is a counted link of a held node.
@@ -656,6 +688,7 @@ impl<T: Send + Sync, R: Reclaimer> Clone for Cursor<'_, T, R> {
             defer: DeferredReleases::new(),
             tally: MemTally::new(),
             ops: ListTally::default(),
+            unflushed: 0,
         }
     }
 }

@@ -132,6 +132,63 @@ impl<T: Send + Sync, R: Reclaimer> List<T, R> {
         Cursor::at_first(self)
     }
 
+    /// Operation-scoped cursor access: opens a cursor at the first
+    /// position, runs `f`, and drops the cursor before returning — the
+    /// protection window (refcounts, or the epoch pin under
+    /// [`valois_mem::Epoch`]) opens and closes *inside* the call.
+    ///
+    /// This is the API service layers should reach for:
+    /// `Cursor<'_, T, Epoch>` is deliberately `!Send` (its pin lives in
+    /// the creating thread's epoch slot), so a worker thread must open
+    /// and close cursors locally rather than receive them from
+    /// elsewhere. `with_cursor` makes that pattern a one-liner and makes
+    /// it impossible to park a pinned cursor across requests — the
+    /// stall that `epoch_pin_lag` exists to catch.
+    ///
+    /// ```
+    /// use valois_core::List;
+    /// use valois_mem::Epoch;
+    ///
+    /// let list: List<u64, Epoch> = (0..8).collect();
+    /// let sum = list.with_cursor(|cur| {
+    ///     let mut sum = 0;
+    ///     while let Some(&v) = cur.get() {
+    ///         sum += v;
+    ///         if !cur.next() {
+    ///             break;
+    ///         }
+    ///     }
+    ///     sum
+    /// });
+    /// assert_eq!(sum, 28);
+    /// ```
+    ///
+    /// The `!Send` contract itself is pinned by a compile-fail test: an
+    /// epoch cursor cannot cross threads…
+    ///
+    /// ```compile_fail,E0277
+    /// use valois_core::List;
+    /// use valois_mem::Epoch;
+    ///
+    /// fn assert_send<T: Send>(_: T) {}
+    /// let list: List<u64, Epoch> = List::new();
+    /// assert_send(list.cursor()); // ERROR: `Cursor<'_, u64, Epoch>` is `!Send`
+    /// ```
+    ///
+    /// …while the paper-faithful refcount cursor still can:
+    ///
+    /// ```
+    /// use valois_core::List;
+    ///
+    /// fn assert_send<T: Send>(_: T) {}
+    /// let list: List<u64> = List::new();
+    /// assert_send(list.cursor()); // RefCount cursors are Send
+    /// ```
+    pub fn with_cursor<O>(&self, f: impl FnOnce(&mut Cursor<'_, T, R>) -> O) -> O {
+        let mut cursor = self.cursor();
+        f(&mut cursor)
+    }
+
     /// Allocates and initializes a cell + auxiliary node pair ready for
     /// [`Cursor::try_insert`]. The pair can be retried across cursor
     /// updates without reallocation (as the paper's `Insert`, Fig. 12,
@@ -341,6 +398,17 @@ impl<T: Send + Sync, R: Reclaimer> List<T, R> {
     /// global free head — the leak tests use it before auditing counts.
     pub fn flush_node_caches(&self) -> usize {
         self.arena.flush_thread_caches()
+    }
+
+    /// Memory-pressure shed: flushes every lockable per-thread magazine
+    /// back to the global free list and, under the epoch backend, runs
+    /// bounded advance+sweep rounds over the limbo list. Returns nodes
+    /// made allocatable. The retry contract for a capped pool: on
+    /// [`AllocError`](valois_mem::AllocError), drop every live cursor
+    /// (their epoch pins block the grace period), `shed_memory`, retry
+    /// once — see [`Arena::shed_memory`](valois_mem::Arena::shed_memory).
+    pub fn shed_memory(&self) -> usize {
+        self.arena.shed_memory()
     }
 
     /// Walks the list and reports auxiliary-node structure: the §3 theorem

@@ -173,17 +173,30 @@ fn capped_pool_recycles_through_churn<R: Reclaimer>() {
         let skipped = &skipped;
         for t in 0..threads {
             s.spawn(move || {
-                for i in 0..400u64 {
-                    let mut c = list.cursor();
+                'ops: for i in 0..400u64 {
                     // Transient exhaustion is legal mid-churn (per-thread
-                    // caches and in-flight retirements park nodes); shed
-                    // the caches and move on rather than assert.
-                    if c.insert(t * 1_000_000 + i).is_err() {
+                    // caches and in-flight retirements park nodes). The
+                    // service contract applies: close this operation's
+                    // protection window, shed (magazines + bounded limbo
+                    // drain), and retry before giving up on the op. The
+                    // yield matters on small machines: an epoch advance
+                    // fails while any descheduled thread sits pinned, so
+                    // give that thread a chance to run and unpin.
+                    let mut attempts = 0;
+                    let mut c = loop {
+                        let mut c = list.cursor();
+                        if c.insert(t * 1_000_000 + i).is_ok() {
+                            break c;
+                        }
                         drop(c);
-                        list.flush_node_caches();
-                        skipped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        continue;
-                    }
+                        attempts += 1;
+                        if attempts > 16 {
+                            skipped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            continue 'ops;
+                        }
+                        list.shed_memory();
+                        std::thread::yield_now();
+                    };
                     c.update();
                     while !c.try_delete() {
                         c.resume();

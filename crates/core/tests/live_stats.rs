@@ -1,0 +1,133 @@
+//! Regression tests for the stale-live-stats bug: cursors batch their
+//! operation tallies in plain integers, and before the periodic
+//! auto-flush they were published to [`List::stats`]/[`List::mem_stats`]
+//! only when the cursor *dropped*. A monitoring thread sampling the
+//! counters once a second against a long-lived cursor (the service
+//! telemetry feed's exact access pattern) read values frozen at cursor
+//! creation. These tests pin the fix: live counters must advance
+//! **mid-operation**, while the cursor is still alive and working.
+
+use valois_core::{List, Reclaimer};
+
+/// Walks a long-lived cursor far past the auto-flush window and asserts
+/// the shared counters advanced before the cursor drops.
+fn live_stats_advance_mid_operation<R: Reclaimer>() {
+    let list: List<u64, R> = (0..2048).collect();
+    let ops_before = list.stats();
+    let mem_before = list.mem_stats();
+
+    let mut cur = list.cursor();
+    for _ in 0..1500 {
+        assert!(cur.next());
+    }
+    // The cursor is alive and holding its position; a live reader must
+    // still see the traversal. The auto-flush window is 256 updates, so
+    // at least 1500 - 255 steps are guaranteed visible.
+    let live = list.stats().since(&ops_before);
+    assert!(
+        live.next_steps >= 1024,
+        "live counters stale while cursor alive: only {} next_steps visible",
+        live.next_steps
+    );
+    assert!(live.updates >= 1024, "updates stale: {}", live.updates);
+    if R::COUNTED_READS {
+        let mem_live = list.mem_stats().since(&mem_before);
+        assert!(
+            mem_live.safe_reads >= 1024,
+            "protocol counters stale while cursor alive: {} safe_reads",
+            mem_live.safe_reads
+        );
+    }
+    assert!(cur.get().is_some(), "cursor still positioned on an item");
+
+    // Drop publishes the remainder: totals now cover the whole walk.
+    drop(cur);
+    let total = list.stats().since(&ops_before);
+    assert!(total.next_steps >= 1500, "lost steps: {}", total.next_steps);
+}
+
+/// Mutation counters advance live too: a cursor alternating inserts and
+/// deletes past the flush window is visible before it drops.
+fn live_mutation_counters_advance<R: Reclaimer>() {
+    let list: List<u64, R> = List::new();
+    let before = list.stats();
+    let mut cur = list.cursor();
+    for i in 0..400 {
+        cur.insert(i).unwrap();
+        cur.update();
+        assert!(cur.try_delete());
+        cur.update();
+    }
+    let live = list.stats().since(&before);
+    assert!(
+        live.insert_successes >= 256,
+        "live insert counters stale: {}",
+        live.insert_successes
+    );
+    assert!(
+        live.delete_successes >= 256,
+        "live delete counters stale: {}",
+        live.delete_successes
+    );
+    drop(cur);
+    let total = list.stats().since(&before);
+    assert_eq!(total.insert_successes, 400);
+    assert_eq!(total.delete_successes, 400);
+}
+
+/// `flush_stats` still forces everything out immediately (and resets the
+/// auto-flush window rather than double-counting).
+fn explicit_flush_still_exact<R: Reclaimer>() {
+    let list: List<u64, R> = (0..64).collect();
+    let before = list.stats();
+    let mut cur = list.cursor();
+    for _ in 0..10 {
+        assert!(cur.next());
+    }
+    cur.flush_stats();
+    assert_eq!(list.stats().since(&before).next_steps, 10);
+    drop(cur);
+    assert_eq!(
+        list.stats().since(&before).next_steps,
+        10,
+        "drop after flush must not double-count"
+    );
+}
+
+mod refcount {
+    use valois_core::RefCount;
+
+    #[test]
+    fn live_stats_advance_mid_operation() {
+        super::live_stats_advance_mid_operation::<RefCount>();
+    }
+
+    #[test]
+    fn live_mutation_counters_advance() {
+        super::live_mutation_counters_advance::<RefCount>();
+    }
+
+    #[test]
+    fn explicit_flush_still_exact() {
+        super::explicit_flush_still_exact::<RefCount>();
+    }
+}
+
+mod epoch {
+    use valois_core::Epoch;
+
+    #[test]
+    fn live_stats_advance_mid_operation() {
+        super::live_stats_advance_mid_operation::<Epoch>();
+    }
+
+    #[test]
+    fn live_mutation_counters_advance() {
+        super::live_mutation_counters_advance::<Epoch>();
+    }
+
+    #[test]
+    fn explicit_flush_still_exact() {
+        super::explicit_flush_still_exact::<Epoch>();
+    }
+}

@@ -49,7 +49,9 @@ use std::cmp::Ordering as CmpOrdering;
 use std::fmt;
 use std::hash::{BuildHasher, Hash, RandomState};
 
-use valois_core::{ArenaConfig, Cursor, EntryRoot, List, ListStats, MemStats, Reclaimer, RefCount};
+use valois_core::{
+    AllocError, ArenaConfig, Cursor, EntryRoot, List, ListStats, MemStats, Reclaimer, RefCount,
+};
 use valois_mem::SegmentTable;
 use valois_sync::shim::atomic::{AtomicU64, Ordering};
 
@@ -249,6 +251,11 @@ where
 
     /// A cursor positioned at (or just after) bucket `bucket`'s
     /// sentinel, initializing the bucket if this is its first touch.
+    ///
+    /// Never fails, even on an exhausted capped pool: a sentinel that
+    /// cannot be allocated is *skipped* (see
+    /// [`ResizableHashDict::init_bucket`]) — the returned cursor is
+    /// positioned correctly either way.
     fn bucket_cursor(&self, bucket: u64) -> Cursor<'_, SplitItem<K, V>, R> {
         let root = self.buckets.get_or_alloc(bucket as usize);
         if let Some(cursor) = self.list.cursor_at(root) {
@@ -269,6 +276,16 @@ where
     /// degrades to a head-of-list scan. Bucket 0 is the recursion's base
     /// case: published at construction, its sentinel (split-order 0) is
     /// the list's least position, so the head cursor *is* its parent.
+    ///
+    /// A sentinel is a traversal *shortcut*, never a correctness
+    /// requirement: after `find_so` the cursor already sits at the first
+    /// position `>=` the sentinel's split order, which is exactly where
+    /// any search inside this bucket must start. So when the sentinel
+    /// allocation hits an exhausted capped pool, the initialization
+    /// degrades instead of failing — the correctly positioned cursor is
+    /// returned as-is and the bucket root stays unpublished, leaving a
+    /// later (post-pressure) touch to retry the shortcut. This keeps
+    /// `find`/`remove` total on a pool full of live nodes.
     fn init_bucket(&self, bucket: u64) -> Cursor<'_, SplitItem<K, V>, R> {
         let mut cursor = if bucket == 0 {
             self.list.cursor()
@@ -277,14 +294,17 @@ where
         };
         let so = sentinel_order(bucket);
         if !find_so(&mut cursor, so, None) {
-            let mut prepared = self
-                .list
-                .prepare_insert(SplitItem {
-                    so,
-                    key: None,
-                    value: None,
-                })
-                .expect("node pool exhausted");
+            let mut prepared = match self.list.try_prepare_insert(SplitItem {
+                so,
+                key: None,
+                value: None,
+            }) {
+                Ok(prepared) => prepared,
+                // Exhausted pool: degrade (see above) rather than shed
+                // here — an in-window shed cannot drain garbage this
+                // thread's own epoch pin still protects (I12).
+                Err((_, AllocError)) => return cursor,
+            };
             loop {
                 match cursor.try_insert(prepared) {
                     Ok(()) => {
@@ -311,21 +331,76 @@ where
 
     /// The paper's `Insert` (Fig. 12) over split order, plus the
     /// `Fetch&Add` count publication and the load-factor check.
+    /// Infallible wrapper over [`ResizableHashDict::try_insert`] for the
+    /// [`Dictionary`] trait — panics only when even a shed-and-retry
+    /// could not find memory.
     fn insert_impl(&self, key: K, value: V) -> bool {
+        self.try_insert(key, value)
+            .expect("node pool exhausted (capped arena, even after shed_memory)")
+    }
+
+    /// Insert with explicit memory-pressure handling: on a capped,
+    /// exhausted pool this *sheds* reclaimable memory and retries once
+    /// before surfacing [`AllocError`].
+    ///
+    /// The shed runs with the failed attempt's cursor **dropped**, which
+    /// is the whole point: under the epoch backend an in-operation
+    /// allocation failure cannot drain garbage this operation's own
+    /// window retired (the thread's pin holds the grace period open —
+    /// I12), so the arena's internal pressure path comes up empty while
+    /// limbo holds reclaimable nodes. Closing the window first lets
+    /// [`List::shed_memory`]'s advance rounds age that garbage out; the
+    /// retry then allocates from it. Service layers get the same
+    /// behaviour per request without wiring any policy themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError`] when the pool is capped and exhausted even after
+    /// the shed — i.e. the memory is genuinely live (or held by a
+    /// stalled reader: see the `epoch_pin_lag` gauge in
+    /// [`ResizableHashDict::mem_stats`]).
+    pub fn try_insert(&self, key: K, value: V) -> Result<bool, AllocError> {
+        match self.insert_attempt(key, value) {
+            Ok(won) => Ok(won),
+            Err((key, value)) => {
+                self.shed_memory();
+                self.insert_attempt(key, value).map_err(|_| AllocError)
+            }
+        }
+    }
+
+    /// Memory-pressure shed on the underlying list's arena (magazine
+    /// flush + bounded epoch limbo drain). Returns nodes made
+    /// allocatable. See [`List::shed_memory`].
+    pub fn shed_memory(&self) -> usize {
+        self.list.shed_memory()
+    }
+
+    /// One bounded insert attempt. `Err` hands the key/value back when
+    /// the node pool is exhausted, with the attempt's cursor already
+    /// dropped — no protection window (epoch pin) left open — so the
+    /// caller can shed and retry.
+    fn insert_attempt(&self, key: K, value: V) -> Result<bool, (K, V)> {
         let (hash, so) = self.split_key(&key);
         let size = self.size.load(Ordering::Acquire);
         let mut cursor = self.bucket_cursor(hash & (size - 1));
         if find_so(&mut cursor, so, Some(&key)) {
-            return false;
+            return Ok(false);
         }
-        let mut prepared = self
-            .list
-            .prepare_insert(SplitItem {
-                so,
-                key: Some(key),
-                value: Some(value),
-            })
-            .expect("node pool exhausted");
+        let mut prepared = match self.list.try_prepare_insert(SplitItem {
+            so,
+            key: Some(key),
+            value: Some(value),
+        }) {
+            Ok(prepared) => prepared,
+            Err((item, _)) => {
+                drop(cursor); // close the protection window before the shed
+                return Err((
+                    item.key.expect("data items carry their key"),
+                    item.value.expect("data items carry their value"),
+                ));
+            }
+        };
         // Pre-charge the item count *before* the linking CAS. A remover
         // can delete the freshly linked item (and decrement) before a
         // post-link increment would run, transiently underflowing the
@@ -349,12 +424,12 @@ where
                 // Concurrent insert won with the same key: give back our
                 // own pre-charge (matched, so this cannot underflow).
                 self.count.fetch_sub(1, Ordering::AcqRel);
-                return false;
+                return Ok(false);
             }
         }
         drop(cursor);
         self.published_insert();
-        true
+        Ok(true)
     }
 
     /// Runs the load-factor check after a successful (already counted)

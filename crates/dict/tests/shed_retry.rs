@@ -1,0 +1,142 @@
+//! Regression tests for the capped-arena `AllocError` shed-and-retry
+//! contract at the dictionary layer (the service-load path).
+//!
+//! Under the epoch backend every dictionary operation opens a protection
+//! window (a cursor, pinning the thread's epoch slot). An allocation
+//! that fails *inside* that window cannot drain the garbage the window's
+//! own deletions retired — the pin holds the two-epoch grace period open
+//! (invariant I12) — so before this fix a delete-then-insert burst on a
+//! capped pool panicked with "node pool exhausted" while the pool was
+//! full of reclaimable nodes. `ResizableHashDict::try_insert` now drops
+//! the failed attempt's cursor, runs `shed_memory`, and retries.
+
+use std::hash::RandomState;
+
+use valois_core::ArenaConfig;
+use valois_dict::{Dictionary, ResizableHashDict};
+use valois_mem::{Epoch, Reclaimer, RefCount};
+
+fn capped_dict<R: Reclaimer>(cap: usize) -> ResizableHashDict<u64, u64, RandomState, R> {
+    ResizableHashDict::with_settings(
+        4,
+        RandomState::new(),
+        ArenaConfig::new().initial_capacity(cap).max_nodes(cap),
+    )
+}
+
+/// Fill a capped pool to refusal, delete everything (parking ~2 nodes
+/// per item in limbo under Epoch), then insert fresh keys: the
+/// shed-and-retry path must find the memory the bare in-window
+/// allocation cannot.
+fn delete_burst_then_insert_succeeds<R: Reclaimer>() {
+    let cap = 128;
+    let dict = capped_dict::<R>(cap);
+
+    // Fill until the pool genuinely refuses (even shedding finds
+    // nothing: every node is live).
+    let mut filled = 0u64;
+    while dict.try_insert(filled, filled).unwrap_or(false) {
+        filled += 1;
+    }
+    assert!(filled >= 16, "capped pool too small to exercise the path");
+    assert_eq!(dict.len() as u64, filled);
+
+    // Delete everything: under Epoch the freed cells+aux nodes retire
+    // into limbo (grace period pending), under RefCount they recycle
+    // through magazines.
+    for k in 0..filled {
+        assert!(dict.remove(&k));
+    }
+    assert!(dict.is_empty());
+    if !R::COUNTED_READS {
+        assert!(
+            dict.mem_stats().epoch_limbo_depth > 0,
+            "deletes must have parked garbage in limbo"
+        );
+    }
+
+    // Fresh keys (different hashes, so new sentinel splits may alloc
+    // too): every insert must succeed — before the shed-and-retry fix
+    // the epoch arm panicked here with a full-of-garbage pool.
+    let fresh = filled / 2;
+    for i in 0..fresh {
+        let key = 1_000_000 + i;
+        assert_eq!(
+            dict.try_insert(key, i),
+            Ok(true),
+            "post-shed retry must find the reclaimed memory (key {key})"
+        );
+    }
+    assert_eq!(dict.len() as u64, fresh);
+}
+
+/// The infallible `Dictionary::insert` rides the same shed path (it
+/// only panics when even the shed comes up empty).
+fn trait_insert_survives_delete_burst<R: Reclaimer>() {
+    let cap = 96;
+    let dict = capped_dict::<R>(cap);
+    let mut filled = 0u64;
+    while dict.try_insert(filled, filled).unwrap_or(false) {
+        filled += 1;
+    }
+    for k in 0..filled {
+        assert!(dict.remove(&k));
+    }
+    for i in 0..filled / 2 {
+        assert!(dict.insert(2_000_000 + i, i), "insert must not panic");
+    }
+}
+
+/// A genuinely full pool still reports the failure: shed-and-retry must
+/// not mask true exhaustion (every node live).
+fn true_exhaustion_still_surfaces<R: Reclaimer>() {
+    let dict = capped_dict::<R>(64);
+    let mut filled = 0u64;
+    while dict.try_insert(filled, filled).unwrap_or(false) {
+        filled += 1;
+    }
+    // No deletes: the memory is live, so the shed finds nothing and the
+    // error surfaces (as Err, not a panic).
+    assert!(dict.try_insert(u64::MAX, 0).is_err());
+    // Existing keys stay readable and removable after the failure.
+    assert_eq!(dict.find(&0), Some(0));
+    assert!(dict.remove(&0));
+}
+
+mod refcount {
+    use super::*;
+
+    #[test]
+    fn delete_burst_then_insert_succeeds() {
+        super::delete_burst_then_insert_succeeds::<RefCount>();
+    }
+
+    #[test]
+    fn trait_insert_survives_delete_burst() {
+        super::trait_insert_survives_delete_burst::<RefCount>();
+    }
+
+    #[test]
+    fn true_exhaustion_still_surfaces() {
+        super::true_exhaustion_still_surfaces::<RefCount>();
+    }
+}
+
+mod epoch {
+    use super::*;
+
+    #[test]
+    fn delete_burst_then_insert_succeeds() {
+        super::delete_burst_then_insert_succeeds::<Epoch>();
+    }
+
+    #[test]
+    fn trait_insert_survives_delete_burst() {
+        super::trait_insert_survives_delete_burst::<Epoch>();
+    }
+
+    #[test]
+    fn true_exhaustion_still_surfaces() {
+        super::true_exhaustion_still_surfaces::<Epoch>();
+    }
+}

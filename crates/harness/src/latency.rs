@@ -53,12 +53,27 @@ impl LatencyHistogram {
     /// The upper bound of the bucket containing quantile `q` (0.0–1.0),
     /// i.e. the latency below which ~q of samples fall (within the 2×
     /// bucket resolution). `None` when empty.
+    ///
+    /// Nearest-rank semantics: the sample at rank `ceil(q·n)` (1-based).
+    /// At small sample counts high quantiles *saturate to the maximum
+    /// recorded sample* — with n < 1000, p999's rank is n, so
+    /// `quantile(0.999)` equals `quantile(1.0)`. It never indexes out of
+    /// range and never silently degrades to a lower percentile: the rank
+    /// is clamped into `1..=n` (guarding the float round-up at huge n,
+    /// where `ceil(q·n)` can land on `n + 1` and would otherwise fall
+    /// through to the open-ended overflow bucket), and a non-finite `q`
+    /// saturates to the max sample rather than propagating NaN as rank 0.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
         let total = self.count();
         if total == 0 {
             return None;
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
@@ -69,6 +84,12 @@ impl LatencyHistogram {
             }
         }
         Some(Duration::from_nanos(u64::MAX))
+    }
+
+    /// The maximum recorded sample's bucket upper bound (`quantile(1.0)`).
+    /// `None` when empty.
+    pub fn max(&self) -> Option<Duration> {
+        self.quantile(1.0)
     }
 
     /// Convenience: (p50, p99, p999) upper bounds.
@@ -166,6 +187,104 @@ mod tests {
         b.record(Duration::from_micros(10));
         a.merge(&b);
         assert_eq!(a.count(), 3);
+    }
+
+    /// Boundary audit (n = 0): every quantile is `None`, never a panic or
+    /// a zero-duration fabrication.
+    #[test]
+    fn boundary_n0_all_quantiles_none() {
+        let h = LatencyHistogram::new();
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0, f64::NAN] {
+            assert!(h.quantile(q).is_none(), "q={q}");
+        }
+        assert!(h.max().is_none());
+    }
+
+    /// Boundary audit (n = 1): with a single sample every quantile is that
+    /// sample's bucket bound — rank clamps into `1..=1`.
+    #[test]
+    fn boundary_n1_every_quantile_is_the_sample() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(700)); // bucket (512, 1024]
+        let expect = Duration::from_nanos(1024);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(expect), "q={q}");
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(
+            (s.p50, s.p99, s.p999, s.samples),
+            (expect, expect, expect, 1)
+        );
+    }
+
+    /// Boundary audit (n = 2): p999's rank is ceil(1.998) = 2, so it must
+    /// report the *larger* sample (saturate to max), while p50 (rank 1)
+    /// reports the smaller one.
+    #[test]
+    fn boundary_n2_p999_saturates_to_max() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100)); // bucket bound 128
+        h.record(Duration::from_millis(10)); // bucket bound ~16.8ms
+        assert_eq!(h.quantile(0.5), Some(Duration::from_nanos(128)));
+        assert_eq!(h.quantile(0.999), h.max());
+        assert!(h.quantile(0.999).unwrap() >= Duration::from_millis(8));
+    }
+
+    /// n = 500: p99 (rank 495) and p999 (rank 500) must *differ* when the
+    /// top sample is an outlier — p999 saturates to max rather than
+    /// silently echoing p99.
+    #[test]
+    fn p999_is_not_p99_below_one_thousand_samples() {
+        let h = LatencyHistogram::new();
+        for _ in 0..499 {
+            h.record(Duration::from_nanos(100));
+        }
+        h.record(Duration::from_millis(10));
+        let s = h.summary().unwrap();
+        assert!(s.p99 <= Duration::from_nanos(128), "p99 {:?}", s.p99);
+        assert!(s.p999 >= Duration::from_millis(8), "p999 {:?}", s.p999);
+        assert_eq!(Some(s.p999), h.max());
+    }
+
+    /// Boundary audit (n = 999): p999's rank is ceil(998.001) = 999 — the
+    /// maximum sample, still saturated.
+    #[test]
+    fn boundary_n999_p999_is_max() {
+        let h = LatencyHistogram::new();
+        for _ in 0..998 {
+            h.record(Duration::from_nanos(100));
+        }
+        h.record(Duration::from_millis(10));
+        assert!(h.quantile(0.999).unwrap() >= Duration::from_millis(8));
+        assert_eq!(h.quantile(0.999), h.max());
+    }
+
+    /// Boundary audit (n = 1000): the first count where p999 stops
+    /// saturating — rank ceil(999.0) = 999 picks the 999th smallest, so a
+    /// single top outlier is now *excluded* from p999 (and still reported
+    /// by `max`).
+    #[test]
+    fn boundary_n1000_p999_excludes_single_outlier() {
+        let h = LatencyHistogram::new();
+        for _ in 0..999 {
+            h.record(Duration::from_nanos(100));
+        }
+        h.record(Duration::from_millis(10));
+        assert!(h.quantile(0.999).unwrap() <= Duration::from_nanos(128));
+        assert!(h.max().unwrap() >= Duration::from_millis(8));
+    }
+
+    /// Out-of-domain `q` values clamp instead of panicking or indexing out
+    /// of range: q > 1 and non-finite q saturate to max, q < 0 to rank 1.
+    #[test]
+    fn out_of_domain_q_clamps() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_millis(10));
+        assert_eq!(h.quantile(2.0), h.max());
+        assert_eq!(h.quantile(f64::NAN), h.max());
+        assert_eq!(h.quantile(f64::INFINITY), h.max());
+        assert_eq!(h.quantile(-3.0), Some(Duration::from_nanos(128)));
     }
 
     #[test]

@@ -788,6 +788,46 @@ impl<N: Managed, R: Reclaimer> Arena<N, R> {
         self.scavenge()
     }
 
+    /// Memory-pressure shed hook for layers that can retry a failed
+    /// operation: flushes every lockable per-thread magazine back to the
+    /// global free list and, under the epoch backend, runs bounded
+    /// advance+sweep rounds so limbo garbage whose grace period can now
+    /// elapse is recycled. Returns the number of nodes made allocatable
+    /// (magazine nodes moved plus limbo nodes freed).
+    ///
+    /// [`Arena::alloc`] already sheds under pressure — but it runs
+    /// *inside* the failing operation, where the calling thread's own
+    /// epoch pin (its live cursor) blocks every advance, so garbage that
+    /// operation (or its neighbours in the same window) retired can
+    /// never finish the two-epoch grace period (I12). The service-layer
+    /// contract is therefore: on [`AllocError`], drop every protecting
+    /// guard first, call `shed_memory`, and retry — what the bare
+    /// pinned alloc could not free, the unpinned shed can. Calling it
+    /// while still pinned is safe but sheds magazines only.
+    pub fn shed_memory(&self) -> usize {
+        let mut tally = MemTally::new();
+        let mut reclaimed = self.scavenge();
+        if !R::COUNTED_READS {
+            // Two advance+sweep rounds end any grace period that can end
+            // (each round's try_advance moves one epoch when no stale pin
+            // holds it back); extra rounds pick up nodes whose last link
+            // was only released by an earlier round's drain. Bounded so a
+            // concurrently stalled reader cannot spin us.
+            let mut rounds = 0;
+            loop {
+                let freed = self.collect_into(&mut tally);
+                reclaimed += freed;
+                rounds += 1;
+                if (freed == 0 && rounds >= 2) || rounds >= 8 {
+                    break;
+                }
+            }
+        }
+        valois_trace::probe!(MemShed, reclaimed);
+        self.counters.absorb(&mut tally);
+        reclaimed
+    }
+
     /// Counted-link CAS swing with automatic count transfer.
     ///
     /// Increments `new`'s count (the prospective link), attempts
@@ -1175,6 +1215,66 @@ mod tests {
             arena.release(b);
         }
         assert!(arena.alloc().is_ok(), "released node must be allocatable");
+    }
+
+    /// Regression for the service-load AllocError contract: an
+    /// allocation that fails *inside* a protection window (the calling
+    /// thread's own epoch pin holds every retired node's grace period
+    /// open — I12) must succeed after the window closes and
+    /// [`Arena::shed_memory`] drains the limbo list. The bare in-window
+    /// alloc failing first is part of the assertion: it shows the
+    /// arena-internal pressure path genuinely cannot help here.
+    #[test]
+    fn pinned_alloc_error_then_unpinned_shed_retry_succeeds() {
+        let cap = 8;
+        let arena: Arena<TestNode, crate::Epoch> =
+            Arena::with_config(ArenaConfig::new().initial_capacity(cap).max_nodes(cap));
+        let guard = arena.pin();
+        // Exhaust the pool and retire everything while pinned: the
+        // garbage parks in limbo stamped with the pinned epoch.
+        let nodes: Vec<_> = (0..cap).map(|_| arena.alloc().unwrap()).collect();
+        for &p in &nodes {
+            // SAFETY: each pointer carries the alloc's counted reference.
+            unsafe { arena.release(p) };
+        }
+        // Bare retry inside the window: pressure_collect cannot advance
+        // past our own pin, grow is capped, magazines are empty — the
+        // alloc fails even though every node in the pool is reclaimable.
+        assert_eq!(
+            arena.alloc(),
+            Err(AllocError),
+            "alloc under the caller's own pin must not reach limbo garbage"
+        );
+        assert!(
+            arena.stats().epoch_limbo_depth > 0,
+            "the garbage must be parked in limbo, not lost"
+        );
+        // Close the window, shed, retry: the post-shed retry succeeds.
+        drop(guard);
+        let shed = arena.shed_memory();
+        assert!(shed > 0, "shed must recycle the limbo garbage");
+        let p = arena.alloc().expect("post-shed retry must succeed");
+        // SAFETY: p carries the alloc's counted reference.
+        unsafe { arena.release(p) };
+    }
+
+    /// Refcount twin: `shed_memory` moves nodes parked in per-thread
+    /// magazines back to the global free list (and reports the count).
+    #[test]
+    fn shed_memory_flushes_magazines_under_refcount() {
+        let arena = small_arena(16);
+        // Churn so released nodes park in this thread's magazine.
+        let held: Vec<_> = (0..16).map(|_| arena.alloc().unwrap()).collect();
+        for &p in &held {
+            // SAFETY: each pointer carries the alloc's counted reference.
+            unsafe { arena.release(p) };
+        }
+        let moved = arena.shed_memory();
+        assert!(moved > 0, "magazine nodes must be shed to the global list");
+        // The shed nodes are allocatable (from the global list).
+        let p = arena.alloc().expect("shed nodes must be allocatable");
+        // SAFETY: p carries the alloc's counted reference.
+        unsafe { arena.release(p) };
     }
 
     #[test]

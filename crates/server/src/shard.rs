@@ -1,0 +1,162 @@
+//! One shard: a worker thread draining a lock-free MPSC request channel
+//! in batches and serving a [`ResizableHashDict`].
+//!
+//! The drain loop is the service's heartbeat. It blocks (spin + yield)
+//! for the first request, then opportunistically drains up to
+//! [`ServiceConfig::batch`](crate::ServiceConfig) more without blocking —
+//! batching amortizes the channel's dequeue CAS traffic and gives the
+//! simulated group commit something to group. The loop exits when every
+//! sender is gone and the channel is drained, so shutdown is just
+//! "drop the senders, join the workers" and no request is ever lost.
+
+use std::time::Duration;
+
+use valois_core::channel::Receiver;
+use valois_core::AllocError;
+use valois_dict::{Dictionary, ResizableHashDict};
+use valois_harness::LatencyHistogram;
+use valois_mem::{MemStats, Reclaimer};
+use valois_sync::shim::atomic::{AtomicU64, Ordering};
+
+use crate::request::{Op, Outcome, Request, Response};
+use crate::server::route;
+
+/// Live counters for one shard. All relaxed: these are monitoring
+/// counters read by the telemetry sampler, not synchronization.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Requests served (reply sent).
+    pub completed: AtomicU64,
+    /// Drain batches processed.
+    pub batches: AtomicU64,
+    /// Simulated group commits performed (see
+    /// [`ServiceConfig::commit_group`](crate::ServiceConfig)).
+    pub commits: AtomicU64,
+    /// `Put`s refused with [`Outcome::Overloaded`].
+    pub overloaded: AtomicU64,
+}
+
+/// One shard: the dictionary it owns plus its live stats.
+pub struct Shard<R: Reclaimer> {
+    /// This shard's index (also its routing slot).
+    pub id: usize,
+    /// Total shard count (needed to filter scan ranges down to the keys
+    /// this shard owns).
+    pub shards: usize,
+    /// The shard's store.
+    pub dict: ResizableHashDict<u64, u64, std::hash::RandomState, R>,
+    /// Live counters.
+    pub stats: ShardStats,
+    /// Issue-to-served latency (includes channel queueing delay).
+    pub latency: LatencyHistogram,
+}
+
+impl<R: Reclaimer> std::fmt::Debug for Shard<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("id", &self.id)
+            .field("completed", &self.stats.completed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Reclaimer> Shard<R> {
+    /// Serves one operation against this shard's dictionary.
+    pub fn serve(&self, op: &Op) -> Outcome {
+        match *op {
+            Op::Get(k) => Outcome::Value(self.dict.find(&k)),
+            Op::Put(k, v) => match self.dict.try_insert(k, v) {
+                Ok(inserted) => Outcome::Inserted(inserted),
+                // The dictionary already shed (magazines + epoch limbo,
+                // windows closed) and retried; a service answers rather
+                // than panics.
+                Err(AllocError) => {
+                    self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                    Outcome::Overloaded
+                }
+            },
+            Op::Del(k) => Outcome::Deleted(self.dict.remove(&k)),
+            Op::Scan { start, len } => {
+                let mut hits = 0u32;
+                for k in start..start.saturating_add(len as u64) {
+                    if route(k, self.shards) == self.id && self.dict.contains(&k) {
+                        hits += 1;
+                    }
+                }
+                Outcome::Scanned(hits)
+            }
+        }
+    }
+
+    /// The shard arena's memory-protocol counters.
+    pub fn mem_stats(&self) -> MemStats {
+        self.dict.mem_stats()
+    }
+}
+
+/// Per-worker knobs, copied out of
+/// [`ServiceConfig`](crate::ServiceConfig) at spawn.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WorkerConfig {
+    pub batch: usize,
+    pub commit_group: u32,
+    pub commit_stall: Duration,
+}
+
+/// The drain loop: runs on the shard's worker thread until every sender
+/// is dropped and the channel is drained.
+pub(crate) fn worker_loop<R: Reclaimer>(
+    shard: &Shard<R>,
+    rx: &Receiver<Request>,
+    cfg: WorkerConfig,
+) {
+    let mut batch: Vec<Request> = Vec::with_capacity(cfg.batch.max(1));
+    // Puts not yet covered by a simulated group commit. The model: every
+    // `commit_group` puts cost one `commit_stall` sleep (an fsync /
+    // replication-ack proxy), so durability cost scales with write
+    // volume per shard and overlaps across shards — which is what makes
+    // shard-count scaling honestly measurable even on one core.
+    let mut uncommitted_puts: u32 = 0;
+    // WAIT-FREE: not a CAS retry loop — one iteration per drained batch,
+    // bounded by channel disconnection; the RMWs inside are single
+    // fetch_add stat counters, which cannot fail and be retried.
+    loop {
+        batch.clear();
+        match rx.recv() {
+            Some(req) => batch.push(req),
+            None => break, // drained + all senders gone
+        }
+        while batch.len() < cfg.batch {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break, // empty (or newly disconnected): serve what we have
+            }
+        }
+        valois_trace::probe!(ServiceBatch, batch.len() as u64, shard.id as u64);
+        shard.stats.batches.fetch_add(1, Ordering::Relaxed);
+        for req in batch.drain(..) {
+            let outcome = shard.serve(&req.op);
+            if matches!(req.op, Op::Put(..)) {
+                uncommitted_puts += 1;
+            }
+            shard.latency.record(req.issued.elapsed());
+            shard.stats.completed.fetch_add(1, Ordering::Relaxed);
+            // A client that hung up mid-request is not an error.
+            let _ = req.reply.send(Response {
+                conn: req.conn,
+                seq: req.seq,
+                outcome,
+            });
+        }
+        if cfg.commit_group > 0 {
+            // WAIT-FREE: bounded arithmetic countdown, not a CAS retry —
+            // each pass subtracts a full commit group; the fetch_add is a
+            // stat counter.
+            while uncommitted_puts >= cfg.commit_group {
+                std::thread::sleep(cfg.commit_stall);
+                shard.stats.commits.fetch_add(1, Ordering::Relaxed);
+                uncommitted_puts -= cfg.commit_group;
+            }
+        }
+    }
+}

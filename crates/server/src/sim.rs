@@ -1,0 +1,209 @@
+//! Simulated service traffic: thousands of connections multiplexed over
+//! a few client threads, issuing Zipfian and scan-heavy mixes.
+//!
+//! Each client thread owns a slice of the connections and one reply
+//! channel shared by all of them (responses carry `conn`/`seq`, so
+//! multiplexing is just bookkeeping). Issue-side flow control is a
+//! sliding window: once `window` requests are in flight the thread
+//! blocks draining replies, which is what a real event loop does when
+//! the kernel's socket buffers fill.
+
+use std::time::{Duration, Instant};
+
+use valois_core::channel::channel;
+use valois_harness::{KeyDist, LatencySummary};
+use valois_mem::Reclaimer;
+use valois_sync::rng::SmallRng;
+use valois_sync::shim::atomic::{AtomicU64, Ordering};
+
+use crate::request::{Op, Outcome, Request, Response};
+use crate::server::Server;
+
+/// Percentages of get/put/del/scan requests (must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceMix {
+    /// Percent `Get`.
+    pub get_pct: u8,
+    /// Percent `Put`.
+    pub put_pct: u8,
+    /// Percent `Del`.
+    pub del_pct: u8,
+    /// Percent `Scan`.
+    pub scan_pct: u8,
+}
+
+impl ServiceMix {
+    /// A custom mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the percentages sum to 100.
+    pub fn new(get_pct: u8, put_pct: u8, del_pct: u8, scan_pct: u8) -> Self {
+        assert_eq!(
+            get_pct as u32 + put_pct as u32 + del_pct as u32 + scan_pct as u32,
+            100,
+            "service mix must sum to 100"
+        );
+        Self {
+            get_pct,
+            put_pct,
+            del_pct,
+            scan_pct,
+        }
+    }
+
+    /// 70% get / 15% put / 10% del / 5% scan — the cache-ish mix.
+    pub fn read_mostly() -> Self {
+        Self::new(70, 15, 10, 5)
+    }
+
+    /// 30% get / 25% put / 20% del / 25% scan — the scan-heavy mix.
+    pub fn scan_heavy() -> Self {
+        Self::new(30, 25, 20, 25)
+    }
+
+    /// Draws a request kind as an [`Op`] over `keys`.
+    pub fn sample(&self, rng: &mut SmallRng, keys: &KeyDist, scan_len: u32) -> Op {
+        let key = keys.sample(rng);
+        let roll: u8 = rng.gen_range(0..100u8);
+        if roll < self.get_pct {
+            Op::Get(key)
+        } else if roll < self.get_pct + self.put_pct {
+            Op::Put(key, key.wrapping_mul(3))
+        } else if roll < self.get_pct + self.put_pct + self.del_pct {
+            Op::Del(key)
+        } else {
+            Op::Scan {
+                start: key,
+                len: scan_len,
+            }
+        }
+    }
+}
+
+/// Traffic shape for one [`run_service`] call.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Client threads (event loops).
+    pub client_threads: usize,
+    /// Simulated connections, split evenly across client threads.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests_per_conn: u64,
+    /// Max in-flight requests per client thread before it blocks on
+    /// replies.
+    pub window: usize,
+    /// Request mix.
+    pub mix: ServiceMix,
+    /// Key distribution (the service benches use `Zipf` over 1M keys).
+    pub keys: KeyDist,
+    /// Keys per scan request.
+    pub scan_len: u32,
+    /// RNG seed; each client thread derives its own stream.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            client_threads: 2,
+            connections: 1024,
+            requests_per_conn: 32,
+            window: 64,
+            mix: ServiceMix::read_mostly(),
+            keys: KeyDist::Zipf { range: 1_000_000 },
+            scan_len: 16,
+            seed: 0x5EED_1995_5E4F_0001,
+        }
+    }
+}
+
+/// What a traffic run observed.
+#[derive(Debug, Clone, Copy)]
+pub struct SimReport {
+    /// Requests issued (== replies received; the run drains fully).
+    pub issued: u64,
+    /// Wall-clock time of the issue+drain phase.
+    pub wall: Duration,
+    /// Aggregate serving rate.
+    pub ops_per_sec: f64,
+    /// Issue-to-served latency quantiles over the run (`None` for an
+    /// empty run).
+    pub latency: Option<LatencySummary>,
+    /// Replies that came back [`Outcome::Overloaded`].
+    pub overloaded: u64,
+}
+
+/// Drives `cfg` worth of simulated traffic through `server`, blocking
+/// until every reply has been drained.
+pub fn run_service<R: Reclaimer + 'static>(server: &Server<R>, cfg: &SimConfig) -> SimReport {
+    let threads = cfg.client_threads.max(1);
+    let conns_per_thread = (cfg.connections.max(1)).div_ceil(threads);
+    let overloaded = AtomicU64::new(0);
+    let issued_total = AtomicU64::new(0);
+    let latency_before = server.latency().count();
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let overloaded = &overloaded;
+            let issued_total = &issued_total;
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(
+                    cfg.seed ^ ((t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                let first_conn = (t * conns_per_thread) as u64;
+                let conns = conns_per_thread as u64;
+                let (reply_tx, reply_rx) = channel::<Response>();
+                let mut seqs = vec![0u64; conns_per_thread];
+                let mut in_flight = 0usize;
+                let mut issued = 0u64;
+                let drain = |resp: Response| {
+                    if resp.outcome == Outcome::Overloaded {
+                        overloaded.fetch_add(1, Ordering::Relaxed);
+                    }
+                };
+                for _round in 0..cfg.requests_per_conn {
+                    for c in 0..conns {
+                        let op = cfg.mix.sample(&mut rng, &cfg.keys, cfg.scan_len);
+                        let idx = c as usize;
+                        let req = Request {
+                            conn: first_conn + c,
+                            seq: seqs[idx],
+                            op,
+                            issued: Instant::now(),
+                            reply: reply_tx.clone(),
+                        };
+                        seqs[idx] += 1;
+                        server.submit(req).expect("server is running");
+                        issued += 1;
+                        in_flight += 1;
+                        while in_flight >= cfg.window.max(1) {
+                            let resp = reply_rx.recv().expect("shard replies");
+                            drain(resp);
+                            in_flight -= 1;
+                        }
+                    }
+                }
+                while in_flight > 0 {
+                    let resp = reply_rx.recv().expect("shard replies");
+                    drain(resp);
+                    in_flight -= 1;
+                }
+                issued_total.fetch_add(issued, Ordering::Relaxed);
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let issued = issued_total.load(Ordering::Relaxed);
+    let hist = server.latency();
+    let latency = (hist.count() > latency_before)
+        .then(|| hist.summary())
+        .flatten();
+    SimReport {
+        issued,
+        wall,
+        ops_per_sec: issued as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        latency,
+        overloaded: overloaded.load(Ordering::Relaxed),
+    }
+}

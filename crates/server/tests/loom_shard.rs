@@ -1,0 +1,194 @@
+//! Loom model of the shard drain loop (`--cfg loom` only).
+//!
+//! The full channel would drag the whole list/arena machinery into the
+//! state space, so the model keeps the *queue* abstract (a
+//! mutex-protected deque — the scheduler still explores every lock
+//! interleaving) and keeps the *protocol under test* concrete: the
+//! sender-count-before-dequeue disconnect handshake copied from
+//! `valois_core::channel::Receiver::try_recv`, and the batched drain
+//! structure of `valois_server::shard::worker_loop`. The model's drainer
+//! polls a bounded number of times concurrently with the producers, then
+//! joins them and drains the tail — the scheduler's DFS forbids
+//! unbounded spin-waits, and the bounded shape loses no interleavings of
+//! poll vs. enqueue vs. disconnect. Properties over every explored
+//! schedule:
+//!
+//! 1. **Disconnect is never premature** — `Disconnected` implies the
+//!    queue is empty: reading the sender count *before* the dequeue
+//!    attempt means an enqueue-then-disconnect racing a miss is seen on
+//!    a later poll, never lost.
+//! 2. **No lost requests** — after the tail drain, everything both
+//!    producers enqueued was received exactly once.
+//! 3. **Per-producer FIFO** — sequence numbers from one producer arrive
+//!    in issue order (the per-key ordering contract's channel half).
+//! 4. **Batch bound** — no drain batch exceeds the configured cap.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p valois-server --test loom_shard`
+#![cfg(loom)]
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use valois_sync::shim::atomic::{AtomicUsize, Ordering};
+use valois_sync::shim::sync::Mutex;
+use valois_sync::shim::{thread, Builder};
+
+const BATCH: usize = 2;
+
+/// The channel abstraction: FIFO storage plus the disconnect handshake.
+struct Mailbox {
+    queue: Mutex<VecDeque<(usize, u64)>>,
+    senders: AtomicUsize,
+}
+
+#[derive(PartialEq)]
+enum TryRecv {
+    Got((usize, u64)),
+    Empty,
+    Disconnected,
+}
+
+impl Mailbox {
+    /// Mirrors `Receiver::try_recv`: the sender count is read *before*
+    /// the dequeue attempt, so an enqueue-then-disconnect racing with a
+    /// miss is seen on the next call, never lost.
+    fn try_recv(&self) -> TryRecv {
+        // ORDER: Acquire pairs with the producers' Release fetch_sub —
+        // observing senders == 0 implies their final enqueues are
+        // visible to the dequeue below.
+        let senders = self.senders.load(Ordering::Acquire);
+        let popped = self.queue.lock().unwrap().pop_front();
+        match popped {
+            Some(v) => TryRecv::Got(v),
+            None if senders == 0 => {
+                // Property 1: a correct handshake never reports
+                // disconnection with requests still queued.
+                assert!(
+                    self.queue.lock().unwrap().is_empty(),
+                    "Disconnected with requests still queued"
+                );
+                TryRecv::Disconnected
+            }
+            None => TryRecv::Empty,
+        }
+    }
+}
+
+/// One drain pass: collect up to `BATCH` requests without blocking,
+/// exactly like `worker_loop`'s opportunistic fill.
+fn drain_batch(mb: &Mailbox, received: &mut Vec<(usize, u64)>) -> TryRecv {
+    let mut batch = Vec::new();
+    let mut last = TryRecv::Empty;
+    while batch.len() < BATCH {
+        match mb.try_recv() {
+            TryRecv::Got(v) => batch.push(v),
+            other => {
+                last = other;
+                break;
+            }
+        }
+    }
+    assert!(batch.len() <= BATCH, "batch cap violated");
+    received.extend(batch);
+    last
+}
+
+/// Two producers (two requests each, then disconnect) racing the batched
+/// drainer. Bounded DFS over every schedule within the preemption bound.
+#[test]
+fn drain_loop_loses_nothing_and_keeps_per_producer_order() {
+    let explored = Builder::new().preemption_bound(2).check(|| {
+        let mailbox = Arc::new(Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            senders: AtomicUsize::new(2),
+        });
+        let mut producers = Vec::new();
+        for id in 0..2usize {
+            let mb = Arc::clone(&mailbox);
+            producers.push(thread::spawn(move || {
+                for seq in 0..2u64 {
+                    mb.queue.lock().unwrap().push_back((id, seq));
+                }
+                // ORDER: Release pairs with the drainer's Acquire load —
+                // the disconnect publishes every enqueue above.
+                mb.senders.fetch_sub(1, Ordering::Release);
+            }));
+        }
+
+        let mut received: Vec<(usize, u64)> = Vec::new();
+        // Concurrent phase: a bounded number of drain passes racing the
+        // producers (enough passes to land mid-enqueue, mid-disconnect,
+        // and between the two producers' disconnects).
+        for _ in 0..3 {
+            if drain_batch(&mailbox, &mut received) == TryRecv::Disconnected {
+                break;
+            }
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Tail phase: every sender is now gone (join ordered after the
+        // fetch_subs), so each pass returns requests or Disconnected and
+        // the loop is bounded by the queue length.
+        loop {
+            match drain_batch(&mailbox, &mut received) {
+                TryRecv::Disconnected => break,
+                _ if received.len() > 4 => unreachable!("duplicated requests"),
+                _ => {}
+            }
+        }
+
+        assert_eq!(received.len(), 4, "requests lost across disconnect");
+        for id in 0..2usize {
+            let seqs: Vec<u64> = received
+                .iter()
+                .filter(|(p, _)| *p == id)
+                .map(|&(_, s)| s)
+                .collect();
+            assert_eq!(seqs, vec![0, 1], "producer {id} reordered");
+        }
+    });
+    assert!(explored > 1, "must explore more than one schedule");
+}
+
+/// The disconnect race distilled: a lone producer enqueues its final
+/// request and disconnects while the drainer polls around the miss. The
+/// sender-count-before-dequeue ordering must hand the request to a later
+/// poll rather than losing it behind a premature `Disconnected`.
+#[test]
+fn enqueue_then_disconnect_never_drops_the_last_request() {
+    let explored = Builder::new().check(|| {
+        let mailbox = Arc::new(Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            senders: AtomicUsize::new(1),
+        });
+        let mb = Arc::clone(&mailbox);
+        let producer = thread::spawn(move || {
+            mb.queue.lock().unwrap().push_back((0, 0));
+            // ORDER: Release — see above.
+            mb.senders.fetch_sub(1, Ordering::Release);
+        });
+        let mut got = 0usize;
+        // Concurrent polls: lands before the push, between push and
+        // disconnect, and after both.
+        for _ in 0..3 {
+            match mailbox.try_recv() {
+                TryRecv::Got(_) => got += 1,
+                TryRecv::Disconnected => break,
+                TryRecv::Empty => {}
+            }
+        }
+        producer.join().unwrap();
+        // Post-join: the disconnect (and its enqueue) are visible.
+        loop {
+            match mailbox.try_recv() {
+                TryRecv::Got(_) => got += 1,
+                TryRecv::Disconnected => break,
+                TryRecv::Empty => unreachable!("Empty after every sender disconnected"),
+            }
+        }
+        assert_eq!(got, 1, "final request lost at disconnect");
+        assert!(mailbox.queue.lock().unwrap().is_empty());
+    });
+    assert!(explored > 1, "must explore more than one schedule");
+}

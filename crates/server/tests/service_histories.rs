@@ -1,0 +1,272 @@
+//! Service-level correctness: per-key FIFO ordering through the batched
+//! request channels, linearizability of concurrent same-key histories,
+//! the live telemetry feed, and clean shutdown.
+
+use std::time::{Duration, Instant};
+
+use valois_core::channel::channel;
+use valois_core::ArenaConfig;
+use valois_harness::{check_linearizable, History, KeyDist, Op as HOp};
+use valois_mem::{Epoch, Reclaimer, RefCount};
+use valois_server::{
+    run_service, Op, Outcome, Request, Response, Server, ServiceConfig, ServiceMix, SimConfig,
+    StatsFeed,
+};
+
+fn small_config(shards: usize) -> ServiceConfig {
+    ServiceConfig {
+        shards,
+        batch: 8,
+        commit_group: 0,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Same connection, same key: responses must come back in issue order
+/// with the outcomes of sequential execution. The guarantee is
+/// structural (one key → one shard → one FIFO channel → in-order drain),
+/// and this pins it end to end across a batch-sized burst.
+fn same_key_same_conn_fifo<R: Reclaimer + 'static>() {
+    let server: Server<R> = Server::start(&small_config(4));
+    let (tx, rx) = channel::<Response>();
+    let key = 0xDEAD_BEEF;
+    // Alternating put/del with interleaved gets, issued back to back so
+    // several land in one drain batch.
+    let rounds = 24u64;
+    for seq in 0..rounds {
+        let op = match seq % 3 {
+            0 => Op::Put(key, seq),
+            1 => Op::Get(key),
+            _ => Op::Del(key),
+        };
+        server
+            .submit(Request {
+                conn: 7,
+                seq,
+                op,
+                issued: Instant::now(),
+                reply: tx.clone(),
+            })
+            .expect("server running");
+    }
+    for seq in 0..rounds {
+        let resp = rx.recv().expect("reply");
+        assert_eq!(resp.seq, seq, "per-key responses arrived out of order");
+        assert_eq!(resp.conn, 7);
+        let expected = match seq % 3 {
+            0 => Outcome::Inserted(true),       // key always absent here
+            1 => Outcome::Value(Some(seq - 1)), // the put just before
+            _ => Outcome::Deleted(true),
+        };
+        assert_eq!(resp.outcome, expected, "sequential semantics at seq {seq}");
+    }
+    drop(tx);
+    server.shutdown();
+}
+
+/// Concurrent clients hammering one key through the full service stack:
+/// every recorded history must admit a linearization. The seeds make the
+/// interleavings reproducible; the exhaustive checker keeps histories
+/// small.
+fn seeded_same_key_histories_linearizable<R: Reclaimer + 'static>() {
+    for seed in 0..8u64 {
+        let server: Server<R> = Server::start(&small_config(2));
+        let key = 100 + seed;
+        let client = server.client();
+        // 3 threads × 5 ops = 15 ops, inside the checker's budget.
+        let plan = |ops: [HOp; 5]| ops.to_vec();
+        let plans = vec![
+            plan([
+                HOp::Insert(key),
+                HOp::Find(key),
+                HOp::Remove(key),
+                HOp::Insert(key),
+                HOp::Find(key),
+            ]),
+            plan([
+                HOp::Remove(key),
+                HOp::Insert(key),
+                HOp::Find(key),
+                HOp::Remove(key),
+                HOp::Remove(key),
+            ]),
+            plan([
+                HOp::Find(key),
+                HOp::Insert(key),
+                HOp::Insert(key),
+                HOp::Find(key),
+                HOp::Remove(key),
+            ]),
+        ];
+        let history = History::record(&client, &plans);
+        assert!(
+            check_linearizable(&history),
+            "seed {seed}: no linearization found for:\n{history}"
+        );
+        server.shutdown();
+    }
+}
+
+/// The live stats feed must advance *while traffic is in flight* — ticks
+/// sampled mid-run show growing completion counts and latency samples.
+fn live_feed_advances_under_traffic<R: Reclaimer + 'static>() {
+    let server: Server<R> = Server::start(&small_config(2));
+    let feed = StatsFeed::start(server.shards(), Duration::from_millis(5), false);
+    let report = run_service(
+        &server,
+        &SimConfig {
+            client_threads: 2,
+            connections: 256,
+            requests_per_conn: 40,
+            window: 32,
+            mix: ServiceMix::scan_heavy(),
+            keys: KeyDist::Zipf { range: 4096 },
+            scan_len: 8,
+            seed: 0xFEED,
+        },
+    );
+    assert_eq!(report.issued, 256 * 40);
+    // Give the sampler one more interval, then stop it.
+    std::thread::sleep(Duration::from_millis(15));
+    let ticks = feed.stop();
+    assert!(
+        ticks.len() >= 2,
+        "sampler should have ticked during the run: {} ticks",
+        ticks.len()
+    );
+    let last = ticks.last().expect("nonempty");
+    assert_eq!(
+        last.completed, report.issued,
+        "feed must converge on the served total"
+    );
+    assert!(
+        ticks
+            .iter()
+            .any(|t| t.delta_completed > 0 && t.next_steps > 0),
+        "some tick must observe live progress (completions + traversal)"
+    );
+    assert!(
+        last.latency.is_some(),
+        "latency summary present once requests were served"
+    );
+    server.shutdown();
+}
+
+/// Shutdown drains every channel, joins every worker, and the returned
+/// dictionaries pass the full structural + refcount audit.
+fn shutdown_returns_consistent_dicts<R: Reclaimer + 'static>() {
+    let server: Server<R> = Server::start(&small_config(3));
+    let report = run_service(
+        &server,
+        &SimConfig {
+            client_threads: 2,
+            connections: 128,
+            requests_per_conn: 30,
+            window: 16,
+            keys: KeyDist::Zipf { range: 2048 },
+            ..SimConfig::default()
+        },
+    );
+    assert_eq!(report.issued, 128 * 30);
+    assert_eq!(server.completed(), report.issued);
+    let len_before = server.len();
+    let dicts = server.shutdown();
+    assert_eq!(dicts.len(), 3);
+    let total: usize = dicts.iter().map(valois_dict::Dictionary::len).sum();
+    assert_eq!(total, len_before, "no in-flight writes after shutdown");
+    for mut dict in dicts {
+        dict.check_invariants()
+            .unwrap_or_else(|e| panic!("shard dictionary corrupt after service run: {e}"));
+    }
+}
+
+/// A capped node pool under service load: the shards shed and retry
+/// internally; the service stays up, answers every request, and anything
+/// it could not absorb surfaces as `Overloaded` replies — never a panic.
+fn capped_pool_service_survives<R: Reclaimer + 'static>() {
+    let server: Server<R> = Server::start(&ServiceConfig {
+        shards: 2,
+        batch: 8,
+        commit_group: 0,
+        arena: ArenaConfig::new().initial_capacity(512).max_nodes(512),
+        ..ServiceConfig::default()
+    });
+    let report = run_service(
+        &server,
+        &SimConfig {
+            client_threads: 2,
+            connections: 128,
+            requests_per_conn: 40,
+            window: 16,
+            // Heavy write churn against a small hot keyspace: constant
+            // insert/delete pressure on the capped pools.
+            mix: ServiceMix::new(10, 45, 40, 5),
+            keys: KeyDist::Zipf { range: 512 },
+            scan_len: 4,
+            seed: 0xCAFE,
+        },
+    );
+    assert_eq!(report.issued, 128 * 40, "every request answered");
+    for mut dict in server.shutdown() {
+        dict.check_invariants()
+            .unwrap_or_else(|e| panic!("shard dictionary corrupt under memory pressure: {e}"));
+    }
+}
+
+mod refcount {
+    use super::*;
+
+    #[test]
+    fn same_key_same_conn_fifo() {
+        super::same_key_same_conn_fifo::<RefCount>();
+    }
+
+    #[test]
+    fn seeded_same_key_histories_linearizable() {
+        super::seeded_same_key_histories_linearizable::<RefCount>();
+    }
+
+    #[test]
+    fn live_feed_advances_under_traffic() {
+        super::live_feed_advances_under_traffic::<RefCount>();
+    }
+
+    #[test]
+    fn shutdown_returns_consistent_dicts() {
+        super::shutdown_returns_consistent_dicts::<RefCount>();
+    }
+
+    #[test]
+    fn capped_pool_service_survives() {
+        super::capped_pool_service_survives::<RefCount>();
+    }
+}
+
+mod epoch {
+    use super::*;
+
+    #[test]
+    fn same_key_same_conn_fifo() {
+        super::same_key_same_conn_fifo::<Epoch>();
+    }
+
+    #[test]
+    fn seeded_same_key_histories_linearizable() {
+        super::seeded_same_key_histories_linearizable::<Epoch>();
+    }
+
+    #[test]
+    fn live_feed_advances_under_traffic() {
+        super::live_feed_advances_under_traffic::<Epoch>();
+    }
+
+    #[test]
+    fn shutdown_returns_consistent_dicts() {
+        super::shutdown_returns_consistent_dicts::<Epoch>();
+    }
+
+    #[test]
+    fn capped_pool_service_survives() {
+        super::capped_pool_service_survives::<Epoch>();
+    }
+}

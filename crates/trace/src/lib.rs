@@ -70,10 +70,10 @@ pub const RING_CAP: usize = 4096;
 pub const HIST_BUCKETS: usize = 16;
 
 /// Number of histogram families (see [`Hist`]).
-pub const NHISTS: usize = 5;
+pub const NHISTS: usize = 6;
 
 /// Number of event kinds (one counter per kind).
-pub const NKINDS: usize = 26;
+pub const NKINDS: usize = 28;
 
 /// Every protocol event the stack records. The three `u64` payload words
 /// are kind-specific (see [`EventKind::arg_names`]); pointers are recorded
@@ -135,6 +135,12 @@ pub enum EventKind {
     /// Epoch backend: a limbo collection freed nodes:
     /// `(freed, kept, 0)` (freed histogrammed — the drain batch).
     EpochDrain = 25,
+    /// A memory-pressure shed ran (magazines flushed + limbo drained):
+    /// `(reclaimed, 0, 0)`.
+    MemShed = 26,
+    /// A service shard drained one request batch:
+    /// `(requests, shard, 0)` (requests histogrammed — the batch size).
+    ServiceBatch = 27,
 }
 
 impl EventKind {
@@ -168,6 +174,8 @@ impl EventKind {
             EpochPin,
             EpochAdvance,
             EpochDrain,
+            MemShed,
+            ServiceBatch,
         ];
         ALL.get(v as usize).copied()
     }
@@ -201,6 +209,8 @@ impl EventKind {
             EventKind::EpochPin => "epoch.pin",
             EventKind::EpochAdvance => "epoch.advance",
             EventKind::EpochDrain => "epoch.drain",
+            EventKind::MemShed => "mem.shed",
+            EventKind::ServiceBatch => "service.batch",
         }
     }
 
@@ -228,6 +238,8 @@ impl EventKind {
             EventKind::EpochPin => ["epoch", "depth", ""],
             EventKind::EpochAdvance => ["epoch", "", ""],
             EventKind::EpochDrain => ["freed", "kept", ""],
+            EventKind::MemShed => ["reclaimed", "", ""],
+            EventKind::ServiceBatch => ["requests", "shard", ""],
         }
     }
 
@@ -240,6 +252,7 @@ impl EventKind {
             EventKind::DeferFlush => Some(Hist::DeferBatch),
             EventKind::CursorResume => Some(Hist::ResumeHops),
             EventKind::EpochDrain => Some(Hist::EpochDrainBatch),
+            EventKind::ServiceBatch => Some(Hist::ServiceBatch),
             _ => None,
         }
     }
@@ -258,6 +271,8 @@ pub enum Hist {
     ResumeHops = 3,
     /// Limbo nodes freed per epoch drain.
     EpochDrainBatch = 4,
+    /// Requests per service-shard drain batch.
+    ServiceBatch = 5,
 }
 
 impl Hist {
@@ -269,6 +284,7 @@ impl Hist {
             Hist::DeferBatch => "defer_batch",
             Hist::ResumeHops => "resume_hops",
             Hist::EpochDrainBatch => "epoch_drain_batch",
+            Hist::ServiceBatch => "service_batch",
         }
     }
 }
@@ -504,6 +520,7 @@ impl fmt::Display for Metrics {
             Hist::DeferBatch,
             Hist::ResumeHops,
             Hist::EpochDrainBatch,
+            Hist::ServiceBatch,
         ] {
             let row = &self.hists[h as usize];
             if row.iter().any(|&c| c > 0) {

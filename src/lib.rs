@@ -53,6 +53,7 @@ pub use valois_core as core;
 pub use valois_dict as dict;
 pub use valois_harness as harness;
 pub use valois_mem as mem;
+pub use valois_server as server;
 pub use valois_sync as sync;
 
 pub use valois_core::channel::{channel, Receiver, Sender};
@@ -61,6 +62,7 @@ pub use valois_dict::{
     BstDict, Dictionary, HashDict, ResizableHashDict, SkipListDict, SortedListDict,
 };
 pub use valois_mem::{ArenaConfig, MemStats};
+pub use valois_server::{Server, ServiceConfig};
 pub use valois_sync::{
     AndersonLock, Backoff, ClhLock, Lock, LockKind, TasLock, TicketLock, TtasLock,
 };
